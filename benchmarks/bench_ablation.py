@@ -1,0 +1,68 @@
+"""Ablation benches: tag-count sweep and steering synchronisation cost.
+
+Run with:  pytest benchmarks/bench_ablation.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.eval.ablation import buffer_ablation, steering_comparison, tag_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return tag_sweep()
+
+
+def test_print_tag_sweep(sweep, once):
+    print()
+    print("matvec 16x16 tag-count ablation")
+    print(f"{'tags':>5s}{'DF-IO':>9s}{'GRAPHITI':>10s}{'speedup':>9s}{'FFs':>8s}")
+    for point in sweep:
+        print(
+            f"{point.tags:>5d}{point.df_io_cycles:>9d}{point.graphiti_cycles:>10d}"
+            f"{point.speedup:>9.2f}{point.graphiti_ffs:>8d}"
+        )
+
+
+def test_more_tags_never_slower(sweep, once):
+    cycles = [point.graphiti_cycles for point in sweep]
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+
+
+def test_more_tags_cost_ffs(sweep, once):
+    ffs = [point.graphiti_ffs for point in sweep]
+    assert ffs[-1] > ffs[0]
+
+
+def test_speedup_saturates(sweep, once):
+    """Beyond the loop depth, extra tags stop helping (diminishing returns)."""
+    assert sweep[-1].graphiti_cycles == pytest.approx(sweep[-2].graphiti_cycles, rel=0.2)
+
+
+def test_buffer_pairing_removes_bubbles(once):
+    """Ablating the opaque+transparent channel pair: single-slot channels
+    insert a handshake bubble on hops, costing cycles in both flows."""
+    points = buffer_ablation()
+    print()
+    print("channel-sizing ablation (matvec 12x12)")
+    for point in points:
+        print(
+            f"  {point.flow:8s} paired={point.paired_cycles:6d} "
+            f"single={point.single_cycles:6d} penalty={point.bubble_penalty:.2f}x"
+        )
+    assert all(point.single_cycles >= point.paired_cycles for point in points)
+
+
+def test_combined_steering_costs_cycles_not_area(results, once):
+    """Section 6.2: Graphiti's synchronised data paths cost some cycles vs
+    DF-OoO, but not clock period or area."""
+    costs = []
+    for name in ("matvec", "gemm", "mvt", "gsum-many"):
+        comparison = steering_comparison(results[name])
+        costs.append(comparison.synchronization_cost)
+        assert comparison.graphiti_luts <= comparison.df_ooo_luts * 1.1
+        assert (
+            results[name]["GRAPHITI"].area.clock_period
+            <= results[name]["DF-OoO"].area.clock_period * 1.1
+        )
+    assert all(cost <= 2.5 for cost in costs)

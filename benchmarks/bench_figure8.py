@@ -1,0 +1,30 @@
+"""Regenerate Figure 8: relative performance, normalised to DF-OoO.
+
+Run with:  pytest benchmarks/bench_figure8.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.eval import paper_data
+from repro.eval.report import figure8_series, render_figure8
+
+
+def test_print_figure8(results, once):
+    print()
+    print(render_figure8(results))
+
+
+@pytest.mark.parametrize("name", paper_data.BENCHMARKS)
+def test_series_shape(results, once, name):
+    """Figure 8's qualitative content: the in-order flows sit above 1.0
+    (slower than DF-OoO), Graphiti sits near 1.0, except on bicg where the
+    refused rewrite pins it to DF-IO."""
+    series = figure8_series(results)[name]
+    assert series["DF-OoO"] == pytest.approx(1.0)
+    if name == "bicg":
+        assert series["GRAPHITI"] == pytest.approx(series["DF-IO"])
+    elif name == "gsum-single":
+        assert series["GRAPHITI"] < series["Vericert"]
+    else:
+        assert series["GRAPHITI"] < series["DF-IO"]
+    assert series["Vericert"] > series["GRAPHITI"]

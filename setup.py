@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment this project targets has setuptools but not the
+``wheel`` package, so PEP 517 editable installs (which build a wheel) fail.
+With this shim present and no ``[build-system]`` table in pyproject.toml,
+``pip install -e .`` falls back to ``setup.py develop``, which works offline.
+Metadata lives in pyproject.toml and is read by setuptools >= 61.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""Graphiti, reproduced in Python.
+
+A reproduction of *"Graphiti: Formally Verified Out-of-Order Execution in
+Dataflow Circuits"* (ASPLOS 2026): the ExprHigh/ExprLow graph languages,
+executable module semantics with the paper's combinators, a bounded
+weak-simulation refinement checker standing in for the Lean proofs, the
+rewriting engine with the five-phase out-of-order pipeline, an e-graph
+oracle, a cycle-level elastic-circuit simulator, and the full evaluation
+harness (Tables 2-3, Figure 8, the section 6.3 statistics, and the bicg
+bug).
+
+Quick tour::
+
+    from repro import (
+        default_environment, ExprHigh, denote,        # build + denote graphs
+        refines, check_rewrite_obligation,            # refinement checking
+        GraphitiPipeline,                             # the OoO pipeline
+        run_benchmark,                                # the evaluation harness
+    )
+
+See README.md for the architecture overview and examples/ for runnable
+walkthroughs.
+"""
+
+from .components import default_environment
+from .core import (
+    Environment,
+    ExprHigh,
+    ExprLow,
+    Module,
+    NodeSpec,
+    denote,
+)
+from .dot import parse_dot, print_dot
+from .errors import GraphitiError
+from .eval.runner import run_benchmark
+from .refinement import (
+    check_graph_refinement,
+    check_refinement,
+    check_rewrite_obligation,
+    find_weak_simulation,
+    refines,
+    trace_inclusion,
+)
+from .rewriting import GraphitiPipeline, Rewrite, RewriteEngine, Var
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "default_environment",
+    "Environment",
+    "ExprHigh",
+    "ExprLow",
+    "Module",
+    "NodeSpec",
+    "denote",
+    "parse_dot",
+    "print_dot",
+    "GraphitiError",
+    "run_benchmark",
+    "check_graph_refinement",
+    "check_refinement",
+    "check_rewrite_obligation",
+    "find_weak_simulation",
+    "refines",
+    "trace_inclusion",
+    "GraphitiPipeline",
+    "Rewrite",
+    "RewriteEngine",
+    "Var",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""The paper's benchmark suite as mini-IR programs."""
+
+from .kernels import (
+    BENCHMARKS,
+    bicg,
+    gemm,
+    gsum_many,
+    gsum_single,
+    load_benchmark,
+    matvec,
+    mvt,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "bicg",
+    "gemm",
+    "gsum_many",
+    "gsum_single",
+    "load_benchmark",
+    "matvec",
+    "mvt",
+]

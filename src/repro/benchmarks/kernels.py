@@ -1,0 +1,378 @@
+"""The six evaluated benchmarks (section 6.1), as mini-IR programs.
+
+All are the kernels of Elakhras et al. that the paper evaluates:
+
+* **bicg, mvt, gemm** — PolyBench kernels whose inner loops carry a
+  long-latency floating-point dependence while outer iterations are
+  independent; bicg additionally stores inside the inner loop body, which
+  is the case Graphiti must refuse (section 6.2).
+* **matvec** — floating-point matrix-vector product, the high-tag-count
+  benchmark (50 tags, the Table 3 flip-flop blow-up).
+* **gsum-single / gsum-many** — conditional reduction; *single* is one
+  inherently sequential accumulation (tagging can only add overhead),
+  *many* is several independent invocations with a small tag budget.
+
+Sizes are scaled to keep simulations in seconds; tag counts follow the
+relative budgets of the original evaluation (matvec large, gsum small).
+``img-avg`` is omitted exactly as in the paper: its out-of-order dimension
+is branch-body reordering, not loop reordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hls.ir import (
+    BinOp,
+    Const,
+    DoWhile,
+    Kernel,
+    Load,
+    OuterLoop,
+    Program,
+    Select,
+    StoreOp,
+    UnOp,
+    Var,
+)
+
+BENCHMARKS = ("bicg", "gemm", "gsum-many", "gsum-single", "matvec", "mvt")
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _reduction_loop(name: str, count: int, extra: dict | None = None) -> DoWhile:
+    """The canonical inner reduction: acc += A[ai] * x[j] over *count* steps.
+
+    State: acc (f32 accumulator), j (inner index), ai (flat matrix index),
+    i (outer row, carried for the epilogue store).
+    """
+    body = {
+        "acc": BinOp(
+            "fadd",
+            Var("acc"),
+            BinOp("fmul", Load("A", Var("ai")), Load("x", Var("j"))),
+        ),
+        "j": BinOp("add", Var("j"), Const(1)),
+        "ai": BinOp("add", Var("ai"), Const(1)),
+        "i": Var("i"),
+    }
+    return DoWhile(
+        name=name,
+        state=("acc", "j", "ai", "i"),
+        body=body,
+        condition=BinOp("lt", Var("j"), Const(count)),
+        result_vars=("acc", "i"),
+        **(extra or {}),
+    )
+
+
+def matvec(n: int = 30) -> Program:
+    """y = A·x — one reduction loop per row, 50 tags (the paper's count)."""
+    rng = _rng(7)
+    kernel = Kernel(
+        name="matvec",
+        loop=_reduction_loop("matvec_row", n),
+        outer=(OuterLoop("i", n),),
+        init={
+            "acc": Const(0.0),
+            "j": Const(0),
+            "ai": BinOp("mul", Var("i"), Const(n)),
+            "i": Var("i"),
+        },
+        epilogue=(StoreOp("y", Var("i"), Var("acc")),),
+        tags=50,
+    )
+    arrays = {
+        "A": rng.standard_normal(n * n).astype(np.float64),
+        "x": rng.standard_normal(n).astype(np.float64),
+        "y": np.zeros(n, dtype=np.float64),
+    }
+    return Program("matvec", arrays, [kernel])
+
+
+def mvt(n: int = 21) -> Program:
+    """x1 += A·y1 ; x2 += Aᵀ·y2 — two reduction sweeps, few tags (4)."""
+    rng = _rng(11)
+    loop1 = DoWhile(
+        name="mvt_row",
+        state=("acc", "j", "ai", "i"),
+        body={
+            "acc": BinOp("fadd", Var("acc"), BinOp("fmul", Load("A", Var("ai")), Load("y1", Var("j")))),
+            "j": BinOp("add", Var("j"), Const(1)),
+            "ai": BinOp("add", Var("ai"), Const(1)),
+            "i": Var("i"),
+        },
+        condition=BinOp("lt", Var("j"), Const(n)),
+        result_vars=("acc", "i"),
+    )
+    loop2 = DoWhile(
+        name="mvt_col",
+        state=("acc", "j", "ai", "i"),
+        body={
+            "acc": BinOp("fadd", Var("acc"), BinOp("fmul", Load("A", Var("ai")), Load("y2", Var("j")))),
+            "j": BinOp("add", Var("j"), Const(1)),
+            "ai": BinOp("add", Var("ai"), Const(n)),  # column walk
+            "i": Var("i"),
+        },
+        condition=BinOp("lt", Var("j"), Const(n)),
+        result_vars=("acc", "i"),
+    )
+    kernels = [
+        Kernel(
+            name="mvt_x1",
+            loop=loop1,
+            outer=(OuterLoop("i", n),),
+            init={
+                "acc": Load("x1", Var("i")),
+                "j": Const(0),
+                "ai": BinOp("mul", Var("i"), Const(n)),
+                "i": Var("i"),
+            },
+            epilogue=(StoreOp("x1", Var("i"), Var("acc")),),
+            tags=6,
+        ),
+        Kernel(
+            name="mvt_x2",
+            loop=loop2,
+            outer=(OuterLoop("i", n),),
+            init={
+                "acc": Load("x2", Var("i")),
+                "j": Const(0),
+                "ai": Var("i"),
+                "i": Var("i"),
+            },
+            epilogue=(StoreOp("x2", Var("i"), Var("acc")),),
+            tags=6,
+        ),
+    ]
+    arrays = {
+        "A": rng.standard_normal(n * n).astype(np.float64),
+        "y1": rng.standard_normal(n).astype(np.float64),
+        "y2": rng.standard_normal(n).astype(np.float64),
+        "x1": rng.standard_normal(n).astype(np.float64),
+        "x2": rng.standard_normal(n).astype(np.float64),
+    }
+    return Program("mvt", arrays, kernels)
+
+
+def bicg(n: int = 30) -> Program:
+    """q = A·p and s = Aᵀ·r in one sweep — with ``s[j] +=`` **inside** the
+    inner loop body.  That in-body store is what makes the loop effectful:
+    Graphiti refuses the transform (matching DF-IO), while DF-OoO reorders
+    the writes — the bug of section 6.2."""
+    rng = _rng(13)
+    loop = DoWhile(
+        name="bicg_row",
+        state=("qacc", "j", "ai", "i", "ri"),
+        body={
+            "qacc": BinOp("fadd", Var("qacc"), BinOp("fmul", Load("A", Var("ai")), Load("p", Var("j")))),
+            "j": BinOp("add", Var("j"), Const(1)),
+            "ai": BinOp("add", Var("ai"), Const(1)),
+            "i": Var("i"),
+            "ri": Var("ri"),
+        },
+        condition=BinOp("lt", Var("j"), Const(n)),
+        result_vars=("qacc", "i"),
+        stores=(
+            # s[j-1] += r[i] * A[i][j-1]  (indices already advanced)
+            StoreOp(
+                "s",
+                BinOp("sub", Var("j"), Const(1)),
+                BinOp(
+                    "fadd",
+                    Load("s", BinOp("sub", Var("j"), Const(1))),
+                    BinOp("fmul", Var("ri"), Load("A", BinOp("sub", Var("ai"), Const(1)))),
+                ),
+            ),
+        ),
+    )
+    kernel = Kernel(
+        name="bicg",
+        loop=loop,
+        outer=(OuterLoop("i", n),),
+        init={
+            "qacc": Const(0.0),
+            "j": Const(0),
+            "ai": BinOp("mul", Var("i"), Const(n)),
+            "i": Var("i"),
+            "ri": Load("r", Var("i")),
+        },
+        epilogue=(StoreOp("q", Var("i"), Var("qacc")),),
+        tags=8,
+    )
+    rngA = rng.standard_normal(n * n).astype(np.float64)
+    arrays = {
+        "A": rngA,
+        "p": rng.standard_normal(n).astype(np.float64),
+        "r": rng.standard_normal(n).astype(np.float64),
+        "s": np.zeros(n, dtype=np.float64),
+        "q": np.zeros(n, dtype=np.float64),
+    }
+    return Program("bicg", arrays, [kernel])
+
+
+def gemm(n: int = 20) -> Program:
+    """C = α·A·B — the three-deep loop nest; inner reduction per (i, j).
+
+    The body multiplies by α every step (second FP multiplier) and walks B
+    with an explicit integer multiply, matching the paper's DSP footprint
+    (2 × fmul + 1 × mul = 11 DSPs)."""
+    rng = _rng(17)
+    loop = DoWhile(
+        name="gemm_dot",
+        state=("acc", "k", "ai", "j", "i", "alpha"),
+        body={
+            "acc": BinOp(
+                "fadd",
+                Var("acc"),
+                BinOp(
+                    "fmul",
+                    Var("alpha"),
+                    BinOp(
+                        "fmul",
+                        Load("A", Var("ai")),
+                        Load("B", BinOp("add", BinOp("mul", Var("k"), Const(n)), Var("j"))),
+                    ),
+                ),
+            ),
+            "k": BinOp("add", Var("k"), Const(1)),
+            "ai": BinOp("add", Var("ai"), Const(1)),
+            "j": Var("j"),
+            "i": Var("i"),
+            "alpha": Var("alpha"),
+        },
+        condition=BinOp("lt", Var("k"), Const(n)),
+        result_vars=("acc", "i", "j"),
+    )
+    kernel = Kernel(
+        name="gemm",
+        loop=loop,
+        outer=(OuterLoop("i", n), OuterLoop("j", n)),
+        init={
+            "acc": Const(0.0),
+            "k": Const(0),
+            "ai": BinOp("mul", Var("i"), Const(n)),
+            "j": Var("j"),
+            "i": Var("i"),
+            "alpha": Load("alpha", Const(0)),
+        },
+        epilogue=(
+            StoreOp("C", BinOp("add", BinOp("mul", Var("i"), Const(n)), Var("j")), Var("acc")),
+        ),
+        tags=32,
+    )
+    arrays = {
+        "A": rng.standard_normal(n * n).astype(np.float64),
+        "B": rng.standard_normal(n * n).astype(np.float64),
+        "C": np.zeros(n * n, dtype=np.float64),
+        "alpha": np.array([1.5], dtype=np.float64),
+    }
+    return Program("gemm", arrays, [kernel])
+
+
+def _gsum_loop(name: str, count: int) -> DoWhile:
+    """Conditional polynomial accumulation: the gsum inner loop.
+
+    ``if d[2i] >= 0: s += (x·x)·(x·0.5) + x·2.0`` — if-converted into a
+    Select; four FP multiplies and strided (integer-multiplied) indexing
+    reproduce the paper's 22-DSP footprint."""
+    x = Load("d", BinOp("mul", Var("j"), Const(2)))
+    poly = BinOp(
+        "fadd",
+        BinOp("fmul", BinOp("fmul", x, x), BinOp("fmul", x, Const(0.5))),
+        BinOp("fmul", x, Const(2.0)),
+    )
+    guarded = Select(UnOp("not", BinOp("lt", x, Const(0.0))), poly, Const(0.0))
+    return DoWhile(
+        name=name,
+        state=("s", "j", "lim"),
+        body={
+            "s": BinOp("fadd", Var("s"), guarded),
+            "j": BinOp("add", BinOp("mul", Var("j"), Const(1)), Const(1)),
+            "lim": Var("lim"),
+        },
+        condition=BinOp("lt", Var("j"), Var("lim")),
+        result_vars=("s",),
+    )
+
+
+def gsum_single(n: int = 800) -> Program:
+    """One long accumulation: inherently sequential, tags only add cost."""
+    rng = _rng(19)
+    kernel = Kernel(
+        name="gsum_single",
+        loop=_gsum_loop("gsum_acc", n),
+        outer=(OuterLoop("one", 1),),
+        init={"s": Const(0.0), "j": Const(0), "lim": Const(n)},
+        epilogue=(StoreOp("out", Const(0), Var("s")),),
+        tags=2,
+        sequential_outer=True,
+    )
+    arrays = {
+        "d": rng.standard_normal(2 * n).astype(np.float64),
+        "out": np.zeros(1, dtype=np.float64),
+    }
+    return Program("gsum-single", arrays, [kernel])
+
+
+def gsum_many(instances: int = 10, per_instance: int = 800) -> Program:
+    """Independent gsum invocations; a small tag budget limits the overlap
+    to a few in-flight instances, reproducing the paper's ~2× (not ~10×)
+    gain over the in-order circuit."""
+    rng = _rng(23)
+    x = Load("d", BinOp("add", Var("base"), BinOp("mul", Var("j"), Const(2))))
+    poly = BinOp(
+        "fadd",
+        BinOp("fmul", BinOp("fmul", x, x), BinOp("fmul", x, Const(0.5))),
+        BinOp("fmul", x, Const(2.0)),
+    )
+    guarded = Select(UnOp("not", BinOp("lt", x, Const(0.0))), poly, Const(0.0))
+    loop = DoWhile(
+        name="gsum_acc",
+        state=("s", "j", "base", "inst"),
+        body={
+            "s": BinOp("fadd", Var("s"), guarded),
+            "j": BinOp("add", Var("j"), Const(1)),
+            "base": Var("base"),
+            "inst": Var("inst"),
+        },
+        condition=BinOp("lt", Var("j"), Const(per_instance)),
+        result_vars=("s", "inst"),
+    )
+    kernel = Kernel(
+        name="gsum_many",
+        loop=loop,
+        outer=(OuterLoop("inst", instances),),
+        init={
+            "s": Const(0.0),
+            "j": Const(0),
+            "base": BinOp("mul", Var("inst"), Const(2 * per_instance)),
+            "inst": Var("inst"),
+        },
+        epilogue=(StoreOp("out", Var("inst"), Var("s")),),
+        tags=6,
+    )
+    arrays = {
+        "d": rng.standard_normal(2 * instances * per_instance).astype(np.float64),
+        "out": np.zeros(instances, dtype=np.float64),
+    }
+    return Program("gsum-many", arrays, [kernel])
+
+
+def load_benchmark(name: str) -> Program:
+    """Construct a benchmark program by its paper name."""
+    factories = {
+        "bicg": bicg,
+        "gemm": gemm,
+        "gsum-many": gsum_many,
+        "gsum-single": gsum_single,
+        "matvec": matvec,
+        "mvt": mvt,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {BENCHMARKS}") from None

@@ -1,0 +1,187 @@
+"""Structural dataflow components: Fork, Join, Split, Buffer, Sink, Source.
+
+Each builder follows the paper's queue-based style (section 4.3): component
+state is a tuple of queues, input transitions enqueue, output transitions
+dequeue.  Queues are bounded by the environment's capacity so refinement
+checking explores a finite state space; an enqueue into a full queue simply
+refuses (yields no successor), which models elastic back-pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.environment import Environment
+from ..core.module import Module, State, Value, deq, enq, io_module
+from ..core.ports import IOPort
+from ..core.types import I32, UNIT, Type
+from ..errors import SemanticsError
+
+
+def _data_type(params: dict) -> Type:
+    typ = params.get("type")
+    return typ if isinstance(typ, Type) else I32
+
+
+def build_fork(params: dict, env: Environment) -> Module:
+    """Fork: duplicates each input token to all *n* outputs."""
+    n = int(params.get("n", 2))
+    typ = _data_type(params)
+    cap = env.capacity
+
+    def in0(state: State, value: Value) -> Iterator[State]:
+        queues = list(state)  # type: ignore[arg-type]
+        updated = []
+        for queue in queues:
+            nxt = enq(queue, value, cap)
+            if nxt is None:
+                return
+            updated.append(nxt)
+        yield tuple(updated)
+
+    def make_out(index: int):
+        def out(state: State) -> Iterator[tuple[Value, State]]:
+            queues = list(state)  # type: ignore[arg-type]
+            popped = deq(queues[index])
+            if popped is None:
+                return
+            value, queue = popped
+            queues[index] = queue
+            yield value, tuple(queues)
+
+        return out
+
+    return io_module(
+        inputs={IOPort(0): (typ, in0)},
+        outputs={IOPort(i): (typ, make_out(i)) for i in range(n)},
+        init=[tuple(() for _ in range(n))],
+    )
+
+
+def build_join(params: dict, env: Environment) -> Module:
+    """Join: synchronises two inputs into a tuple output.
+
+    With ``tagged=true`` the inputs are (tag, a) and (tag, b) pairs and the
+    output is (tag, (a, b)); positionally paired tokens must carry the same
+    tag (the in-order pipeline inside a tagger region guarantees it, and the
+    semantics surfaces a violation as an error rather than silent mispairing).
+    """
+    cap = env.capacity
+    tagged = bool(params.get("tagged", False))
+
+    def in_side(index: int):
+        def fire(state: State, value: Value) -> Iterator[State]:
+            queues = list(state)  # type: ignore[arg-type]
+            nxt = enq(queues[index], value, cap)
+            if nxt is None:
+                return
+            queues[index] = nxt
+            yield tuple(queues)
+
+        return fire
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        left_q, right_q = state  # type: ignore[misc]
+        left = deq(left_q)
+        right = deq(right_q)
+        if left is None or right is None:
+            return
+        if tagged:
+            (tag_l, a), (tag_r, b) = left[0], right[0]  # type: ignore[misc]
+            if tag_l != tag_r:
+                raise SemanticsError(f"tagged join saw misaligned tags {tag_l} vs {tag_r}")
+            yield (tag_l, (a, b)), (left[1], right[1])
+        else:
+            yield (left[0], right[0]), (left[1], right[1])
+
+    typ = _data_type(params)
+    return io_module(
+        inputs={IOPort(0): (typ, in_side(0)), IOPort(1): (typ, in_side(1))},
+        outputs={IOPort(0): (typ, out0)},
+        init=[((), ())],
+    )
+
+
+def build_split(params: dict, env: Environment) -> Module:
+    """Split: destructures a tuple input into its left and right parts.
+
+    With ``tagged=true`` the input is a (tag, (a, b)) pair and the tag is
+    propagated to both halves, as required inside a Tagger/Untagger region.
+    """
+    cap = env.capacity
+    tagged = bool(params.get("tagged", False))
+
+    def in0(state: State, value: Value) -> Iterator[State]:
+        left_q, right_q = state  # type: ignore[misc]
+        if tagged:
+            tag, (a, b) = value  # type: ignore[misc]
+            left_v, right_v = (tag, a), (tag, b)
+        else:
+            left_v, right_v = value  # type: ignore[misc]
+        new_left = enq(left_q, left_v, cap)
+        new_right = enq(right_q, right_v, cap)
+        if new_left is None or new_right is None:
+            return
+        yield (new_left, new_right)
+
+    def make_out(index: int):
+        def out(state: State) -> Iterator[tuple[Value, State]]:
+            queues = list(state)  # type: ignore[arg-type]
+            popped = deq(queues[index])
+            if popped is None:
+                return
+            value, queue = popped
+            queues[index] = queue
+            yield value, tuple(queues)
+
+        return out
+
+    typ = _data_type(params)
+    return io_module(
+        inputs={IOPort(0): (typ, in0)},
+        outputs={IOPort(0): (typ, make_out(0)), IOPort(1): (typ, make_out(1))},
+        init=[((), ())],
+    )
+
+
+def build_buffer(params: dict, env: Environment) -> Module:
+    """Buffer: a FIFO queue of the given number of slots (default 1)."""
+    slots = int(params.get("slots", 1))
+    typ = _data_type(params)
+
+    def in0(state: State, value: Value) -> Iterator[State]:
+        (queue,) = state  # type: ignore[misc]
+        nxt = enq(queue, value, slots)
+        if nxt is not None:
+            yield (nxt,)
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        (queue,) = state  # type: ignore[misc]
+        popped = deq(queue)
+        if popped is not None:
+            yield popped[0], (popped[1],)
+
+    return io_module(
+        inputs={IOPort(0): (typ, in0)},
+        outputs={IOPort(0): (typ, out0)},
+        init=[((),)],
+    )
+
+
+def build_sink(params: dict, env: Environment) -> Module:
+    """Sink: consumes and discards every token."""
+    typ = _data_type(params)
+
+    def in0(state: State, value: Value) -> Iterator[State]:
+        yield state
+
+    return io_module(inputs={IOPort(0): (typ, in0)}, outputs={}, init=[()])
+
+
+def build_source(params: dict, env: Environment) -> Module:
+    """Source: emits an endless stream of unit control tokens."""
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        yield (), state
+
+    return io_module(inputs={}, outputs={IOPort(0): (UNIT, out0)}, init=[()])

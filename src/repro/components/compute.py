@@ -1,0 +1,153 @@
+"""Computation components: Operator, Pure, Constant.
+
+An **Operator** applies a named n-ary function to its inputs, like the
+modulo component of section 4.3: inputs are queued per argument and the
+function is applied in the output transition once every argument queue is
+non-empty.
+
+A **Pure** component (section 3.2) has exactly one input and one output and
+applies a function to each token — the canonical shape the rewrite engine
+reduces loop bodies to before the out-of-order rewrite.  With ``tagged=true``
+the function is mapped over the value of a (tag, value) pair, preserving the
+tag, which is how a Pure body operates inside a Tagger/Untagger region.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.environment import Environment
+from ..core.module import Module, State, Value, deq, enq, io_module
+from ..core.ports import IOPort
+from ..core.types import I32, UNIT, Type
+from ..errors import SemanticsError
+
+
+def _data_type(params: dict) -> Type:
+    typ = params.get("type")
+    return typ if isinstance(typ, Type) else I32
+
+
+def build_operator(params: dict, env: Environment) -> Module:
+    """Operator: a named n-ary function applied to synchronised inputs."""
+    op = params.get("op")
+    if not isinstance(op, str):
+        raise SemanticsError("Operator requires an 'op' parameter naming its function")
+    fn = env.function(op)
+    cap = env.capacity
+    typ = _data_type(params)
+    tagged = bool(params.get("tagged", False))
+
+    def make_in(index: int):
+        def fire(state: State, value: Value) -> Iterator[State]:
+            queues = list(state)  # type: ignore[arg-type]
+            nxt = enq(queues[index], value, cap)
+            if nxt is None:
+                return
+            queues[index] = nxt
+            yield tuple(queues)
+
+        return fire
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        queues = list(state)  # type: ignore[arg-type]
+        popped = [deq(q) for q in queues]
+        if any(p is None for p in popped):
+            return
+        heads = [p[0] for p in popped]  # type: ignore[index]
+        rests = tuple(p[1] for p in popped)  # type: ignore[index]
+        if tagged:
+            tags = [h[0] for h in heads]  # type: ignore[index]
+            if len(set(tags)) != 1:
+                raise SemanticsError(
+                    f"tagged operator {op!r} saw misaligned tags {tags}"
+                )
+            result = (tags[0], fn(*[h[1] for h in heads]))  # type: ignore[index]
+        else:
+            result = fn(*heads)
+        yield result, rests
+
+    return io_module(
+        inputs={IOPort(i): (typ, make_in(i)) for i in range(fn.arity)},
+        outputs={IOPort(0): (typ, out0)},
+        init=[tuple(() for _ in range(fn.arity))],
+    )
+
+
+def build_pure(params: dict, env: Environment) -> Module:
+    """Pure: one input, one output, a function applied per token."""
+    name = params.get("fn")
+    if not isinstance(name, str):
+        raise SemanticsError("Pure requires an 'fn' parameter naming its function")
+    fn = env.function(name)
+    if fn.arity != 1:
+        raise SemanticsError(f"Pure function {name!r} must be unary, has arity {fn.arity}")
+    cap = env.capacity
+    typ = _data_type(params)
+    tagged = bool(params.get("tagged", False))
+
+    def in0(state: State, value: Value) -> Iterator[State]:
+        (queue,) = state  # type: ignore[misc]
+        nxt = enq(queue, value, cap)
+        if nxt is not None:
+            yield (nxt,)
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        (queue,) = state  # type: ignore[misc]
+        popped = deq(queue)
+        if popped is None:
+            return
+        value, rest = popped
+        if tagged:
+            tag, inner = value  # type: ignore[misc]
+            yield (tag, fn(inner)), (rest,)
+        else:
+            yield fn(value), (rest,)
+
+    return io_module(
+        inputs={IOPort(0): (typ, in0)},
+        outputs={IOPort(0): (typ, out0)},
+        init=[((),)],
+    )
+
+
+def build_reorg(params: dict, env: Environment) -> Module:
+    """Reorg: reorganises a tuple according to the port type signatures.
+
+    Table 1's tuple-reshaping component: semantically a Pure whose function
+    is restricted to structural shuffles (swap / assoc / projections), so
+    it can never compute — only rewire.
+    """
+    from ..rewriting import algebra
+
+    name = params.get("fn")
+    if not isinstance(name, str):
+        raise SemanticsError("Reorg requires an 'fn' parameter naming its shuffle")
+    if not algebra.is_shuffle(name):
+        raise SemanticsError(f"Reorg function {name!r} is not a pure tuple shuffle")
+    algebra.ensure(env, name)
+    return build_pure(params, env)
+
+
+def build_constant(params: dict, env: Environment) -> Module:
+    """Constant: emits its value once per control token received."""
+    value = params.get("value", 0)
+    cap = env.capacity
+    typ = _data_type(params)
+
+    def in0(state: State, token: Value) -> Iterator[State]:
+        (count,) = state  # type: ignore[misc]
+        if cap is not None and count >= cap:  # type: ignore[operator]
+            return
+        yield (count + 1,)  # type: ignore[operator]
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        (count,) = state  # type: ignore[misc]
+        if count:  # type: ignore[truthy-bool]
+            yield value, (count - 1,)  # type: ignore[operator]
+
+    return io_module(
+        inputs={IOPort(0): (UNIT, in0)},
+        outputs={IOPort(0): (typ, out0)},
+        init=[(0,)],
+    )

@@ -1,0 +1,79 @@
+"""Memory components.
+
+Loads from arrays that are not written during the region of interest are
+modelled as Operators over registered array-lookup functions (a pure view of
+memory), which is how the refinement-checked circuits read their inputs.
+
+**Store** is the genuinely effectful component: it records its writes, in
+issue order, inside its own state.  That history is what makes the bicg bug
+of section 6.2 observable — reordering loop iterations whose bodies contain a
+Store permutes the history, so the transformed module is *not* a refinement
+of the sequential one, and the purity phase of the rewrite engine refuses to
+turn such a loop body into a Pure component.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.environment import Environment
+from ..core.module import Module, State, Value, deq, enq, io_module
+from ..core.ports import IOPort
+from ..core.types import I32, UNIT, Type
+
+
+def _data_type(params: dict) -> Type:
+    typ = params.get("type")
+    return typ if isinstance(typ, Type) else I32
+
+
+def build_store(params: dict, env: Environment) -> Module:
+    """Store: synchronises an address and a value, appends to write history.
+
+    State: ``(addr_q, data_q, history)`` where *history* is the tuple of
+    (address, value) writes performed so far, oldest first.  The write is an
+    internal transition, and a unit completion token is offered on out0.
+    """
+    cap = env.capacity
+    typ = _data_type(params)
+
+    def in_addr(state: State, value: Value) -> Iterator[State]:
+        addr_q, data_q, done_q, history = state  # type: ignore[misc]
+        nxt = enq(addr_q, value, cap)
+        if nxt is not None:
+            yield (nxt, data_q, done_q, history)
+
+    def in_data(state: State, value: Value) -> Iterator[State]:
+        addr_q, data_q, done_q, history = state  # type: ignore[misc]
+        nxt = enq(data_q, value, cap)
+        if nxt is not None:
+            yield (addr_q, nxt, done_q, history)
+
+    def write(state: State) -> Iterator[State]:
+        addr_q, data_q, done_q, history = state  # type: ignore[misc]
+        addr = deq(addr_q)
+        data = deq(data_q)
+        if addr is None or data is None:
+            return
+        done = enq(done_q, (), cap)
+        if done is None:
+            return
+        yield (addr[1], data[1], done, history + ((addr[0], data[0]),))
+
+    def out_done(state: State) -> Iterator[tuple[Value, State]]:
+        addr_q, data_q, done_q, history = state  # type: ignore[misc]
+        popped = deq(done_q)
+        if popped is not None:
+            yield popped[0], (addr_q, data_q, popped[1], history)
+
+    return io_module(
+        inputs={IOPort(0): (I32, in_addr), IOPort(1): (typ, in_data)},
+        outputs={IOPort(0): (UNIT, out_done)},
+        internals=[("store.write", write)],
+        init=[((), (), (), ())],
+    )
+
+
+def store_history(state: State) -> tuple:
+    """Extract the write history from a Store component's state."""
+    return state[3]  # type: ignore[index]

@@ -1,0 +1,204 @@
+"""Steering components: Mux, Branch, Merge, Init (Table 1 of the paper).
+
+Conventions (matching the paper's figures):
+
+* a **Mux** takes a condition and two data inputs, emitting the *left*
+  (index 0) input when the condition is true and the *right* (index 1) when
+  false;
+* a **Branch** takes a condition and one data input, emitting on output 0
+  when the condition is true and on output 1 when false;
+* a **Merge** passes whichever input has a token first — the one genuinely
+  nondeterministic steering component, which is what makes out-of-order
+  execution expressible;
+* an **Init** behaves like a queue pre-loaded with a single boolean token
+  (false by default), used to bootstrap a loop's Mux condition.
+
+The ``tagged=true`` parameter makes a Branch read its boolean out of a
+(tag, bool) pair, as needed inside a Tagger/Untagger region.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.environment import Environment
+from ..core.module import Module, State, Value, deq, enq, first, io_module
+from ..core.ports import IOPort
+from ..core.types import BOOL, I32, Type
+
+
+def _data_type(params: dict) -> Type:
+    typ = params.get("type")
+    return typ if isinstance(typ, Type) else I32
+
+
+def _enq_at(state: State, index: int, value: Value, cap: int | None) -> Iterator[State]:
+    queues = list(state)  # type: ignore[arg-type]
+    nxt = enq(queues[index], value, cap)
+    if nxt is None:
+        return
+    queues[index] = nxt
+    yield tuple(queues)
+
+
+def build_mux(params: dict, env: Environment) -> Module:
+    """Mux: condition selects which input queue supplies the output."""
+    cap = env.capacity
+    typ = _data_type(params)
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        cond_q, true_q, false_q = state  # type: ignore[misc]
+        cond = first(cond_q)
+        if cond is None:
+            return
+        data_q = true_q if cond else false_q
+        popped = deq(data_q)
+        if popped is None:
+            return
+        value, rest = popped
+        new_cond = deq(cond_q)[1]  # type: ignore[index]
+        if cond:
+            yield value, (new_cond, rest, false_q)
+        else:
+            yield value, (new_cond, true_q, rest)
+
+    return io_module(
+        inputs={
+            IOPort(0): (BOOL, lambda s, v: _enq_at(s, 0, v, cap)),
+            IOPort(1): (typ, lambda s, v: _enq_at(s, 1, v, cap)),
+            IOPort(2): (typ, lambda s, v: _enq_at(s, 2, v, cap)),
+        },
+        outputs={IOPort(0): (typ, out0)},
+        init=[((), (), ())],
+    )
+
+
+def build_branch(params: dict, env: Environment) -> Module:
+    """Branch: condition steers the data input to output 0 (true) or 1."""
+    cap = env.capacity
+    typ = _data_type(params)
+    tagged = bool(params.get("tagged", False))
+
+    def truth(cond: Value) -> bool:
+        if tagged:
+            return bool(cond[1])  # type: ignore[index]
+        return bool(cond)
+
+    def make_out(wanted: bool):
+        def out(state: State) -> Iterator[tuple[Value, State]]:
+            cond_q, data_q = state  # type: ignore[misc]
+            cond = first(cond_q)
+            if cond is None or truth(cond) != wanted:
+                return
+            popped = deq(data_q)
+            if popped is None:
+                return
+            value, rest = popped
+            yield value, (deq(cond_q)[1], rest)  # type: ignore[index]
+
+        return out
+
+    cond_type = _data_type({"type": params.get("cond_type")}) if tagged else BOOL
+    return io_module(
+        inputs={
+            IOPort(0): (cond_type, lambda s, v: _enq_at(s, 0, v, cap)),
+            IOPort(1): (typ, lambda s, v: _enq_at(s, 1, v, cap)),
+        },
+        outputs={IOPort(0): (typ, make_out(True)), IOPort(1): (typ, make_out(False))},
+        init=[((), ())],
+    )
+
+
+def build_merge(params: dict, env: Environment) -> Module:
+    """Merge: emits the first available token from either input.
+
+    Both dequeues are offered as successor states, which is precisely the
+    local nondeterminism that Kahn-style semantics cannot express (section 7
+    of the paper) and that the refinement framework is built to handle.
+    """
+    cap = env.capacity
+    typ = _data_type(params)
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        left_q, right_q = state  # type: ignore[misc]
+        left = deq(left_q)
+        if left is not None:
+            yield left[0], (left[1], right_q)
+        right = deq(right_q)
+        if right is not None:
+            yield right[0], (left_q, right[1])
+
+    return io_module(
+        inputs={
+            IOPort(0): (typ, lambda s, v: _enq_at(s, 0, v, cap)),
+            IOPort(1): (typ, lambda s, v: _enq_at(s, 1, v, cap)),
+        },
+        outputs={IOPort(0): (typ, out0)},
+        init=[((), ())],
+    )
+
+
+def build_cmerge(params: dict, env: Environment) -> Module:
+    """Control Merge: like Merge, but also emits which side won.
+
+    Dynamatic uses CMerge to reconstruct control flow after joins; the
+    index output feeds a Mux selecting the matching data path.  Output 0
+    carries the token, output 1 carries True for the left input.
+    """
+    cap = env.capacity
+    typ = _data_type(params)
+
+    def in_side(index: int):
+        def fire(state: State, value: Value) -> Iterator[State]:
+            yield from _enq_at(state, index, value, cap)
+
+        return fire
+
+    def make_out(which: int):
+        def out(state: State) -> Iterator[tuple[Value, State]]:
+            left_q, right_q, pending = state  # type: ignore[misc]
+            if which == 0:
+                left = deq(left_q)
+                if left is not None and pending is None:
+                    yield left[0], (left[1], right_q, True)
+                right = deq(right_q)
+                if right is not None and pending is None:
+                    yield right[0], (left_q, right[1], False)
+            else:
+                if pending is not None:
+                    yield pending, (left_q, right_q, None)
+
+        return out
+
+    return io_module(
+        inputs={
+            IOPort(0): (typ, in_side(0)),
+            IOPort(1): (typ, in_side(1)),
+        },
+        outputs={IOPort(0): (typ, make_out(0)), IOPort(1): (BOOL, make_out(1))},
+        init=[((), (), None)],
+    )
+
+
+def build_init(params: dict, env: Environment) -> Module:
+    """Init: a queue holding one pre-loaded boolean token."""
+    cap = env.capacity
+    initial = bool(params.get("value", False))
+
+    def in0(state: State, value: Value) -> Iterator[State]:
+        (queue,) = state  # type: ignore[misc]
+        nxt = enq(queue, bool(value), cap)
+        if nxt is not None:
+            yield (nxt,)
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        (queue,) = state  # type: ignore[misc]
+        popped = deq(queue)
+        if popped is not None:
+            yield popped[0], (popped[1],)
+
+    return io_module(
+        inputs={IOPort(0): (BOOL, in0)},
+        outputs={IOPort(0): (BOOL, out0)},
+        init=[((initial,),)],
+    )

@@ -1,0 +1,89 @@
+"""The Tagger/Untagger component (Table 1 and section 3.3 of the paper).
+
+A single component owns both ends of a tagged region:
+
+* input ``in0`` accepts an untagged token, allocates the smallest free tag
+  out of ``tags`` available ones, and offers the (tag, value) pair on
+  output ``out0`` into the region;
+* input ``in1`` accepts a (tag, value) pair coming back from the region —
+  possibly out of program order;
+* output ``out1`` re-establishes program order: it only emits the value
+  whose tag is the *oldest still-allocated* tag, then frees that tag.
+
+The component therefore enforces exactly the contract used in the section 5
+proof: tags are unique while allocated (*no-duplication*), allocation order
+is remembered (*in-order*), and results are released oldest-first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.environment import Environment
+from ..core.module import Module, State, Value, deq, enq, io_module
+from ..core.ports import IOPort
+from ..core.types import I32, TaggedType, Type
+from ..errors import SemanticsError
+
+
+def build_tagger(params: dict, env: Environment) -> Module:
+    """Build the Tagger/Untagger module.
+
+    State: ``(order, out_q, done)`` where *order* is the queue of allocated
+    tags (oldest at the end), *out_q* queues freshly tagged tokens awaiting
+    emission into the region, and *done* is a frozenset of completed
+    (tag, value) pairs awaiting in-order release.
+    """
+    tags = int(params.get("tags", 4))
+    if tags <= 0:
+        raise SemanticsError(f"Tagger requires a positive tag count, got {tags}")
+    cap = env.capacity
+    inner = params.get("type")
+    inner_type: Type = inner if isinstance(inner, Type) else I32
+    tagged_type = TaggedType(inner_type)
+
+    def in0(state: State, value: Value) -> Iterator[State]:
+        order, out_q, done = state  # type: ignore[misc]
+        used = set(order)
+        free = [t for t in range(tags) if t not in used]
+        if not free:
+            return
+        tag = free[0]
+        new_order = enq(order, tag)
+        new_out = enq(out_q, (tag, value), cap)
+        if new_out is None:
+            return
+        yield (new_order, new_out, done)
+
+    def out0(state: State) -> Iterator[tuple[Value, State]]:
+        order, out_q, done = state  # type: ignore[misc]
+        popped = deq(out_q)
+        if popped is None:
+            return
+        value, rest = popped
+        yield value, (order, rest, done)
+
+    def in1(state: State, value: Value) -> Iterator[State]:
+        order, out_q, done = state  # type: ignore[misc]
+        tag, _ = value  # type: ignore[misc]
+        if tag not in order:
+            return
+        if any(t == tag for t, _ in done):  # type: ignore[misc]
+            return
+        yield (order, out_q, done | {value})  # type: ignore[operator]
+
+    def out1(state: State) -> Iterator[tuple[Value, State]]:
+        order, out_q, done = state  # type: ignore[misc]
+        if not order:
+            return
+        oldest = order[-1]
+        for tag, value in done:  # type: ignore[misc]
+            if tag == oldest:
+                yield value, (order[:-1], out_q, done - {(tag, value)})  # type: ignore[operator]
+                return
+
+    return io_module(
+        inputs={IOPort(0): (inner_type, in0), IOPort(1): (tagged_type, in1)},
+        outputs={IOPort(0): (tagged_type, out0), IOPort(1): (inner_type, out1)},
+        init=[((), (), frozenset())],
+    )

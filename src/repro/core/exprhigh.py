@@ -1,0 +1,348 @@
+"""ExprHigh: the named, dot-like graph language (figure 1 of the paper).
+
+ExprHigh is the representation rewrites are *matched* on: a finite map from
+instance names to components plus a set of connections between named ports,
+together with the graph's external inputs and outputs.  Its semantics are
+defined by translation to ExprLow (:meth:`ExprHigh.lower`), as in the paper;
+lifting back (:func:`lift`) reconstructs an ExprHigh from any well-formed
+ExprLow expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import GraphError
+from . import exprlow
+from .encoding import decode_component, encode_component
+from .ports import IOPort, InternalPort, Port, PortMap
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A component instance: type name, parameters, and named ports.
+
+    Parameters are an immutable sorted tuple of key/value pairs so specs are
+    hashable; use :meth:`param` / :meth:`with_params` for access and update.
+    """
+
+    typ: str
+    in_ports: tuple[str, ...]
+    out_ports: tuple[str, ...]
+    params: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(
+        typ: str,
+        in_ports: Iterable[str],
+        out_ports: Iterable[str],
+        params: Mapping[str, object] | None = None,
+    ) -> "NodeSpec":
+        items = tuple(sorted((params or {}).items()))
+        return NodeSpec(typ, tuple(in_ports), tuple(out_ports), items)
+
+    def param(self, key: str, default: object = None) -> object:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def param_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+    def with_params(self, **updates: object) -> "NodeSpec":
+        merged = self.param_dict()
+        merged.update(updates)
+        return NodeSpec.make(self.typ, self.in_ports, self.out_ports, merged)
+
+    def with_type(self, typ: str) -> "NodeSpec":
+        return NodeSpec(typ, self.in_ports, self.out_ports, self.params)
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One end of a connection: an instance name and one of its port names."""
+
+    node: str
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.node}.{self.port}"
+
+
+@dataclass
+class ExprHigh:
+    """A mutable named dataflow graph.
+
+    Invariants maintained by the mutating methods:
+
+    * every connection joins an existing output port to an existing input
+      port, each used at most once;
+    * external inputs/outputs map distinct I/O indices to otherwise
+      unconnected ports.
+    """
+
+    nodes: dict[str, NodeSpec] = field(default_factory=dict)
+    connections: dict[Endpoint, Endpoint] = field(default_factory=dict)  # dst -> src
+    inputs: dict[int, Endpoint] = field(default_factory=dict)  # io index -> input port
+    outputs: dict[int, Endpoint] = field(default_factory=dict)  # io index -> output port
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, name: str, spec: NodeSpec) -> None:
+        if name in self.nodes:
+            raise GraphError(f"duplicate node name {name!r}")
+        self.nodes[name] = spec
+
+    def connect(self, src_node: str, src_port: str, dst_node: str, dst_port: str) -> None:
+        src = Endpoint(src_node, src_port)
+        dst = Endpoint(dst_node, dst_port)
+        self._check_output(src)
+        self._check_input(dst)
+        if dst in self.connections:
+            raise GraphError(f"input port {dst} already connected")
+        if src in self.connections.values():
+            raise GraphError(f"output port {src} already connected")
+        self.connections[dst] = src
+
+    def mark_input(self, index: int, node: str, port: str) -> None:
+        endpoint = Endpoint(node, port)
+        self._check_input(endpoint)
+        if index in self.inputs:
+            raise GraphError(f"duplicate external input index {index}")
+        if endpoint in self.connections:
+            raise GraphError(f"external input {endpoint} is already connected")
+        self.inputs[index] = endpoint
+
+    def mark_output(self, index: int, node: str, port: str) -> None:
+        endpoint = Endpoint(node, port)
+        self._check_output(endpoint)
+        if index in self.outputs:
+            raise GraphError(f"duplicate external output index {index}")
+        if endpoint in self.connections.values():
+            raise GraphError(f"external output {endpoint} is already connected")
+        self.outputs[index] = endpoint
+
+    def _check_input(self, endpoint: Endpoint) -> None:
+        spec = self.nodes.get(endpoint.node)
+        if spec is None:
+            raise GraphError(f"unknown node {endpoint.node!r}")
+        if endpoint.port not in spec.in_ports:
+            raise GraphError(f"{endpoint.node!r} has no input port {endpoint.port!r}")
+
+    def _check_output(self, endpoint: Endpoint) -> None:
+        spec = self.nodes.get(endpoint.node)
+        if spec is None:
+            raise GraphError(f"unknown node {endpoint.node!r}")
+        if endpoint.port not in spec.out_ports:
+            raise GraphError(f"{endpoint.node!r} has no output port {endpoint.port!r}")
+
+    # -- queries -----------------------------------------------------------
+
+    def source_of(self, node: str, port: str) -> Endpoint | None:
+        """The endpoint driving input ``node.port``, or None when dangling."""
+        return self.connections.get(Endpoint(node, port))
+
+    def sinks_of(self, node: str, port: str) -> list[Endpoint]:
+        """Endpoints driven by output ``node.port`` (at most one by invariant)."""
+        src = Endpoint(node, port)
+        return [dst for dst, s in self.connections.items() if s == src]
+
+    def successors(self, node: str) -> Iterator[tuple[str, Endpoint, Endpoint]]:
+        """Yield ``(succ_name, src_endpoint, dst_endpoint)`` for each edge out."""
+        for dst, src in self.connections.items():
+            if src.node == node:
+                yield dst.node, src, dst
+
+    def predecessors(self, node: str) -> Iterator[tuple[str, Endpoint, Endpoint]]:
+        """Yield ``(pred_name, src_endpoint, dst_endpoint)`` for each edge in."""
+        for dst, src in self.connections.items():
+            if dst.node == node:
+                yield src.node, src, dst
+
+    def unconnected_inputs(self) -> list[Endpoint]:
+        result = []
+        external = set(self.inputs.values())
+        for name, spec in self.nodes.items():
+            for port in spec.in_ports:
+                endpoint = Endpoint(name, port)
+                if endpoint not in self.connections and endpoint not in external:
+                    result.append(endpoint)
+        return result
+
+    def unconnected_outputs(self) -> list[Endpoint]:
+        connected = set(self.connections.values())
+        external = set(self.outputs.values())
+        result = []
+        for name, spec in self.nodes.items():
+            for port in spec.out_ports:
+                endpoint = Endpoint(name, port)
+                if endpoint not in connected and endpoint not in external:
+                    result.append(endpoint)
+        return result
+
+    def validate(self) -> None:
+        """Check the graph is closed: every port connected or marked I/O."""
+        loose_in = self.unconnected_inputs()
+        loose_out = self.unconnected_outputs()
+        if loose_in or loose_out:
+            raise GraphError(
+                "graph has unconnected ports: "
+                f"inputs {sorted(map(str, loose_in))}, outputs {sorted(map(str, loose_out))}"
+            )
+
+    # -- mutation used by the rewriting engine ------------------------------
+
+    def remove_node(self, name: str) -> NodeSpec:
+        """Remove a node and every connection or I/O marking that touches it."""
+        spec = self.nodes.pop(name, None)
+        if spec is None:
+            raise GraphError(f"unknown node {name!r}")
+        self.connections = {
+            dst: src
+            for dst, src in self.connections.items()
+            if dst.node != name and src.node != name
+        }
+        self.inputs = {i: e for i, e in self.inputs.items() if e.node != name}
+        self.outputs = {i: e for i, e in self.outputs.items() if e.node != name}
+        return spec
+
+    def disconnect(self, dst_node: str, dst_port: str) -> Endpoint:
+        """Remove the connection driving ``dst_node.dst_port``; return its source."""
+        dst = Endpoint(dst_node, dst_port)
+        src = self.connections.pop(dst, None)
+        if src is None:
+            raise GraphError(f"input port {dst} is not connected")
+        return src
+
+    def rename_node(self, old: str, new: str) -> None:
+        if new in self.nodes:
+            raise GraphError(f"node name {new!r} already in use")
+        spec = self.nodes.pop(old, None)
+        if spec is None:
+            raise GraphError(f"unknown node {old!r}")
+        self.nodes[new] = spec
+
+        def fix(endpoint: Endpoint) -> Endpoint:
+            return Endpoint(new, endpoint.port) if endpoint.node == old else endpoint
+
+        self.connections = {fix(dst): fix(src) for dst, src in self.connections.items()}
+        self.inputs = {i: fix(e) for i, e in self.inputs.items()}
+        self.outputs = {i: fix(e) for i, e in self.outputs.items()}
+
+    def fresh_name(self, prefix: str) -> str:
+        if prefix not in self.nodes:
+            return prefix
+        counter = 1
+        while f"{prefix}_{counter}" in self.nodes:
+            counter += 1
+        return f"{prefix}_{counter}"
+
+    def copy(self) -> "ExprHigh":
+        clone = ExprHigh()
+        clone.nodes = dict(self.nodes)
+        clone.connections = dict(self.connections)
+        clone.inputs = dict(self.inputs)
+        clone.outputs = dict(self.outputs)
+        return clone
+
+    # -- translation to / from ExprLow --------------------------------------
+
+    def lower(self, node_order: Iterable[str] | None = None) -> exprlow.ExprLow:
+        """Translate to ExprLow using the canonical product fold.
+
+        Node order defaults to sorted instance names; the rewrite engine
+        passes an explicit order to line the matched subgraph up with the
+        left-hand side pattern.
+        """
+        self.validate()
+        order = list(node_order) if node_order is not None else sorted(self.nodes)
+        if set(order) != set(self.nodes):
+            raise GraphError("node_order must be a permutation of the node names")
+
+        input_names = {endpoint: IOPort(i) for i, endpoint in self.inputs.items()}
+        output_names = {endpoint: IOPort(i) for i, endpoint in self.outputs.items()}
+
+        bases = []
+        for name in order:
+            spec = self.nodes[name]
+            in_map: dict[Port, Port] = {}
+            for idx, port in enumerate(spec.in_ports):
+                endpoint = Endpoint(name, port)
+                in_map[IOPort(idx)] = input_names.get(endpoint, InternalPort(name, port))
+            out_map: dict[Port, Port] = {}
+            for idx, port in enumerate(spec.out_ports):
+                endpoint = Endpoint(name, port)
+                out_map[IOPort(idx)] = output_names.get(endpoint, InternalPort(name, port))
+            encoded = encode_component(spec.typ, spec.param_dict())
+            bases.append(exprlow.Base(encoded, PortMap(in_map), PortMap(out_map)))
+
+        connections = [
+            (InternalPort(src.node, src.port), InternalPort(dst.node, dst.port))
+            for dst, src in sorted(self.connections.items(), key=lambda kv: (str(kv[0]), str(kv[1])))
+        ]
+        return exprlow.build(bases, connections)
+
+
+def lift(expr: exprlow.ExprLow, specs: Mapping[str, NodeSpec] | None = None) -> ExprHigh:
+    """Reconstruct an ExprHigh from a well-formed ExprLow expression.
+
+    Instance names are recovered from internal port names; purely I/O ports
+    keep their indices.  When *specs* is given it supplies port naming and
+    parameters for each instance (keyed by instance name); otherwise ports
+    are named ``in0..``/``out0..`` positionally.
+    """
+    exprlow.check_well_formed(expr)
+    graph = ExprHigh()
+    port_owner: dict[Port, Endpoint] = {}
+
+    for index, base in enumerate(expr.bases()):
+        name = _instance_name(base, index)
+        typ, params = decode_component(base.typ)
+        spec = specs.get(name) if specs else None
+        if spec is None:
+            spec = NodeSpec.make(
+                typ,
+                [f"in{i}" for i in range(len(base.inputs))],
+                [f"out{i}" for i in range(len(base.outputs))],
+                params,
+            )
+        else:
+            spec = NodeSpec.make(typ, spec.in_ports, spec.out_ports, params)
+        graph.add_node(name, spec)
+        for idx in range(len(base.inputs)):
+            target = base.inputs[IOPort(idx)]
+            port_owner[target] = Endpoint(name, spec.in_ports[idx])
+        for idx in range(len(base.outputs)):
+            target = base.outputs[IOPort(idx)]
+            # Outputs and inputs live in separate namespaces in a PortMap, so
+            # tag the key with direction to avoid collisions on IOPort names.
+            port_owner[("out", target)] = Endpoint(name, spec.out_ports[idx])  # type: ignore[index]
+
+    connected_inputs: set[Port] = set()
+    connected_outputs: set[Port] = set()
+    for output, input_ in expr.connections():
+        src = port_owner.get(("out", output))  # type: ignore[arg-type]
+        dst = port_owner.get(input_)
+        if src is None or dst is None:
+            raise GraphError(f"connection {output} ⇝ {input_} references unknown ports")
+        graph.connect(src.node, src.port, dst.node, dst.port)
+        connected_inputs.add(input_)
+        connected_outputs.add(output)
+
+    for port, endpoint in port_owner.items():
+        if isinstance(port, tuple):
+            direction, name = port
+            if isinstance(name, IOPort) and name not in connected_outputs:
+                graph.mark_output(name.index, endpoint.node, endpoint.port)
+        elif isinstance(port, IOPort) and port not in connected_inputs:
+            graph.mark_input(port.index, endpoint.node, endpoint.port)
+    return graph
+
+
+def _instance_name(base: exprlow.Base, index: int) -> str:
+    for target in list(base.inputs.targets()) + list(base.outputs.targets()):
+        if isinstance(target, InternalPort):
+            return target.instance
+    return f"_anon{index}"

@@ -1,0 +1,354 @@
+"""ExprLow: the inductive graph language of the paper (section 4.1).
+
+A graph is either a base component, a product of two graphs (written ⊗ in
+the paper), or a connection of an output port to an input port of a graph::
+
+    ExprLow ::= C_L | ExprLow ⊗ ExprLow | connect(o, i, ExprLow)
+
+A base component ``C_L = P × STR`` is a component type name together with a
+pair of port maps renaming the component's canonical ports to the names used
+in the graph.  The inductive shape — rather than an adjacency structure — is
+what makes the semantics compositional: products and connections denote
+module combinators (section 4.5), and the rewriting function of section 4.2
+is a structural substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import GraphError
+from .ports import InternalPort, Port, PortMap
+
+
+class ExprLow:
+    """Base class for ExprLow expressions.  Immutable and hashable."""
+
+    def bases(self) -> Iterator["Base"]:
+        """Yield every base component, left to right."""
+        raise NotImplementedError
+
+    def connections(self) -> Iterator[tuple[Port, Port]]:
+        """Yield every ``(output, input)`` pair closed by a connect."""
+        raise NotImplementedError
+
+    def dangling_inputs(self) -> frozenset[Port]:
+        """Input ports not consumed by any connect — the graph's inputs."""
+        raise NotImplementedError
+
+    def dangling_outputs(self) -> frozenset[Port]:
+        """Output ports not consumed by any connect — the graph's outputs."""
+        raise NotImplementedError
+
+    def substitute(self, lhs: "ExprLow", rhs: "ExprLow") -> "ExprLow":
+        """The rewriting function ``e[lhs := rhs]`` of section 4.2.
+
+        Finds syntactic occurrences of *lhs* and replaces them by *rhs*.
+        The substitution recurses structurally and replaces every match.
+        """
+        if self == lhs:
+            return rhs
+        return self._substitute_children(lhs, rhs)
+
+    def _substitute_children(self, lhs: "ExprLow", rhs: "ExprLow") -> "ExprLow":
+        raise NotImplementedError
+
+    def rename_internals(self, mapping: Mapping[str, str]) -> "ExprLow":
+        """Rename instance names of internal ports throughout the expression."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of base components in the expression."""
+        return sum(1 for _ in self.bases())
+
+    def contains(self, sub: "ExprLow") -> bool:
+        """Whether *sub* occurs syntactically inside this expression."""
+        if self == sub:
+            return True
+        return any(child.contains(sub) for child in self._children())
+
+    def _children(self) -> tuple["ExprLow", ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Base(ExprLow):
+    """A single component instance: a type name plus input/output port maps."""
+
+    typ: str
+    inputs: PortMap
+    outputs: PortMap
+
+    def __post_init__(self) -> None:
+        if not self.typ:
+            raise GraphError("base component requires a non-empty type name")
+
+    def bases(self) -> Iterator["Base"]:
+        yield self
+
+    def connections(self) -> Iterator[tuple[Port, Port]]:
+        return iter(())
+
+    def dangling_inputs(self) -> frozenset[Port]:
+        return self.inputs.targets()
+
+    def dangling_outputs(self) -> frozenset[Port]:
+        return self.outputs.targets()
+
+    def _substitute_children(self, lhs: ExprLow, rhs: ExprLow) -> ExprLow:
+        return self
+
+    def rename_internals(self, mapping: Mapping[str, str]) -> "Base":
+        def rename(port: Port) -> Port:
+            if isinstance(port, InternalPort) and port.instance in mapping:
+                return InternalPort(mapping[port.instance], port.wire)
+            return port
+
+        return Base(
+            self.typ,
+            PortMap({src: rename(dst) for src, dst in self.inputs.items()}),
+            PortMap({src: rename(dst) for src, dst in self.outputs.items()}),
+        )
+
+    def _children(self) -> tuple[ExprLow, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        ins = ", ".join(f"{s}->{d}" for s, d in sorted(self.inputs.items(), key=str))
+        outs = ", ".join(f"{s}->{d}" for s, d in sorted(self.outputs.items(), key=str))
+        return f"[{self.typ} | in: {ins} | out: {outs}]"
+
+
+@dataclass(frozen=True)
+class Product(ExprLow):
+    """The ⊗ constructor: two graphs side by side, ports disjoint."""
+
+    left: ExprLow
+    right: ExprLow
+
+    def bases(self) -> Iterator[Base]:
+        yield from self.left.bases()
+        yield from self.right.bases()
+
+    def connections(self) -> Iterator[tuple[Port, Port]]:
+        yield from self.left.connections()
+        yield from self.right.connections()
+
+    def dangling_inputs(self) -> frozenset[Port]:
+        left, right = self.left.dangling_inputs(), self.right.dangling_inputs()
+        overlap = left & right
+        if overlap:
+            raise GraphError(f"product input ports overlap: {sorted(map(str, overlap))}")
+        return left | right
+
+    def dangling_outputs(self) -> frozenset[Port]:
+        left, right = self.left.dangling_outputs(), self.right.dangling_outputs()
+        overlap = left & right
+        if overlap:
+            raise GraphError(f"product output ports overlap: {sorted(map(str, overlap))}")
+        return left | right
+
+    def _substitute_children(self, lhs: ExprLow, rhs: ExprLow) -> ExprLow:
+        return Product(self.left.substitute(lhs, rhs), self.right.substitute(lhs, rhs))
+
+    def rename_internals(self, mapping: Mapping[str, str]) -> "Product":
+        return Product(self.left.rename_internals(mapping), self.right.rename_internals(mapping))
+
+    def _children(self) -> tuple[ExprLow, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ⊗ {self.right})"
+
+
+@dataclass(frozen=True)
+class Connect(ExprLow):
+    """The connect constructor: joins output *output* to input *input*."""
+
+    output: Port
+    input: Port
+    expr: ExprLow
+
+    def bases(self) -> Iterator[Base]:
+        yield from self.expr.bases()
+
+    def connections(self) -> Iterator[tuple[Port, Port]]:
+        yield (self.output, self.input)
+        yield from self.expr.connections()
+
+    def dangling_inputs(self) -> frozenset[Port]:
+        inner = self.expr.dangling_inputs()
+        if self.input not in inner:
+            raise GraphError(f"connect input {self.input} is not a dangling input")
+        return inner - {self.input}
+
+    def dangling_outputs(self) -> frozenset[Port]:
+        inner = self.expr.dangling_outputs()
+        if self.output not in inner:
+            raise GraphError(f"connect output {self.output} is not a dangling output")
+        return inner - {self.output}
+
+    def _substitute_children(self, lhs: ExprLow, rhs: ExprLow) -> ExprLow:
+        return Connect(self.output, self.input, self.expr.substitute(lhs, rhs))
+
+    def rename_internals(self, mapping: Mapping[str, str]) -> "Connect":
+        def rename(port: Port) -> Port:
+            if isinstance(port, InternalPort) and port.instance in mapping:
+                return InternalPort(mapping[port.instance], port.wire)
+            return port
+
+        return Connect(rename(self.output), rename(self.input), self.expr.rename_internals(mapping))
+
+    def _children(self) -> tuple[ExprLow, ...]:
+        return (self.expr,)
+
+    def __str__(self) -> str:
+        return f"connect({self.output} ⇝ {self.input}, {self.expr})"
+
+
+def product_fold(exprs: Sequence[ExprLow]) -> ExprLow:
+    """Right-fold a non-empty sequence of expressions into a Product chain.
+
+    The fold order is canonical: ``product_fold([a, b, c])`` always yields
+    ``a ⊗ (b ⊗ c)``.  Both the lowering from ExprHigh and the construction of
+    rewrite left-hand sides use this function, so syntactic matching of the
+    rewriting function succeeds whenever the base components agree.
+    """
+    if not exprs:
+        raise GraphError("cannot fold an empty sequence of expressions")
+    result = exprs[-1]
+    for expr in reversed(exprs[:-1]):
+        result = Product(expr, result)
+    return result
+
+
+def build(bases: Sequence[Base], connections: Sequence[tuple[Port, Port]]) -> ExprLow:
+    """Build the canonical expression: connects wrapped around a product fold.
+
+    Connections are applied outermost-last in the given order, so
+    ``build(bs, [c1, c2])`` is ``connect(c2, connect(c1, fold(bs)))``.
+    """
+    expr: ExprLow = product_fold(bases)
+    for output, input_ in connections:
+        expr = Connect(output, input_, expr)
+    return expr
+
+
+def check_well_formed(expr: ExprLow) -> None:
+    """Validate structural invariants; raises :class:`GraphError` otherwise.
+
+    Checks that products do not overlap ports and every connect closes ports
+    that are actually dangling at that point (both checks are performed by
+    the dangling-port computations).
+    """
+    expr.dangling_inputs()
+    expr.dangling_outputs()
+
+
+def isolate(
+    expr: ExprLow,
+    selected: Callable[[Base], bool],
+) -> tuple[ExprLow, ExprLow, list[tuple[Port, Port]], list[Base]]:
+    """Reassociate *expr* so the selected bases form one canonical subterm.
+
+    This implements the "moving base components over products and
+    connections" step of section 4.2: given a predicate choosing a set of
+    base components, return ``(subterm, remainder_expr, crossing, rest)``
+    where *subterm* is ``build(selected bases, internal connections)``, the
+    internal connections being those whose both endpoints belong to selected
+    bases.  The caller reconstructs the full graph as::
+
+        build_around(subterm', rest, crossing)
+
+    with ``subterm'`` either the isolated subterm (an equivalent expression
+    to *expr*) or a replacement for it.  Equivalence of the reassociation is
+    checked by the refinement test-suite rather than proved, mirroring the
+    paper's strategy of proving these movements once and for all.
+    """
+    all_bases = list(expr.bases())
+    chosen = [b for b in all_bases if selected(b)]
+    rest = [b for b in all_bases if not selected(b)]
+    if not chosen:
+        raise GraphError("isolate: no base component selected")
+
+    owned_inputs: frozenset[Port] = frozenset().union(*(b.inputs.targets() for b in chosen))
+    owned_outputs: frozenset[Port] = frozenset().union(*(b.outputs.targets() for b in chosen))
+
+    internal: list[tuple[Port, Port]] = []
+    crossing: list[tuple[Port, Port]] = []
+    for output, input_ in expr.connections():
+        if output in owned_outputs and input_ in owned_inputs:
+            internal.append((output, input_))
+        else:
+            crossing.append((output, input_))
+
+    subterm = build(chosen, internal)
+    return subterm, product_fold(rest) if rest else subterm, crossing, rest
+
+
+def build_around(
+    subterm: ExprLow,
+    rest: Sequence[Base],
+    crossing: Sequence[tuple[Port, Port]],
+) -> ExprLow:
+    """Reassemble a full expression around an (isolated or replaced) subterm."""
+    expr: ExprLow = Product(subterm, product_fold(list(rest))) if rest else subterm
+    for output, input_ in crossing:
+        expr = Connect(output, input_, expr)
+    return expr
+
+
+def rename_ports(
+    expr: ExprLow,
+    in_mapping: Mapping[Port, Port],
+    out_mapping: Mapping[Port, Port],
+) -> ExprLow:
+    """Rename individual ports throughout an expression, direction-aware.
+
+    Input-side occurrences (base input maps, connect inputs) use
+    *in_mapping*; output-side occurrences use *out_mapping*.  The two maps
+    are separate because input and output port names live in distinct
+    namespaces — a graph may use ``io:0`` both as an input and an output.
+    Used by the rewrite application to stitch a replacement subterm's
+    interface ports onto the names the surrounding graph already uses.
+    """
+    if isinstance(expr, Base):
+        return Base(
+            expr.typ,
+            PortMap({src: in_mapping.get(dst, dst) for src, dst in expr.inputs.items()}),
+            PortMap({src: out_mapping.get(dst, dst) for src, dst in expr.outputs.items()}),
+        )
+    if isinstance(expr, Product):
+        return Product(
+            rename_ports(expr.left, in_mapping, out_mapping),
+            rename_ports(expr.right, in_mapping, out_mapping),
+        )
+    if isinstance(expr, Connect):
+        return Connect(
+            out_mapping.get(expr.output, expr.output),
+            in_mapping.get(expr.input, expr.input),
+            rename_ports(expr.expr, in_mapping, out_mapping),
+        )
+    raise GraphError(f"cannot rename ports in {type(expr).__name__}")
+
+
+def instance_names(expr: ExprLow) -> frozenset[str]:
+    """All instance names appearing in internal port names of *expr*."""
+    names: set[str] = set()
+    for base in expr.bases():
+        for port in list(base.inputs.targets()) + list(base.outputs.targets()):
+            if isinstance(port, InternalPort):
+                names.add(port.instance)
+    return frozenset(names)
+
+
+def fresh_instance(existing: Iterable[str], prefix: str) -> str:
+    """Return a name with the given prefix not present in *existing*."""
+    taken = set(existing)
+    if prefix not in taken:
+        return prefix
+    counter = 1
+    while f"{prefix}_{counter}" in taken:
+        counter += 1
+    return f"{prefix}_{counter}"

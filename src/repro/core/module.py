@@ -1,0 +1,312 @@
+"""Modules: the semantic objects of the paper (figure 7), made executable.
+
+A module 𝓜(S) is a map from port names to input transitions, a map from
+port names to output transitions, a collection of internal transitions, and
+a set of initial states.  In the paper transitions are relations; here they
+are executable: a transition takes a state (an arbitrary hashable value) and
+enumerates the possible successor states, which makes nondeterminism — the
+heart of out-of-order semantics — a matter of yielding several successors.
+
+The three combinators of section 4.5 are provided:
+
+* :func:`rename` — rename ports through port maps;
+* :func:`product` — the ⊎ union combinator over a product state;
+* :func:`connect_ports` — ``m[o ⇝ i]``, fusing an output transition with an
+  input transition into a single internal transition (no internal step may
+  fire in between, which is the source of the asymmetry in the refinement
+  definitions of section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator, Mapping
+
+from ..errors import SemanticsError
+from .ports import Port, PortMap
+from .types import Type
+
+State = Hashable
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class InputTransition:
+    """An input transition: consumes a value, yields successor states."""
+
+    typ: Type
+    fire: Callable[[State, Value], Iterable[State]]
+
+
+@dataclass(frozen=True)
+class OutputTransition:
+    """An output transition: yields (emitted value, successor state) pairs."""
+
+    typ: Type
+    fire: Callable[[State], Iterable[tuple[Value, State]]]
+
+
+@dataclass(frozen=True)
+class InternalTransition:
+    """An internal transition: yields successor states, no I/O."""
+
+    name: str
+    fire: Callable[[State], Iterable[State]]
+
+
+@dataclass(frozen=True)
+class Module:
+    """An executable module 𝓜(S); see figure 7 of the paper."""
+
+    inputs: Mapping[Port, InputTransition]
+    outputs: Mapping[Port, OutputTransition]
+    internals: tuple[InternalTransition, ...]
+    init: frozenset[State]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.inputs, dict):
+            object.__setattr__(self, "inputs", dict(self.inputs))
+        if not isinstance(self.outputs, dict):
+            object.__setattr__(self, "outputs", dict(self.outputs))
+        if not self.init:
+            raise SemanticsError("module requires at least one initial state")
+
+    # -- exploration helpers -------------------------------------------------
+
+    def internal_steps(self, state: State) -> Iterator[State]:
+        """All states reachable in exactly one internal step."""
+        for transition in self.internals:
+            yield from transition.fire(state)
+
+    def tau_closure(self, state: State) -> frozenset[State]:
+        """All states reachable by zero or more internal steps."""
+        seen = {state}
+        frontier = [state]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.internal_steps(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    def input_ports(self) -> frozenset[Port]:
+        return frozenset(self.inputs)
+
+    def output_ports(self) -> frozenset[Port]:
+        return frozenset(self.outputs)
+
+
+def rename(module: Module, in_map: PortMap, out_map: PortMap) -> Module:
+    """Rename the module's ports; unmapped ports keep their names."""
+    inputs = {in_map.apply(port): t for port, t in module.inputs.items()}
+    outputs = {out_map.apply(port): t for port, t in module.outputs.items()}
+    if len(inputs) != len(module.inputs) or len(outputs) != len(module.outputs):
+        raise SemanticsError("renaming collapsed two ports onto the same name")
+    return Module(inputs, outputs, module.internals, module.init)
+
+
+def _lift_input_left(transition: InputTransition) -> InputTransition:
+    def fire(state: State, value: Value) -> Iterator[State]:
+        left, right = state  # type: ignore[misc]
+        for nxt in transition.fire(left, value):
+            yield (nxt, right)
+
+    return InputTransition(transition.typ, fire)
+
+
+def _lift_input_right(transition: InputTransition) -> InputTransition:
+    def fire(state: State, value: Value) -> Iterator[State]:
+        left, right = state  # type: ignore[misc]
+        for nxt in transition.fire(right, value):
+            yield (left, nxt)
+
+    return InputTransition(transition.typ, fire)
+
+
+def _lift_output_left(transition: OutputTransition) -> OutputTransition:
+    def fire(state: State) -> Iterator[tuple[Value, State]]:
+        left, right = state  # type: ignore[misc]
+        for value, nxt in transition.fire(left):
+            yield value, (nxt, right)
+
+    return OutputTransition(transition.typ, fire)
+
+
+def _lift_output_right(transition: OutputTransition) -> OutputTransition:
+    def fire(state: State) -> Iterator[tuple[Value, State]]:
+        left, right = state  # type: ignore[misc]
+        for value, nxt in transition.fire(right):
+            yield value, (left, nxt)
+
+    return OutputTransition(transition.typ, fire)
+
+
+def _lift_internal_left(transition: InternalTransition) -> InternalTransition:
+    def fire(state: State) -> Iterator[State]:
+        left, right = state  # type: ignore[misc]
+        for nxt in transition.fire(left):
+            yield (nxt, right)
+
+    return InternalTransition(f"L.{transition.name}", fire)
+
+
+def _lift_internal_right(transition: InternalTransition) -> InternalTransition:
+    def fire(state: State) -> Iterator[State]:
+        left, right = state  # type: ignore[misc]
+        for nxt in transition.fire(right):
+            yield (left, nxt)
+
+    return InternalTransition(f"R.{transition.name}", fire)
+
+
+def product(first: Module, second: Module) -> Module:
+    """The ⊎ combinator: union of two modules over a product state.
+
+    Port names must be disjoint — in a well-formed graph they are, because
+    each instance owns its port namespace.
+    """
+    in_overlap = first.input_ports() & second.input_ports()
+    out_overlap = first.output_ports() & second.output_ports()
+    if in_overlap or out_overlap:
+        raise SemanticsError(
+            f"product of modules with overlapping ports: {sorted(map(str, in_overlap | out_overlap))}"
+        )
+    inputs: dict[Port, InputTransition] = {}
+    for port, transition in first.inputs.items():
+        inputs[port] = _lift_input_left(transition)
+    for port, transition in second.inputs.items():
+        inputs[port] = _lift_input_right(transition)
+    outputs: dict[Port, OutputTransition] = {}
+    for port, transition in first.outputs.items():
+        outputs[port] = _lift_output_left(transition)
+    for port, transition in second.outputs.items():
+        outputs[port] = _lift_output_right(transition)
+    internals = tuple(
+        [_lift_internal_left(t) for t in first.internals]
+        + [_lift_internal_right(t) for t in second.internals]
+    )
+    init = frozenset((l, r) for l in first.init for r in second.init)
+    return Module(inputs, outputs, internals, init)
+
+
+def connect_ports(module: Module, output: Port, input_: Port) -> Module:
+    """The ``m[o ⇝ i]`` combinator of section 4.5.
+
+    The output and input transitions are removed and replaced by one atomic
+    internal transition that emits the value and immediately consumes it —
+    with no internal steps allowed in between.
+    """
+    if output not in module.outputs:
+        raise SemanticsError(f"module has no output port {output}")
+    if input_ not in module.inputs:
+        raise SemanticsError(f"module has no input port {input_}")
+    out_t = module.outputs[output]
+    in_t = module.inputs[input_]
+
+    def fire(state: State) -> Iterator[State]:
+        for value, intermediate in out_t.fire(state):
+            yield from in_t.fire(intermediate, value)
+
+    internal = InternalTransition(f"conn({output}⇝{input_})", fire)
+    inputs = {p: t for p, t in module.inputs.items() if p != input_}
+    outputs = {p: t for p, t in module.outputs.items() if p != output}
+    return Module(inputs, outputs, module.internals + (internal,), module.init)
+
+
+# -- queue helpers used by component definitions -----------------------------
+#
+# The paper models component state as tuples of lists with enq (add to the
+# front) and deq (remove from the end); we use immutable tuples so states are
+# hashable.
+
+Queue = tuple
+
+
+def enq(queue: Queue, value: Value, capacity: int | None = None) -> Queue | None:
+    """Add *value* to the front of *queue*; None when the queue is full."""
+    if capacity is not None and len(queue) >= capacity:
+        return None
+    return (value,) + queue
+
+
+def deq(queue: Queue) -> tuple[Value, Queue] | None:
+    """Remove the oldest element (the end); None when empty."""
+    if not queue:
+        return None
+    return queue[-1], queue[:-1]
+
+
+def first(queue: Queue) -> Value | None:
+    """The oldest element (the end of the queue), or None when empty."""
+    if not queue:
+        return None
+    return queue[-1]
+
+
+@dataclass
+class ExplorationStats:
+    """Counters filled in by state-space exploration utilities."""
+
+    states: int = 0
+    transitions: int = 0
+
+
+def reachable_states(
+    module: Module,
+    stimuli: Mapping[Port, Iterable[Value]],
+    limit: int = 200_000,
+    stats: ExplorationStats | None = None,
+) -> frozenset[State]:
+    """Explore all states reachable under any interleaving of the stimuli.
+
+    *stimuli* gives, for each input port, the finite set of values the
+    environment may offer at any time.  Output transitions are fired and
+    their values discarded (the environment is always ready).  Exploration is
+    exhaustive up to *limit* states, beyond which :class:`SemanticsError` is
+    raised — refinement checking requires the bounded instance to be small.
+    """
+    stimuli = {port: tuple(values) for port, values in stimuli.items()}
+    seen: set[State] = set(module.init)
+    frontier = list(module.init)
+    count = 0
+    while frontier:
+        state = frontier.pop()
+        successors: list[State] = []
+        for port, values in stimuli.items():
+            transition = module.inputs.get(port)
+            if transition is None:
+                raise SemanticsError(f"stimulus for unknown input port {port}")
+            for value in values:
+                successors.extend(transition.fire(state, value))
+        for transition in module.outputs.values():
+            successors.extend(nxt for _, nxt in transition.fire(state))
+        successors.extend(module.internal_steps(state))
+        count += len(successors)
+        for nxt in successors:
+            if nxt not in seen:
+                seen.add(nxt)
+                if len(seen) > limit:
+                    raise SemanticsError(
+                        f"state space exceeded the exploration limit of {limit}"
+                    )
+                frontier.append(nxt)
+    if stats is not None:
+        stats.states = len(seen)
+        stats.transitions = count
+    return frozenset(seen)
+
+
+def io_module(
+    inputs: Mapping[Port, tuple[Type, Callable[[State, Value], Iterable[State]]]],
+    outputs: Mapping[Port, tuple[Type, Callable[[State], Iterable[tuple[Value, State]]]]],
+    internals: Iterable[tuple[str, Callable[[State], Iterable[State]]]] = (),
+    init: Iterable[State] = ((),),
+) -> Module:
+    """Convenience constructor assembling a module from plain callables."""
+    return Module(
+        {p: InputTransition(t, f) for p, (t, f) in inputs.items()},
+        {p: OutputTransition(t, f) for p, (t, f) in outputs.items()},
+        tuple(InternalTransition(n, f) for n, f in internals),
+        frozenset(init),
+    )

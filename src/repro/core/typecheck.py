@@ -1,0 +1,186 @@
+"""Well-typed graphs: connections must join ports of equal type (§6.3).
+
+The paper bridges the parametric environment of the loop-rewrite proof and
+the concrete environment of an input graph by demanding *well-typed
+graphs*: every connection relates an output and an input of the same type,
+which lets the types of the whole graph be deduced.  This module implements
+that deduction: each component contributes a (possibly polymorphic) port
+signature with node-local type variables, connections contribute equations,
+and unification either produces a full port-type assignment or pinpoints
+the ill-typed connection.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import TypeCheckError
+from .exprhigh import Endpoint, ExprHigh, NodeSpec
+from .types import BOOL, I32, UNIT, TaggedType, TupleType, Type, TypeVar
+
+
+def _v(node: str, label: str) -> TypeVar:
+    return TypeVar(f"{node}.{label}")
+
+
+def _maybe_tagged(spec: NodeSpec, typ: Type) -> Type:
+    if spec.param("tagged"):
+        return TaggedType(typ)
+    return typ
+
+
+Signature = tuple[list[Type], list[Type]]
+
+
+def signature(node: str, spec: NodeSpec) -> Signature:
+    """Port types of one instance, over node-local type variables."""
+    a, b = _v(node, "a"), _v(node, "b")
+    typ = spec.typ
+    if typ == "Fork":
+        return [a], [a] * len(spec.out_ports)
+    if typ == "Join":
+        if spec.param("tagged"):
+            return [TaggedType(a), TaggedType(b)], [TaggedType(TupleType(a, b))]
+        return [a, b], [TupleType(a, b)]
+    if typ == "Split":
+        if spec.param("tagged"):
+            return [TaggedType(TupleType(a, b))], [TaggedType(a), TaggedType(b)]
+        return [TupleType(a, b)], [a, b]
+    if typ == "Mux":
+        return [BOOL, a, a], [a]
+    if typ == "Branch":
+        cond = _maybe_tagged(spec, BOOL)
+        data = _maybe_tagged(spec, a)
+        return [cond, data], [data, data]
+    if typ == "Merge":
+        return [a, a], [a]
+    if typ == "CMerge":
+        return [a, a], [a, BOOL]
+    if typ == "Init":
+        return [BOOL], [BOOL]
+    if typ == "Buffer":
+        return [a], [a]
+    if typ == "Sink":
+        return [a], []
+    if typ == "Source":
+        return [], [UNIT]
+    if typ == "Constant":
+        return [UNIT], [a]
+    if typ == "Store":
+        return [_maybe_tagged(spec, I32), _maybe_tagged(spec, a)], [UNIT]
+    if typ == "Tagger":
+        # in0: plain value in; in1: tagged result back; out0: tagged value
+        # out; out1: plain result out.  Generalized (DF-OoO) taggers pair
+        # enter_i/tag_i and ret_j/exit_j positionally.
+        ins: list[Type] = []
+        outs: list[Type] = []
+        enter = [p for p in spec.in_ports if p.startswith("enter")] or ["in0"]
+        rets = [p for p in spec.in_ports if p.startswith("ret")] or ["in1"]
+        for index, _ in enumerate(enter):
+            ins.append(_v(node, f"e{index}"))
+        for index, _ in enumerate(rets):
+            ins.append(TaggedType(_v(node, f"r{index}")))
+        for index, _ in enumerate(enter):
+            outs.append(TaggedType(_v(node, f"e{index}")))
+        for index, _ in enumerate(rets):
+            outs.append(_v(node, f"r{index}"))
+        return ins, outs
+    if typ == "Reorg":
+        return [a], [b]
+    if typ in ("Pure", "Operator", "Driver", "Collector"):
+        # Polymorphic computations: declared types win, fresh vars otherwise.
+        declared_in = spec.param("in_type")
+        declared_out = spec.param("out_type")
+        ins = [
+            _maybe_tagged(spec, declared_in if isinstance(declared_in, Type) else _v(node, f"i{i}"))
+            for i in range(len(spec.in_ports))
+        ]
+        outs = [
+            _maybe_tagged(spec, declared_out if isinstance(declared_out, Type) else _v(node, f"o{i}"))
+            for i in range(len(spec.out_ports))
+        ]
+        return ins, outs
+    raise TypeCheckError(f"no type signature for component type {typ!r}")
+
+
+def _unify_into(pattern: Type, concrete: Type, subst: dict[str, Type], where: str) -> None:
+    """Two-sided unification with an explicit substitution map."""
+    pattern = _walk(pattern, subst)
+    concrete = _walk(concrete, subst)
+    if isinstance(pattern, TypeVar):
+        if pattern != concrete:
+            _occurs(pattern, concrete, where)
+            subst[pattern.name] = concrete
+        return
+    if isinstance(concrete, TypeVar):
+        subst[concrete.name] = pattern
+        return
+    if isinstance(pattern, TupleType) and isinstance(concrete, TupleType):
+        _unify_into(pattern.left, concrete.left, subst, where)
+        _unify_into(pattern.right, concrete.right, subst, where)
+        return
+    if isinstance(pattern, TaggedType) and isinstance(concrete, TaggedType):
+        if pattern.tag_bits != concrete.tag_bits:
+            raise TypeCheckError(f"{where}: tag width {pattern} vs {concrete}")
+        _unify_into(pattern.inner, concrete.inner, subst, where)
+        return
+    if pattern == concrete:
+        return
+    raise TypeCheckError(f"{where}: cannot unify {pattern} with {concrete}")
+
+
+def _walk(typ: Type, subst: Mapping[str, Type]) -> Type:
+    while isinstance(typ, TypeVar) and typ.name in subst:
+        typ = subst[typ.name]
+    if isinstance(typ, TupleType):
+        return TupleType(_walk(typ.left, subst), _walk(typ.right, subst))
+    if isinstance(typ, TaggedType):
+        return TaggedType(_walk(typ.inner, subst), typ.tag_bits)
+    return typ
+
+
+def _occurs(var: TypeVar, typ: Type, where: str) -> None:
+    if var.name in typ.free_vars():
+        raise TypeCheckError(f"{where}: occurs check failed for {var} in {typ}")
+
+
+def typecheck(
+    graph: ExprHigh,
+    input_types: Mapping[int, Type] | None = None,
+    require_concrete: bool = False,
+) -> dict[Endpoint, Type]:
+    """Deduce a type for every port; raise on an ill-typed connection.
+
+    *input_types* optionally pins the graph's external inputs.  With
+    *require_concrete* the deduction must resolve every port to a concrete
+    type (no free variables), the condition the paper's concrete
+    environments satisfy.
+    """
+    port_type: dict[Endpoint, Type] = {}
+    subst: dict[str, Type] = {}
+    for node, spec in graph.nodes.items():
+        ins, outs = signature(node, spec)
+        if len(ins) != len(spec.in_ports) or len(outs) != len(spec.out_ports):
+            raise TypeCheckError(f"signature arity mismatch on {node!r}")
+        for port, typ in zip(spec.in_ports, ins):
+            port_type[Endpoint(node, port)] = typ
+        for port, typ in zip(spec.out_ports, outs):
+            port_type[Endpoint(node, port)] = typ
+
+    for index, typ in (input_types or {}).items():
+        endpoint = graph.inputs.get(index)
+        if endpoint is None:
+            raise TypeCheckError(f"no external input with index {index}")
+        _unify_into(port_type[endpoint], typ, subst, f"input {index}")
+
+    for dst, src in graph.connections.items():
+        _unify_into(
+            port_type[src], port_type[dst], subst, f"connection {src} ⇝ {dst}"
+        )
+
+    resolved = {endpoint: _walk(typ, subst) for endpoint, typ in port_type.items()}
+    if require_concrete:
+        loose = [str(e) for e, t in resolved.items() if t.free_vars()]
+        if loose:
+            raise TypeCheckError(f"ports with undetermined types: {sorted(loose)[:8]}")
+    return resolved

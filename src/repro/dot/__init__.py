@@ -1,0 +1,6 @@
+"""Dot graph interchange: the input/output format of the tool flow (fig. 1)."""
+
+from .parser import parse_dot
+from .printer import print_dot
+
+__all__ = ["parse_dot", "print_dot"]

@@ -1,0 +1,69 @@
+"""Tokenizer for the Dynamatic-style dot dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import DotParseError
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "name" | "string" | "punct"
+    text: str
+    line: int
+
+
+_PUNCT = {"{", "}", "[", "]", ";", ",", "="}
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens, skipping whitespace and ``//`` / ``#`` comments."""
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "/" and source[i : i + 2] == "//" or ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch == "-" and source[i : i + 2] == "->":
+            yield Token("punct", "->", line)
+            i += 2
+            continue
+        if ch in _PUNCT:
+            yield Token("punct", ch, line)
+            i += 1
+            continue
+        if ch == '"':
+            end = i + 1
+            parts = []
+            while end < n and source[end] != '"':
+                if source[end] == "\\" and end + 1 < n:
+                    parts.append(source[end + 1])
+                    end += 2
+                else:
+                    parts.append(source[end])
+                    end += 1
+            if end >= n:
+                raise DotParseError("unterminated string literal", line)
+            yield Token("string", "".join(parts), line)
+            i = end + 1
+            continue
+        if ch.isalnum() or ch in "_.'<>*-":
+            end = i
+            while end < n and (source[end].isalnum() or source[end] in "_.'<>*-:"):
+                end += 1
+            yield Token("name", source[i:end], line)
+            i = end
+            continue
+        raise DotParseError(f"unexpected character {ch!r}", line)

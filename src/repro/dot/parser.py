@@ -1,0 +1,228 @@
+"""Parser for the Dynamatic-style dot dialect into ExprHigh graphs.
+
+The accepted dialect is the subset Dynamatic emits, with two conventions:
+
+* every node carries a ``type`` attribute naming the component; ``in`` and
+  ``out`` attributes give space-separated port names (defaulted positionally
+  from the component's arity when omitted);
+* external I/O appears as pseudo-nodes of type ``Input`` / ``Output`` with
+  an ``index`` attribute, each wired to the port it exposes.
+
+All other node attributes become component parameters (decoded with the
+conventions of :mod:`repro.core.encoding`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.encoding import TYPE_KEYS
+from ..core.exprhigh import ExprHigh, NodeSpec
+from ..core.types import parse_type
+from ..errors import DotParseError
+from .lexer import Token, tokenize
+
+
+class _TokenStream:
+    def __init__(self, tokens: Iterator[Token]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    def peek(self) -> Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise DotParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.next()
+        if token.text != text:
+            raise DotParseError(f"expected {text!r}, found {token.text!r}", token.line)
+        return token
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.text == text:
+            self._pos += 1
+            return True
+        return False
+
+
+def parse_dot(source: str) -> ExprHigh:
+    """Parse dot text into an ExprHigh graph."""
+    stream = _TokenStream(tokenize(source))
+    header = stream.next()
+    if header.text.lower() != "digraph":
+        raise DotParseError(f"expected 'Digraph', found {header.text!r}", header.line)
+    token = stream.next()  # graph name (optional brace)
+    if token.text != "{":
+        stream.expect("{")
+
+    graph = ExprHigh()
+    io_nodes: dict[str, tuple[str, int]] = {}  # pseudo node -> (kind, index)
+    pending_edges: list[tuple[str, str, dict[str, str], int]] = []
+
+    while True:
+        token = stream.peek()
+        if token is None:
+            raise DotParseError("missing closing '}'")
+        if token.text == "}":
+            stream.next()
+            break
+        name_token = stream.next()
+        if name_token.kind not in ("name", "string"):
+            raise DotParseError(f"expected node name, found {name_token.text!r}", name_token.line)
+        name = name_token.text
+        nxt = stream.peek()
+        if nxt is not None and nxt.text == "->":
+            stream.next()
+            target = stream.next()
+            attrs = _parse_attrs(stream)
+            pending_edges.append((name, target.text, attrs, name_token.line))
+        else:
+            attrs = _parse_attrs(stream)
+            _add_node(graph, io_nodes, name, attrs, name_token.line)
+        stream.accept(";")
+
+    for src, dst, attrs, line in pending_edges:
+        _add_edge(graph, io_nodes, src, dst, attrs, line)
+    return graph
+
+
+def _parse_attrs(stream: _TokenStream) -> dict[str, str]:
+    attrs: dict[str, str] = {}
+    if not stream.accept("["):
+        return attrs
+    while not stream.accept("]"):
+        key = stream.next()
+        stream.expect("=")
+        value = stream.next()
+        attrs[key.text] = value.text
+        stream.accept(",")
+    return attrs
+
+
+def _decode_param(key: str, raw: str) -> object:
+    if key in TYPE_KEYS:
+        return parse_type(raw)
+    if raw == "true":
+        return True
+    if raw == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+_DEFAULT_PORTS = {
+    "Fork": (["in0"], None),  # out ports depend on the 'n' parameter
+    "Join": (["in0", "in1"], ["out0"]),
+    "Split": (["in0"], ["out0", "out1"]),
+    "Buffer": (["in0"], ["out0"]),
+    "Sink": (["in0"], []),
+    "Source": ([], ["out0"]),
+    "Mux": (["cond", "in0", "in1"], ["out0"]),
+    "Branch": (["cond", "in0"], ["out0", "out1"]),
+    "Merge": (["in0", "in1"], ["out0"]),
+    "CMerge": (["in0", "in1"], ["out0", "index"]),
+    "Init": (["in0"], ["out0"]),
+    "Pure": (["in0"], ["out0"]),
+    "Reorg": (["in0"], ["out0"]),
+    "Constant": (["ctrl"], ["out0"]),
+    "Tagger": (["in0", "in1"], ["out0", "out1"]),
+    "Store": (["addr", "data"], ["done"]),
+}
+
+
+def _add_node(
+    graph: ExprHigh,
+    io_nodes: dict[str, tuple[str, int]],
+    name: str,
+    attrs: dict[str, str],
+    line: int,
+) -> None:
+    typ = attrs.pop("type", None)
+    if typ is None:
+        raise DotParseError(f"node {name!r} has no 'type' attribute", line)
+    if typ in ("Input", "Output"):
+        index = attrs.get("index")
+        if index is None:
+            raise DotParseError(f"I/O pseudo-node {name!r} needs an 'index' attribute", line)
+        io_nodes[name] = (typ, int(index))
+        return
+
+    in_attr = attrs.pop("in", None)
+    out_attr = attrs.pop("out", None)
+    # 'dtype' in dot is the wire-type parameter ('type' names the component).
+    params = {
+        ("type" if key == "dtype" else key): _decode_param("type" if key == "dtype" else key, raw)
+        for key, raw in attrs.items()
+    }
+
+    if in_attr is not None:
+        in_ports = in_attr.split()
+    elif typ == "Operator":
+        arity = int(params.get("arity", 2))
+        in_ports = [f"in{i}" for i in range(arity)]
+    elif typ in _DEFAULT_PORTS:
+        in_ports = list(_DEFAULT_PORTS[typ][0])
+    else:
+        raise DotParseError(f"node {name!r}: unknown type {typ!r} and no 'in' attribute", line)
+
+    if out_attr is not None:
+        out_ports = out_attr.split()
+    elif typ == "Fork":
+        out_ports = [f"out{i}" for i in range(int(params.get("n", 2)))]
+    elif typ == "Operator":
+        out_ports = ["out0"]
+    elif typ in _DEFAULT_PORTS and _DEFAULT_PORTS[typ][1] is not None:
+        out_ports = list(_DEFAULT_PORTS[typ][1])
+    else:
+        raise DotParseError(f"node {name!r}: cannot infer output ports", line)
+
+    graph.add_node(name, NodeSpec.make(typ, in_ports, out_ports, params))
+
+
+def _add_edge(
+    graph: ExprHigh,
+    io_nodes: dict[str, tuple[str, int]],
+    src: str,
+    dst: str,
+    attrs: dict[str, str],
+    line: int,
+) -> None:
+    if src in io_nodes:
+        kind, index = io_nodes[src]
+        if kind != "Input":
+            raise DotParseError(f"edge from Output pseudo-node {src!r}", line)
+        port = attrs.get("to")
+        if port is None:
+            raise DotParseError(f"edge {src}->{dst} needs a 'to' attribute", line)
+        graph.mark_input(index, dst, port)
+        return
+    if dst in io_nodes:
+        kind, index = io_nodes[dst]
+        if kind != "Output":
+            raise DotParseError(f"edge into Input pseudo-node {dst!r}", line)
+        port = attrs.get("from")
+        if port is None:
+            raise DotParseError(f"edge {src}->{dst} needs a 'from' attribute", line)
+        graph.mark_output(index, src, port)
+        return
+    from_port = attrs.get("from")
+    to_port = attrs.get("to")
+    if from_port is None or to_port is None:
+        raise DotParseError(f"edge {src}->{dst} needs 'from' and 'to' attributes", line)
+    graph.connect(src, from_port, dst, to_port)

@@ -1,0 +1,50 @@
+"""Printer emitting the dot dialect accepted by :mod:`repro.dot.parser`."""
+
+from __future__ import annotations
+
+from ..core.exprhigh import ExprHigh
+from ..core.types import Type
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return '"true"' if value else '"false"'
+    if isinstance(value, (int, float)):
+        return f'"{value}"'
+    if isinstance(value, Type):
+        return f'"{value}"'
+    return f'"{value}"'
+
+
+def print_dot(graph: ExprHigh, name: str = "G") -> str:
+    """Render *graph* as dot text that parses back to an equal graph."""
+    lines = [f"Digraph {name} {{"]
+    for node_name in sorted(graph.nodes):
+        spec = graph.nodes[node_name]
+        attrs = [f'type = "{spec.typ}"']
+        attrs.append(f'in = "{" ".join(spec.in_ports)}"')
+        attrs.append(f'out = "{" ".join(spec.out_ports)}"')
+        for key, value in spec.params:
+            # The data-type parameter is spelled 'dtype' in dot because
+            # 'type' already names the component type attribute.
+            attr_key = "dtype" if key == "type" else key
+            attrs.append(f"{attr_key} = {_format_value(value)}")
+        lines.append(f'  "{node_name}" [{", ".join(attrs)}];')
+
+    for index in sorted(graph.inputs):
+        lines.append(f'  "_in{index}" [type = "Input", index = "{index}"];')
+    for index in sorted(graph.outputs):
+        lines.append(f'  "_out{index}" [type = "Output", index = "{index}"];')
+
+    for dst, src in sorted(graph.connections.items(), key=lambda kv: (str(kv[0]), str(kv[1]))):
+        lines.append(
+            f'  "{src.node}" -> "{dst.node}" [from = "{src.port}", to = "{dst.port}"];'
+        )
+    for index in sorted(graph.inputs):
+        endpoint = graph.inputs[index]
+        lines.append(f'  "_in{index}" -> "{endpoint.node}" [to = "{endpoint.port}"];')
+    for index in sorted(graph.outputs):
+        endpoint = graph.outputs[index]
+        lines.append(f'  "{endpoint.node}" -> "_out{index}" [from = "{endpoint.port}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the Graphiti reproduction.
+
+All library errors derive from :class:`GraphitiError` so callers can catch
+anything raised by the library with one ``except`` clause while still being
+able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class GraphitiError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PortError(GraphitiError):
+    """A port name was malformed, duplicated, or missing."""
+
+
+class GraphError(GraphitiError):
+    """An ExprHigh / ExprLow graph was structurally invalid."""
+
+
+class TypeCheckError(GraphitiError):
+    """A graph failed the well-typedness check (section 6.3 of the paper)."""
+
+
+class DotParseError(GraphitiError):
+    """The dot input could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SemanticsError(GraphitiError):
+    """A module combinator was applied to incompatible modules."""
+
+
+class MatchError(GraphitiError):
+    """A rewrite matcher could not locate its left-hand side."""
+
+
+class RewriteError(GraphitiError):
+    """A rewrite could not be applied to the located subgraph."""
+
+
+class RefinementError(GraphitiError):
+    """A refinement obligation failed (counterexample found)."""
+
+    def __init__(self, message: str, counterexample: object | None = None):
+        self.counterexample = counterexample
+        super().__init__(message)
+
+
+class SimulationError(GraphitiError):
+    """The cycle-level simulator reached an invalid configuration."""
+
+
+class DeadlockError(SimulationError):
+    """The simulated circuit made no progress before completing."""
+
+    def __init__(self, message: str, cycle: int | None = None):
+        self.cycle = cycle
+        super().__init__(message)
+
+
+class SchedulingError(GraphitiError):
+    """The static scheduler could not schedule the program."""
+
+
+class FrontendError(GraphitiError):
+    """The mini-IR program was invalid or unsupported by the HLS front end."""

@@ -1,0 +1,86 @@
+"""Section 6.3 analogue: rewriting statistics per benchmark.
+
+The paper reports the scale of its rewriting runs (e.g. matvec: 90 nodes /
+1650 rewrites / 9.76 s; gemm: 180 nodes / 4416 rewrites / 81.49 s).  The
+absolute counts depend on the rewrite granularity — our pipeline composes
+Pure bodies through the purifier rather than thousands of micro-rewrites —
+but the *scaling shape* (more nodes ⇒ more rewriting work, superlinearly)
+is the reproducible claim, and this module measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+from ..benchmarks import load_benchmark
+from ..components import default_environment
+from ..hls.frontend import compile_program
+from ..rewriting.pipeline import GraphitiPipeline
+from . import paper_data
+
+
+@dataclass
+class DevStats:
+    benchmark: str
+    nodes: int
+    rewrites: int
+    composition_steps: int
+    seconds: float
+    transformed_loops: int
+    refused_loops: int
+
+    @property
+    def total_steps(self) -> int:
+        return self.rewrites + self.composition_steps
+
+
+def measure(benchmark: str) -> DevStats:
+    """Run the pipeline on *benchmark* and collect rewriting statistics."""
+    program = load_benchmark(benchmark)
+    env = default_environment()
+    compiled = compile_program(program, env)
+
+    start = perf_counter()
+    rewrites = 0
+    composition = 0
+    transformed = 0
+    refused = 0
+    nodes = compiled.total_nodes()
+    for ck in compiled.kernels:
+        pipeline = GraphitiPipeline(env)
+        outcome = pipeline.transform_kernel(ck.graph, ck.mark)
+        rewrites += outcome.rewrites_applied
+        composition += outcome.composition_steps
+        if outcome.transformed:
+            transformed += 1
+        else:
+            refused += 1
+    return DevStats(
+        benchmark=benchmark,
+        nodes=nodes,
+        rewrites=rewrites,
+        composition_steps=composition,
+        seconds=perf_counter() - start,
+        transformed_loops=transformed,
+        refused_loops=refused,
+    )
+
+
+def report(benchmarks=paper_data.BENCHMARKS) -> str:
+    """Render the section 6.3 style table with paper reference points."""
+    lines = [
+        "Section 6.3 — rewriting statistics",
+        f"{'benchmark':14s}{'nodes':>7s}{'rewrites':>10s}{'compose':>9s}{'steps':>7s}{'sec':>8s}{'paper':>22s}",
+    ]
+    stats = [measure(name) for name in benchmarks]
+    for entry in stats:
+        paper = paper_data.PAPER_DEV_STATS.get(entry.benchmark)
+        paper_text = (
+            f"{paper['nodes']}n/{paper['rewrites']}rw/{paper['seconds']}s" if paper else "-"
+        )
+        lines.append(
+            f"{entry.benchmark:14s}{entry.nodes:>7d}{entry.rewrites:>10d}"
+            f"{entry.composition_steps:>9d}{entry.total_steps:>7d}{entry.seconds:>8.2f}{paper_text:>22s}"
+        )
+    return "\n".join(lines)

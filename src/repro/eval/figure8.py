@@ -1,0 +1,23 @@
+"""Figure 8: relative performance normalised to DF-OoO."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .report import figure8_series, render_figure8
+from .runner import BenchmarkResult
+from .table2 import collect
+
+__all__ = ["figure8_series", "render_figure8", "collect"]
+
+
+def render(results: Mapping[str, BenchmarkResult]) -> str:
+    return render_figure8(results)
+
+
+def main() -> None:
+    print(render(collect()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Table 3: LUT, FF, and DSP counts."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .report import dsp_table, ff_table, lut_table
+from .runner import BenchmarkResult
+from .table2 import collect
+
+
+def render(results: Mapping[str, BenchmarkResult]) -> str:
+    """Render the three Table 3 sub-tables."""
+    return "\n\n".join(
+        table.render() for table in (lut_table(results), ff_table(results), dsp_table(results))
+    )
+
+
+def main() -> None:
+    print(render(collect()))
+
+
+if __name__ == "__main__":
+    main()

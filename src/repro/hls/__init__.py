@@ -1,0 +1,54 @@
+"""HLS substrates: mini-IR, front ends, baselines, technology model."""
+
+from .area import AreaReport, analyze, latency_of
+from .buffers import BufferPlacement, place_buffers
+from .frontend import CompiledKernel, CompiledProgram, LoopMark, compile_kernel, compile_program
+from .ir import (
+    BinOp,
+    Const,
+    DoWhile,
+    ExecutionTrace,
+    Kernel,
+    Load,
+    OuterLoop,
+    Program,
+    Select,
+    StoreOp,
+    UnOp,
+    Var,
+    eval_expr,
+    run_program,
+)
+from .ooo import transform_out_of_order
+from .static_sched import StaticScheduleReport, schedule_length, schedule_program
+
+__all__ = [
+    "AreaReport",
+    "analyze",
+    "latency_of",
+    "BufferPlacement",
+    "place_buffers",
+    "CompiledKernel",
+    "CompiledProgram",
+    "LoopMark",
+    "compile_kernel",
+    "compile_program",
+    "BinOp",
+    "Const",
+    "DoWhile",
+    "ExecutionTrace",
+    "Kernel",
+    "Load",
+    "OuterLoop",
+    "Program",
+    "Select",
+    "StoreOp",
+    "UnOp",
+    "Var",
+    "eval_expr",
+    "run_program",
+    "transform_out_of_order",
+    "StaticScheduleReport",
+    "schedule_length",
+    "schedule_program",
+]

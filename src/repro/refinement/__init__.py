@@ -1,0 +1,30 @@
+"""Refinement checking: the executable metatheory of sections 4.4 and 5."""
+
+from .checker import (
+    RefinementReport,
+    check_graph_refinement,
+    check_refinement,
+    check_rewrite_obligation,
+    io_stimuli,
+    refines,
+    uniform_stimuli,
+)
+from .simulation import SimulationCertificate, SimulationResult, Violation, find_weak_simulation
+from .traces import can_perform, enumerate_traces, trace_inclusion
+
+__all__ = [
+    "RefinementReport",
+    "check_graph_refinement",
+    "check_refinement",
+    "check_rewrite_obligation",
+    "io_stimuli",
+    "refines",
+    "uniform_stimuli",
+    "SimulationCertificate",
+    "SimulationResult",
+    "Violation",
+    "find_weak_simulation",
+    "can_perform",
+    "enumerate_traces",
+    "trace_inclusion",
+]

@@ -1,0 +1,140 @@
+"""High-level refinement checking over graphs and rewrites.
+
+This module turns the low-level simulation machinery into the API the rest
+of the library uses:
+
+* :func:`check_refinement` — ``impl ⊑ spec`` for two modules;
+* :func:`check_graph_refinement` — the same for two ExprHigh graphs,
+  denoted in a given environment (definition 4.5 instantiated on graphs);
+* :func:`check_rewrite_obligation` — discharge a rewrite's ``rhs ⊑ lhs``
+  obligation on a bounded instance, the executable stand-in for the Lean
+  proof that theorem 4.6 then propagates to whole graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.environment import Environment
+from ..core.exprhigh import ExprHigh
+from ..core.module import Module, Value
+from ..core.ports import IOPort, Port
+from ..core.semantics import denote
+from ..errors import RefinementError
+from .simulation import SimulationCertificate, SimulationResult, find_weak_simulation
+
+Stimuli = Mapping[Port, Iterable[Value]]
+
+
+@dataclass
+class RefinementReport:
+    """A successful refinement check with its witness and statistics."""
+
+    certificate: SimulationCertificate
+
+    @property
+    def impl_states(self) -> int:
+        return self.certificate.impl_states
+
+    @property
+    def spec_states(self) -> int:
+        return self.certificate.spec_states
+
+
+def check_refinement(impl: Module, spec: Module, stimuli: Stimuli) -> RefinementReport:
+    """Check ``impl ⊑ spec``; raises :class:`RefinementError` on failure."""
+    result: SimulationResult = find_weak_simulation(impl, spec, stimuli)
+    return RefinementReport(result.raise_on_failure())
+
+
+def refines(impl: Module, spec: Module, stimuli: Stimuli) -> bool:
+    """Boolean form of :func:`check_refinement`."""
+    return find_weak_simulation(impl, spec, stimuli).holds
+
+
+def check_graph_refinement(
+    impl: ExprHigh,
+    spec: ExprHigh,
+    env: Environment,
+    stimuli: Stimuli,
+) -> RefinementReport:
+    """Check ⟦impl⟧ε ⊑ ⟦spec⟧ε for two ExprHigh graphs."""
+    impl_module = denote(impl.lower(), env)
+    spec_module = denote(spec.lower(), env)
+    return check_refinement(impl_module, spec_module, stimuli)
+
+
+def uniform_stimuli(module: Module, values: Iterable[Value]) -> dict[Port, tuple[Value, ...]]:
+    """Offer the same finite value set on every input port of *module*."""
+    values = tuple(values)
+    return {port: values for port in module.input_ports()}
+
+
+def io_stimuli(values_per_port: Mapping[int, Iterable[Value]]) -> dict[Port, tuple[Value, ...]]:
+    """Build stimuli keyed by I/O port index."""
+    return {IOPort(index): tuple(values) for index, values in values_per_port.items()}
+
+
+def check_rewrite_obligation(
+    lhs: ExprHigh,
+    rhs: ExprHigh,
+    env: Environment,
+    stimuli: Stimuli | None = None,
+    values: Iterable[Value] = (0, 1),
+    spec_capacity: int | None = 4,
+) -> RefinementReport:
+    """Discharge the ``rhs ⊑ lhs`` obligation of a rewrite on a bounded instance.
+
+    The rewriting function is correctness-preserving whenever the right-hand
+    side refines the left-hand side (theorem 4.6); this function checks that
+    premise.  When *stimuli* is omitted, the value set *values* is offered
+    uniformly on every input.
+
+    The rhs (implementation) is denoted in *env*, whose queue capacities
+    bound the explored state space; the lhs (specification) is denoted with
+    the larger *spec_capacity*, approximating the paper's unbounded-queue
+    semantics.  The spec must be roomier than the impl so that extra
+    buffering introduced by a rewrite does not register as a spurious
+    input-refusal counterexample; it must stay bounded because components
+    that discard tokens (Sinks) would otherwise give the simulation game
+    unboundedly many partially-drained spec states.
+    """
+    rhs_module = denote(rhs.lower(), env)
+    lhs_module = denote(lhs.lower(), env.with_capacity(spec_capacity))
+    if stimuli is None:
+        stimuli = uniform_stimuli(rhs_module, values)
+    result = find_weak_simulation(rhs_module, lhs_module, stimuli)
+    if not result.holds:
+        raise RefinementError(
+            f"rewrite obligation rhs ⊑ lhs failed: {result.violation}",
+            counterexample=result.violation,
+        )
+    return RefinementReport(result.certificate)  # type: ignore[arg-type]
+
+
+def check_rewrite_obligation_traces(
+    lhs: ExprHigh,
+    rhs: ExprHigh,
+    env: Environment,
+    stimuli: Stimuli,
+    depth: int = 4,
+    spec_capacity: int | None = 4,
+) -> None:
+    """Cross-validate an obligation through the trace semantics.
+
+    Refinement implies trace inclusion (section 4.4), so every rhs trace of
+    bounded length must be an lhs trace.  This is an independent check of
+    the simulation game — slower (trace enumeration is exponential in
+    *depth*) but conceptually simpler, which is exactly what makes it a
+    good oracle for the checker itself.
+    """
+    from .traces import trace_inclusion
+
+    rhs_module = denote(rhs.lower(), env)
+    lhs_module = denote(lhs.lower(), env.with_capacity(spec_capacity))
+    witness = trace_inclusion(rhs_module, lhs_module, stimuli, depth)
+    if witness is not None:
+        raise RefinementError(
+            f"rhs trace not reproducible by lhs: {witness}", counterexample=witness
+        )

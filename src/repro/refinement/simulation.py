@@ -1,0 +1,238 @@
+"""Executable weak-simulation checking (definitions 4.1–4.5 of the paper).
+
+The paper proves refinements ``m ⊑ m'`` in Lean by exhibiting a simulation
+relation φ.  Here, for *bounded* instances (finite stimulus domains, bounded
+queues), we *decide* the existence of a weak simulation by solving the
+simulation game restricted to product-reachable pairs:
+
+* positions are pairs (impl state, spec state), starting from all pairs of
+  initial states;
+* for every implementation move (input with a stimulus value, output,
+  internal step) the game records the set of *spec responses* permitted by
+  the corresponding diagram;
+* a position is losing if some implementation move has no winning response;
+  losing positions propagate backwards to a fixpoint.
+
+Restricting to product-reachable pairs is sound and complete for deciding
+whether the initial states are simulated, because every witness pair that a
+diagram could use is itself product-reachable.
+
+The three simulation diagrams keep the paper's asymmetry:
+
+* **input** transitions may be followed by internal steps in the spec;
+* **output** transitions may be *preceded* by internal steps in the spec,
+  but not followed — connecting ports fuses an output to an input with no
+  internal step in between (section 4.5), so allowing trailing internal
+  steps would make the connect combinator unsound;
+* **internal** transitions map to zero or more internal steps.
+
+Success yields a :class:`SimulationCertificate` whose relation (the winning
+positions) is a genuine weak simulation containing the initial pairs;
+failure yields a counterexample with the violated diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.module import Module, State, Value
+from ..core.ports import Port
+from ..errors import RefinementError, SemanticsError
+
+Stimuli = Mapping[Port, Iterable[Value]]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Why the simulation game is lost from some position."""
+
+    kind: str  # "input" | "output" | "internal" | "interface" | "init"
+    impl_state: State
+    spec_state: State | None
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} diagram fails: {self.detail}"
+
+
+@dataclass
+class SimulationCertificate:
+    """A checked simulation relation between an implementation and a spec."""
+
+    relation: frozenset[tuple[State, State]]
+    impl_states: int
+    spec_states: int
+    iterations: int
+
+    def related(self, impl_state: State, spec_state: State) -> bool:
+        return (impl_state, spec_state) in self.relation
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation search."""
+
+    holds: bool
+    certificate: SimulationCertificate | None = None
+    violation: Violation | None = None
+
+    def raise_on_failure(self) -> SimulationCertificate:
+        if not self.holds or self.certificate is None:
+            raise RefinementError(str(self.violation), counterexample=self.violation)
+        return self.certificate
+
+
+@dataclass
+class _Move:
+    """One implementation move and the indices of winning response pairs."""
+
+    kind: str
+    detail: str
+    responses: list[int]
+
+
+def find_weak_simulation(
+    impl: Module,
+    spec: Module,
+    stimuli: Stimuli,
+    limit: int = 500_000,
+) -> SimulationResult:
+    """Decide ``impl ⊑ spec`` on the bounded instance given by *stimuli*.
+
+    *stimuli* bounds the environment: for each input port, the finite set of
+    values that may ever be offered.  Both modules must expose identical
+    input and output port sets.
+    """
+    stimuli = {port: tuple(values) for port, values in stimuli.items()}
+    if impl.input_ports() != spec.input_ports() or impl.output_ports() != spec.output_ports():
+        detail = (
+            f"impl ports in={sorted(map(str, impl.input_ports()))} "
+            f"out={sorted(map(str, impl.output_ports()))} vs spec "
+            f"in={sorted(map(str, spec.input_ports()))} out={sorted(map(str, spec.output_ports()))}"
+        )
+        return SimulationResult(False, violation=Violation("interface", None, None, detail))
+    missing = impl.input_ports() - set(stimuli)
+    if missing:
+        raise RefinementError(f"no stimuli provided for input ports {sorted(map(str, missing))}")
+
+    index_of: dict[tuple[State, State], int] = {}
+    pairs: list[tuple[State, State]] = []
+    moves: list[list[_Move] | None] = []
+    spec_closures: dict[State, tuple[State, ...]] = {}
+
+    def closure(state: State) -> tuple[State, ...]:
+        cached = spec_closures.get(state)
+        if cached is None:
+            cached = tuple(spec.tau_closure(state))
+            spec_closures[state] = cached
+        return cached
+
+    def intern(pair: tuple[State, State]) -> int:
+        idx = index_of.get(pair)
+        if idx is None:
+            idx = len(pairs)
+            if idx >= limit:
+                raise SemanticsError(f"simulation game exceeded the limit of {limit} positions")
+            index_of[pair] = idx
+            pairs.append(pair)
+            moves.append(None)
+        return idx
+
+    initial_indices = [intern((s0, t0)) for s0 in impl.init for t0 in spec.init]
+
+    # Forward exploration: compute every position's moves and responses.
+    frontier = list(initial_indices)
+    explored = 0
+    while frontier:
+        idx = frontier.pop()
+        if moves[idx] is not None:
+            continue
+        s, t = pairs[idx]
+        position_moves: list[_Move] = []
+
+        for port, values in stimuli.items():
+            impl_in = impl.inputs[port]
+            spec_in = spec.inputs[port]
+            for value in values:
+                for s_next in impl_in.fire(s, value):
+                    responses = [
+                        (s_next, t_next)
+                        for t_mid in spec_in.fire(t, value)
+                        for t_next in closure(t_mid)
+                    ]
+                    position_moves.append(
+                        _Move("input", f"input {port}={value!r}", [intern(p) for p in responses])
+                    )
+
+        for port, impl_out in impl.outputs.items():
+            spec_out = spec.outputs[port]
+            for value, s_next in impl_out.fire(s):
+                responses = [
+                    (s_next, t_next)
+                    for t_mid in closure(t)
+                    for spec_value, t_next in spec_out.fire(t_mid)
+                    if spec_value == value
+                ]
+                position_moves.append(
+                    _Move("output", f"output {port} emits {value!r}", [intern(p) for p in responses])
+                )
+
+        for s_next in impl.internal_steps(s):
+            responses = [(s_next, t_next) for t_next in closure(t)]
+            position_moves.append(_Move("internal", "internal step", [intern(p) for p in responses]))
+
+        moves[idx] = position_moves
+        explored += 1
+        for move in position_moves:
+            for succ in move.responses:
+                if moves[succ] is None:
+                    frontier.append(succ)
+
+    # Backward propagation of losing positions.
+    good = [True] * len(pairs)
+    reason: list[_Move | None] = [None] * len(pairs)
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for idx in range(len(pairs)):
+            if not good[idx]:
+                continue
+            for move in moves[idx] or ():
+                if not any(good[succ] for succ in move.responses):
+                    good[idx] = False
+                    reason[idx] = move
+                    changed = True
+                    break
+
+    for s0 in impl.init:
+        winners = [t0 for t0 in spec.init if good[index_of[(s0, t0)]]]
+        if not winners:
+            violation = _diagnose(pairs, index_of, reason, s0, spec.init)
+            return SimulationResult(False, violation=violation)
+
+    relation = frozenset(pair for idx, pair in enumerate(pairs) if good[idx])
+    certificate = SimulationCertificate(
+        relation=relation,
+        impl_states=len({s for s, _ in pairs}),
+        spec_states=len({t for _, t in pairs}),
+        iterations=iterations,
+    )
+    return SimulationResult(True, certificate=certificate)
+
+
+def _diagnose(
+    pairs: list[tuple[State, State]],
+    index_of: dict[tuple[State, State], int],
+    reason: list["_Move | None"],
+    s0: State,
+    spec_inits: frozenset[State],
+) -> Violation:
+    for t0 in spec_inits:
+        move = reason[index_of[(s0, t0)]]
+        if move is not None:
+            s, t = pairs[index_of[(s0, t0)]]
+            return Violation(move.kind, s, t, f"{move.detail} has no winning spec response")
+    return Violation("init", s0, None, f"initial state {s0!r} is not simulated")

@@ -1,0 +1,166 @@
+"""The algebra of derived pure functions used by Pure-generation rewrites.
+
+Section 3.2 of the paper turns a loop body into a single Pure component by
+composing the body's operators into one function.  The composition steps all
+live in a small combinator language over registered base functions::
+
+    f ::= <base name>                    (a function already registered)
+        | id | dup | swap | assocl | assocr
+        | tup(f)                         (uncurry an n-ary base function)
+        | comp(f, g)                     (apply f, then g)
+        | first(f) | second(f)           (map one half of a pair)
+        | par(f, g)                      (map both halves)
+
+Derived functions are registered in the environment under their canonical
+textual form, so component strings mentioning them (``Pure{fn=comp(a,b)}``)
+remain serialisable through dot files: :func:`ensure` re-creates the Python
+callable from the name alone, given the base functions.
+"""
+
+from __future__ import annotations
+
+from ..core.environment import Environment, FunctionDef
+from ..errors import SemanticsError
+
+_BUILTINS = {
+    "id": (lambda x: x, 1),
+    "dup": (lambda x: (x, x), 1),
+    "swap": (lambda p: (p[1], p[0]), 1),
+    "fst": (lambda p: p[0], 1),
+    "snd": (lambda p: p[1], 1),
+    "assocl": (lambda p: ((p[0], p[1][0]), p[1][1]), 1),  # (a,(b,c)) -> ((a,b),c)
+    "assocr": (lambda p: (p[0][0], (p[0][1], p[1])), 1),  # ((a,b),c) -> (a,(b,c))
+}
+
+
+def ensure(env: Environment, name: str) -> FunctionDef:
+    """Resolve *name* in the combinator language, registering it if needed.
+
+    Consults the raw registry only (``Environment.function`` falls back to
+    this resolver for combinator-shaped names, so going through it here
+    would recurse).
+    """
+    existing = env.lookup_function(name)
+    if existing is not None:
+        return existing
+    definition = _build(env, name)
+    env.register_function(name, definition.fn, definition.arity)
+    return env.lookup_function(name)  # type: ignore[return-value]
+
+
+def _build(env: Environment, name: str) -> FunctionDef:
+    name = name.strip()
+    if name in _BUILTINS:
+        fn, arity = _BUILTINS[name]
+        return FunctionDef(name, fn, arity)
+    head, args = _parse_call(name)
+    if head is None:
+        raise SemanticsError(f"unknown function {name!r} and it is not a combinator form")
+    if head == "tup":
+        (inner,) = args
+        base = ensure(env, inner)
+        return FunctionDef(name, lambda t, _b=base: _b.fn(*t), 1)
+    if head == "comp":
+        f_name, g_name = args
+        f, g = ensure(env, f_name), ensure(env, g_name)
+        return FunctionDef(name, lambda x, _f=f, _g=g: _g.fn(_f.fn(x)), 1)
+    if head == "first":
+        (inner,) = args
+        f = ensure(env, inner)
+        return FunctionDef(name, lambda p, _f=f: (_f.fn(p[0]), p[1]), 1)
+    if head == "second":
+        (inner,) = args
+        f = ensure(env, inner)
+        return FunctionDef(name, lambda p, _f=f: (p[0], _f.fn(p[1])), 1)
+    if head == "par":
+        f_name, g_name = args
+        f, g = ensure(env, f_name), ensure(env, g_name)
+        return FunctionDef(name, lambda p, _f=f, _g=g: (_f.fn(p[0]), _g.fn(p[1])), 1)
+    if head.startswith("untree") and head[6:].isdigit():
+        # untreeN(f): apply the N-ary base function f to a left-nested
+        # tuple ((..(a, b).., y), z) — used for operators of arity > 2.
+        arity = int(head[6:])
+        (inner,) = args
+        base = ensure(env, inner)
+
+        def untree(value, _b=base, _n=arity):
+            flat = []
+            for _ in range(_n - 1):
+                value, last = value
+                flat.append(last)
+            flat.append(value)
+            flat.reverse()
+            return _b.fn(*flat)
+
+        return FunctionDef(name, untree, 1)
+    raise SemanticsError(f"unknown combinator {head!r} in {name!r}")
+
+
+def _parse_call(name: str) -> tuple[str | None, list[str]]:
+    """Parse ``head(arg, arg)`` with nesting; (None, []) if not a call."""
+    if "(" not in name or not name.endswith(")"):
+        return None, []
+    head, _, rest = name.partition("(")
+    body = rest[:-1]
+    args: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if current or not args:
+        args.append("".join(current).strip())
+    return head.strip(), args
+
+
+_SHUFFLE_ATOMS = frozenset({"id", "swap", "assocl", "assocr", "fst", "snd", "dup"})
+
+
+def is_shuffle(name: str) -> bool:
+    """Whether *name* only rearranges tuple structure (no computation).
+
+    Shuffles are compositions of the structural builtins through comp /
+    first / second / par — the function class the Reorg component of
+    Table 1 is allowed to carry.
+    """
+    name = name.strip()
+    if name in _SHUFFLE_ATOMS:
+        return True
+    head, args = _parse_call(name)
+    if head in ("comp", "first", "second", "par"):
+        return all(is_shuffle(arg) for arg in args)
+    return False
+
+
+def tup(base: str) -> str:
+    return f"tup({base})"
+
+
+def comp(f: str, g: str) -> str:
+    """The function applying *f* first, then *g*."""
+    if f == "id":
+        return g
+    if g == "id":
+        return f
+    return f"comp({f},{g})"
+
+
+def first(f: str) -> str:
+    return "id" if f == "id" else f"first({f})"
+
+
+def second(f: str) -> str:
+    return "id" if f == "id" else f"second({f})"
+
+
+def par(f: str, g: str) -> str:
+    if f == "id" and g == "id":
+        return "id"
+    return f"par({f},{g})"

@@ -1,0 +1,152 @@
+"""Rewrite application, routed through ExprLow (sections 4.2 and 4.6).
+
+Application follows the paper's architecture: the match is found on
+ExprHigh, the graph is lowered to ExprLow, the matched subgraph is isolated
+by reassociation (:func:`repro.core.exprlow.isolate`), replaced using the
+syntactic substitution ``e[lhs := rhs]``, the interface ports are stitched
+to the names the host graph uses, and the result is lifted back to ExprHigh.
+
+Theorem 4.6 then gives the engine its guarantee: if ⟦rhs⟧ ⊑ ⟦lhs⟧ (checked
+on bounded instances by the refinement engine), the output graph refines the
+input graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import exprlow
+from ..core.exprhigh import Endpoint, ExprHigh, lift
+from ..core.ports import InternalPort, IOPort, Port
+from ..errors import RewriteError
+from .rewrite import Match, Rewrite
+
+
+@dataclass
+class Application:
+    """Provenance record of one rewrite application."""
+
+    rewrite: str
+    matched_nodes: frozenset[str]
+    new_nodes: frozenset[str]
+    verified: bool
+
+
+def apply_rewrite(graph: ExprHigh, rewrite: Rewrite, match: Match) -> tuple[ExprHigh, Application]:
+    """Apply *rewrite* at *match*, returning the new graph and a record."""
+    replacement = rewrite.rhs(match)
+    replacement.validate()
+    if set(replacement.inputs) != set(rewrite.lhs.inputs):
+        raise RewriteError(
+            f"rewrite {rewrite.name!r}: rhs inputs {sorted(replacement.inputs)} "
+            f"differ from lhs interface {sorted(rewrite.lhs.inputs)}"
+        )
+    if set(replacement.outputs) != set(rewrite.lhs.outputs):
+        raise RewriteError(
+            f"rewrite {rewrite.name!r}: rhs outputs {sorted(replacement.outputs)} "
+            f"differ from lhs interface {sorted(rewrite.lhs.outputs)}"
+        )
+
+    matched = match.host_nodes()
+    fresh_names = _fresh_names(graph, replacement, rewrite.name)
+    rhs_specs = {fresh_names[name]: spec for name, spec in replacement.nodes.items()}
+
+    # Lower the host graph; identify the bases belonging to the match.
+    owners = sorted(graph.nodes)
+    low = graph.lower(node_order=owners)
+    bases = list(low.bases())
+    selected_ids = {id(base) for base, owner in zip(bases, owners) if owner in matched}
+
+    sub, _, crossing, rest = exprlow.isolate(low, lambda base: id(base) in selected_ids)
+    iso = exprlow.build_around(sub, rest, crossing)
+
+    # Lower the replacement with fresh instance names; its interface ports
+    # come out as io:k, to be renamed onto the host-side names.
+    renamed_replacement = _rename_graph(replacement, fresh_names)
+    rhs_low = renamed_replacement.lower(node_order=sorted(renamed_replacement.nodes))
+
+    in_map: dict[Port, Port] = {}
+    cross_in: dict[Port, Port] = {}
+    for index, host_endpoint in match.inputs.items():
+        rhs_endpoint = renamed_replacement.inputs[index]
+        new_name: Port = InternalPort(rhs_endpoint.node, rhs_endpoint.port)
+        host_name = _host_input_name(graph, host_endpoint)
+        if isinstance(host_name, IOPort):
+            in_map[IOPort(index)] = host_name  # stays an external input
+        else:
+            in_map[IOPort(index)] = new_name
+            cross_in[host_name] = new_name
+
+    out_map: dict[Port, Port] = {}
+    cross_out: dict[Port, Port] = {}
+    for index, host_endpoint in match.outputs.items():
+        rhs_endpoint = renamed_replacement.outputs[index]
+        new_name = InternalPort(rhs_endpoint.node, rhs_endpoint.port)
+        host_name = _host_output_name(graph, host_endpoint)
+        if isinstance(host_name, IOPort):
+            out_map[IOPort(index)] = host_name
+        else:
+            out_map[IOPort(index)] = new_name
+            cross_out[host_name] = new_name
+
+    new_sub = exprlow.rename_ports(rhs_low, in_map, out_map)
+
+    # The syntactic substitution of section 4.2, followed by stitching the
+    # crossing connections onto the replacement's port names.
+    replaced = iso.substitute(sub, new_sub)
+    if replaced is iso or replaced == iso:
+        raise RewriteError(f"rewrite {rewrite.name!r}: substitution did not fire")
+    final_low = exprlow.rename_ports(replaced, cross_in, cross_out)
+
+    specs = {name: spec for name, spec in graph.nodes.items() if name not in matched}
+    specs.update(rhs_specs)
+    new_graph = lift(final_low, specs)
+    new_graph.validate()
+    application = Application(
+        rewrite=rewrite.name,
+        matched_nodes=matched,
+        new_nodes=frozenset(rhs_specs),
+        verified=rewrite.verified,
+    )
+    return new_graph, application
+
+
+def _fresh_names(graph: ExprHigh, replacement: ExprHigh, prefix: str) -> dict[str, str]:
+    taken = set(graph.nodes)
+    mapping: dict[str, str] = {}
+    for name in sorted(replacement.nodes):
+        candidate = name
+        counter = 0
+        while candidate in taken:
+            counter += 1
+            candidate = f"{name}_{counter}"
+        mapping[name] = candidate
+        taken.add(candidate)
+    return mapping
+
+
+def _rename_graph(replacement: ExprHigh, mapping: dict[str, str]) -> ExprHigh:
+    renamed = ExprHigh()
+    for name, spec in replacement.nodes.items():
+        renamed.add_node(mapping[name], spec)
+    for dst, src in replacement.connections.items():
+        renamed.connect(mapping[src.node], src.port, mapping[dst.node], dst.port)
+    for index, endpoint in replacement.inputs.items():
+        renamed.mark_input(index, mapping[endpoint.node], endpoint.port)
+    for index, endpoint in replacement.outputs.items():
+        renamed.mark_output(index, mapping[endpoint.node], endpoint.port)
+    return renamed
+
+
+def _host_input_name(graph: ExprHigh, endpoint: Endpoint) -> Port:
+    for index, marked in graph.inputs.items():
+        if marked == endpoint:
+            return IOPort(index)
+    return InternalPort(endpoint.node, endpoint.port)
+
+
+def _host_output_name(graph: ExprHigh, endpoint: Endpoint) -> Port:
+    for index, marked in graph.outputs.items():
+        if marked == endpoint:
+            return IOPort(index)
+    return InternalPort(endpoint.node, endpoint.port)

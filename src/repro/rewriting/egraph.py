@@ -1,0 +1,326 @@
+"""An e-graph with equality saturation over the function algebra.
+
+Section 3.2 of the paper uses egg as an oracle to find the order in which
+Split/Join associativity, commutativity and elimination rewrites collapse
+the residual Split–Join network.  This module plays the same role over the
+combinator terms of :mod:`repro.rewriting.algebra`: the region purifier
+composes a (possibly clumsy) term for the loop body and asks
+:func:`simplify` for the smallest equivalent term under the pairing laws.
+
+The implementation is a classic e-graph: hash-consed e-nodes over e-class
+ids with union-find and congruence closure, rule application by e-matching,
+and smallest-term extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import GraphitiError
+from .algebra import _parse_call  # canonical combinator-call syntax
+
+# Terms are nested tuples: ("sym", name) for atoms (including base function
+# names), or (op, child, ...) with op in {"comp", "par", "first", "second",
+# "tup"}; "tup" children are atoms.
+
+Term = tuple
+
+
+def parse_term(text: str) -> Term:
+    """Parse the combinator syntax of :mod:`repro.rewriting.algebra`."""
+    head, args = _parse_call(text)
+    if head is None:
+        return ("sym", text.strip())
+    return (head,) + tuple(parse_term(arg) for arg in args)
+
+
+def render_term(term: Term) -> str:
+    """Render a term back into canonical combinator syntax."""
+    if term[0] == "sym":
+        return term[1]
+    head = term[0]
+    return f"{head}({','.join(render_term(child) for child in term[1:])})"
+
+
+def term_size(term: Term) -> int:
+    if term[0] == "sym":
+        return 1
+    return 1 + sum(term_size(child) for child in term[1:])
+
+
+@dataclass(frozen=True)
+class _ENode:
+    op: str
+    children: tuple[int, ...]
+    payload: str = ""  # symbol name for atoms
+
+
+class EGraph:
+    """A small e-graph over function-algebra terms."""
+
+    def __init__(self):
+        self._parent: list[int] = []
+        self._nodes: dict[_ENode, int] = {}
+        self._classes: dict[int, set[_ENode]] = {}
+
+    # -- union-find -----------------------------------------------------------
+
+    def find(self, cls: int) -> int:
+        while self._parent[cls] != cls:
+            self._parent[cls] = self._parent[self._parent[cls]]
+            cls = self._parent[cls]
+        return cls
+
+    def _new_class(self) -> int:
+        cls = len(self._parent)
+        self._parent.append(cls)
+        self._classes[cls] = set()
+        return cls
+
+    # -- construction ---------------------------------------------------------
+
+    def add_term(self, term: Term) -> int:
+        if term[0] == "sym":
+            return self._add(_ENode("sym", (), term[1]))
+        children = tuple(self.add_term(child) for child in term[1:])
+        return self._add(_ENode(term[0], children))
+
+    def _add(self, node: _ENode) -> int:
+        node = self._canonical(node)
+        existing = self._nodes.get(node)
+        if existing is not None:
+            return self.find(existing)
+        cls = self._new_class()
+        self._nodes[node] = cls
+        self._classes[cls].add(node)
+        return cls
+
+    def _canonical(self, node: _ENode) -> _ENode:
+        return _ENode(node.op, tuple(self.find(c) for c in node.children), node.payload)
+
+    def union(self, a: int, b: int) -> int:
+        a, b = self.find(a), self.find(b)
+        if a == b:
+            return a
+        self._parent[b] = a
+        merged = self._classes.get(a, set()) | self._classes.pop(b, set())
+        self._classes[a] = merged
+        return a
+
+    def rebuild(self) -> None:
+        """Restore congruence closure after unions (full-sweep to fixpoint)."""
+        changed = True
+        while changed:
+            changed = False
+            canonical_nodes: dict[_ENode, int] = {}
+            for node, cls in self._nodes.items():
+                canonical = self._canonical(node)
+                owner = self.find(cls)
+                existing = canonical_nodes.get(canonical)
+                if existing is not None:
+                    if self.find(existing) != owner:
+                        self.union(existing, owner)
+                        changed = True
+                    canonical_nodes[canonical] = self.find(existing)
+                else:
+                    canonical_nodes[canonical] = owner
+            self._nodes = {n: self.find(c) for n, c in canonical_nodes.items()}
+        self._classes = {}
+        for node, cls in self._nodes.items():
+            self._classes.setdefault(self.find(cls), set()).add(node)
+
+    # -- e-matching ------------------------------------------------------------
+
+    def match(self, pattern: Term, cls: int, bindings: dict[str, int]) -> Iterable[dict[str, int]]:
+        """Yield variable bindings for *pattern* rooted at e-class *cls*.
+
+        Pattern variables are ("var", name) nodes.
+        """
+        cls = self.find(cls)
+        if pattern[0] == "var":
+            bound = bindings.get(pattern[1])
+            if bound is None:
+                extended = dict(bindings)
+                extended[pattern[1]] = cls
+                yield extended
+            elif self.find(bound) == cls:
+                yield bindings
+            return
+        for node in list(self._classes.get(cls, ())):
+            if pattern[0] == "sym":
+                if node.op == "sym" and node.payload == pattern[1]:
+                    yield bindings
+                continue
+            if node.op != pattern[0] or len(node.children) != len(pattern) - 1:
+                continue
+            stack = [bindings]
+            for child_pattern, child_cls in zip(pattern[1:], node.children):
+                next_stack = []
+                for b in stack:
+                    next_stack.extend(self.match(child_pattern, child_cls, b))
+                stack = next_stack
+                if not stack:
+                    break
+            yield from stack
+
+    def instantiate(self, pattern: Term, bindings: Mapping[str, int]) -> int:
+        if pattern[0] == "var":
+            return self.find(bindings[pattern[1]])
+        if pattern[0] == "sym":
+            return self._add(_ENode("sym", (), pattern[1]))
+        children = tuple(self.instantiate(child, bindings) for child in pattern[1:])
+        return self._add(_ENode(pattern[0], children))
+
+    def classes(self) -> list[int]:
+        return sorted({self.find(c) for c in range(len(self._parent))})
+
+    # -- extraction -------------------------------------------------------------
+
+    def extract(self, cls: int) -> Term:
+        """Smallest term (by node count) representing e-class *cls*."""
+        costs: dict[int, tuple[int, Term]] = {}
+        changed = True
+        while changed:
+            changed = False
+            for node, owner in self._nodes.items():
+                owner = self.find(owner)
+                if any(self.find(c) not in costs for c in node.children):
+                    continue
+                if node.op == "sym":
+                    candidate = (1, ("sym", node.payload))
+                else:
+                    child_costs = [costs[self.find(c)] for c in node.children]
+                    total = 1 + sum(c for c, _ in child_costs)
+                    candidate = (total, (node.op,) + tuple(t for _, t in child_costs))
+                best = costs.get(owner)
+                if best is None or candidate[0] < best[0]:
+                    costs[owner] = candidate
+                    changed = True
+        result = costs.get(self.find(cls))
+        if result is None:
+            raise GraphitiError("extraction failed: class has no finite-cost term")
+        return result[1]
+
+
+def _v(name: str) -> Term:
+    return ("var", name)
+
+
+#: Equational rules of the pairing algebra: (name, lhs, rhs) triples.
+#: Genuine two-way laws are also applied in reverse during saturation.
+RULES: list[tuple[str, Term, Term]] = [
+    # comp is associative with identity `id`
+    ("comp-assoc",
+     ("comp", ("comp", _v("a"), _v("b")), _v("c")), ("comp", _v("a"), ("comp", _v("b"), _v("c")))),
+    ("comp-id-left", ("comp", ("sym", "id"), _v("a")), _v("a")),
+    ("comp-id-right", ("comp", _v("a"), ("sym", "id")), _v("a")),
+    # par laws
+    ("par-id", ("par", ("sym", "id"), ("sym", "id")), ("sym", "id")),
+    ("par-fusion",
+     ("comp", ("par", _v("a"), _v("b")), ("par", _v("c"), _v("d"))),
+     ("par", ("comp", _v("a"), _v("c")), ("comp", _v("b"), _v("d")))),
+    # first/second are par with id
+    ("first-as-par", ("first", _v("a")), ("par", _v("a"), ("sym", "id"))),
+    ("second-as-par", ("second", _v("a")), ("par", ("sym", "id"), _v("a"))),
+    # projections: par(a,b);fst = fst;a   (split past parallel maps)
+    ("proj-par-left",
+     ("comp", ("par", _v("a"), _v("b")), ("sym", "fst")), ("comp", ("sym", "fst"), _v("a"))),
+    ("proj-par-right",
+     ("comp", ("par", _v("a"), _v("b")), ("sym", "snd")), ("comp", ("sym", "snd"), _v("b"))),
+    # dup then project is the identity (Split of a Join)
+    ("split-of-join-left", ("comp", ("sym", "dup"), ("sym", "fst")), ("sym", "id")),
+    ("split-of-join-right", ("comp", ("sym", "dup"), ("sym", "snd")), ("sym", "id")),
+    # re-pairing the projections is the identity (Join of a Split)
+    ("join-of-split",
+     ("comp", ("sym", "dup"), ("par", ("sym", "fst"), ("sym", "snd"))), ("sym", "id")),
+    # swap is an involution, and implementable with dup and projections
+    ("swap-involution", ("comp", ("sym", "swap"), ("sym", "swap")), ("sym", "id")),
+    ("swap-as-dup",
+     ("comp", ("sym", "dup"), ("par", ("sym", "snd"), ("sym", "fst"))), ("sym", "swap")),
+    # dup duplicates through any following map on one side:
+    # dup;par(f,g) ; fst = f  etc. follow from the laws above.
+]
+
+
+def _pattern_vars(pattern: Term) -> frozenset[str]:
+    if pattern[0] == "var":
+        return frozenset({pattern[1]})
+    if pattern[0] == "sym":
+        return frozenset()
+    return frozenset().union(*(_pattern_vars(child) for child in pattern[1:]))
+
+
+def saturate(
+    egraph: EGraph,
+    iterations: int = 8,
+    node_limit: int = 20_000,
+    log: list[str] | None = None,
+) -> None:
+    """Run equality saturation with :data:`RULES`.
+
+    Rules run forward; the reverse direction is also applied when it is a
+    genuine two-way law (same non-empty variable set on both sides).
+    Ground identities are never reversed — expanding ``id`` into
+    ``comp(swap, swap)`` or ``par(id, id)`` only inflates the e-graph,
+    feeding combinatorial cross-products through the par-fusion law.
+
+    When *log* is given, every rule application that merged two previously
+    distinct e-classes appends its rule name — the reproduction's analogue
+    of egg handing back a replayable rewrite sequence (section 3.2).
+    """
+    for _ in range(iterations):
+        if len(egraph._nodes) > node_limit:
+            break  # saturated past budget: matching itself would be O(n²)
+        matches: list[tuple[str, Term, dict[str, int], int]] = []
+        for name, lhs, rhs in RULES:
+            directions = [(name, lhs, rhs)]
+            lhs_vars, rhs_vars = _pattern_vars(lhs), _pattern_vars(rhs)
+            if rhs[0] != "var" and lhs_vars and lhs_vars == rhs_vars:
+                directions.append((f"{name}-rev", rhs, lhs))
+            for rule_name, direction_lhs, direction_rhs in directions:
+                for cls in egraph.classes():
+                    for bindings in egraph.match(direction_lhs, cls, {}):
+                        matches.append((rule_name, direction_rhs, bindings, cls))
+        changed = False
+        for rule_name, rhs_pattern, bindings, root in matches:
+            if len(egraph._nodes) > node_limit:
+                break
+            new_cls = egraph.instantiate(rhs_pattern, bindings)
+            if egraph.find(new_cls) != egraph.find(root):
+                egraph.union(new_cls, root)
+                if log is not None:
+                    log.append(rule_name)
+                changed = True
+        egraph.rebuild()
+        if not changed or len(egraph._nodes) > node_limit:
+            break
+
+
+def simplify(text: str, iterations: int = 8, node_limit: int = 20_000) -> str:
+    """Simplify a combinator term using equality saturation.
+
+    This is the oracle entry point used by the region purifier: the result
+    is an equivalent term, usually much smaller, e.g.::
+
+        >>> simplify("comp(dup,par(fst,snd))")
+        'id'
+
+    *node_limit* bounds the e-graph: matching is quadratic in the node
+    count, so callers with large composed terms pass a tighter budget.
+    """
+    egraph = EGraph()
+    root = egraph.add_term(parse_term(text))
+    saturate(egraph, iterations, node_limit)
+    return render_term(egraph.extract(root))
+
+
+def simplify_with_log(
+    text: str, iterations: int = 8, node_limit: int = 20_000
+) -> tuple[str, list[str]]:
+    """Like :func:`simplify`, also returning the applied-rule sequence."""
+    egraph = EGraph()
+    root = egraph.add_term(parse_term(text))
+    log: list[str] = []
+    saturate(egraph, iterations, node_limit, log)
+    return render_term(egraph.extract(root)), log

@@ -1,0 +1,131 @@
+"""The rewriting engine: obligation checking, application, fixpoints.
+
+The engine drives rewrites the way figure 1 of the paper describes: pick a
+rewrite, run its matcher on the ExprHigh graph, apply it through ExprLow,
+lift the result back, repeat.  Every application is logged; rewrites whose
+refinement obligation has been discharged are tagged ``verified`` in the
+log, so a pipeline's output carries the same guarantee structure as the
+paper's (a verified core rewrite within a partially-unverified pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterable, Sequence
+
+from ..core.exprhigh import ExprHigh
+from ..errors import RefinementError, RewriteError
+from ..refinement.checker import check_rewrite_obligation
+from .apply import Application, apply_rewrite
+from .matcher import find_matches, first_match
+from .rewrite import Match, Rewrite
+
+
+@dataclass
+class EngineStats:
+    """Counters describing a rewriting run (cf. section 6.3)."""
+
+    rewrites_applied: int = 0
+    matches_tried: int = 0
+    seconds: float = 0.0
+    per_rewrite: dict[str, int] = field(default_factory=dict)
+
+
+class RewriteEngine:
+    """Applies rewrites and tracks provenance and statistics."""
+
+    def __init__(self, check_obligations: bool = False):
+        self.check_obligations = check_obligations
+        self.log: list[Application] = []
+        self.stats = EngineStats()
+        self._discharged: set[str] = set()
+
+    # -- obligation discharge -------------------------------------------------
+
+    def verify_rewrite(self, rewrite: Rewrite) -> bool:
+        """Discharge the rewrite's refinement obligation on its instances.
+
+        Returns True when every bounded instance of ``rhs ⊑ lhs`` holds;
+        raises :class:`RefinementError` on a counterexample.  Results are
+        cached per rewrite name.
+        """
+        if rewrite.name in self._discharged:
+            return True
+        if rewrite.obligation is None:
+            raise RefinementError(
+                f"rewrite {rewrite.name!r} has no obligation instances to check"
+            )
+        for lhs, rhs, env, stimuli in rewrite.obligation():
+            check_rewrite_obligation(lhs, rhs, env, stimuli)
+        self._discharged.add(rewrite.name)
+        return True
+
+    # -- application ----------------------------------------------------------
+
+    def apply_once(self, graph: ExprHigh, rewrite: Rewrite) -> ExprHigh | None:
+        """Apply *rewrite* at its first match; None when it does not match."""
+        start = perf_counter()
+        try:
+            if self.check_obligations and rewrite.verified and rewrite.obligation is not None:
+                self.verify_rewrite(rewrite)
+            match = first_match(graph, rewrite)
+            self.stats.matches_tried += 1
+            if match is None:
+                return None
+            new_graph, application = apply_rewrite(graph, rewrite, match)
+            self.log.append(application)
+            self.stats.rewrites_applied += 1
+            self.stats.per_rewrite[rewrite.name] = self.stats.per_rewrite.get(rewrite.name, 0) + 1
+            return new_graph
+        finally:
+            self.stats.seconds += perf_counter() - start
+
+    def apply_at(self, graph: ExprHigh, rewrite: Rewrite, match: Match) -> ExprHigh:
+        """Apply *rewrite* at a specific, externally chosen match."""
+        start = perf_counter()
+        try:
+            if self.check_obligations and rewrite.verified and rewrite.obligation is not None:
+                self.verify_rewrite(rewrite)
+            new_graph, application = apply_rewrite(graph, rewrite, match)
+            self.log.append(application)
+            self.stats.rewrites_applied += 1
+            self.stats.per_rewrite[rewrite.name] = self.stats.per_rewrite.get(rewrite.name, 0) + 1
+            return new_graph
+        finally:
+            self.stats.seconds += perf_counter() - start
+
+    def apply_exhaustively(
+        self,
+        graph: ExprHigh,
+        rewrites: Sequence[Rewrite],
+        max_steps: int = 10_000,
+    ) -> ExprHigh:
+        """Apply the given rewrites to fixpoint, first-match-first order.
+
+        This is the "exhaustively apply the applicable rewrites in that
+        phase" strategy of section 3.1.  Raises :class:`RewriteError` when
+        *max_steps* applications do not reach a fixpoint (a diverging rule
+        set).
+        """
+        for _ in range(max_steps):
+            for rewrite in rewrites:
+                new_graph = self.apply_once(graph, rewrite)
+                if new_graph is not None:
+                    graph = new_graph
+                    break
+            else:
+                return graph
+        raise RewriteError(
+            f"no fixpoint after {max_steps} rewrite applications; "
+            f"rule set {[r.name for r in rewrites]} may diverge"
+        )
+
+    def matches(self, graph: ExprHigh, rewrite: Rewrite) -> Iterable[Match]:
+        return find_matches(graph, rewrite)
+
+    def verified_fraction(self) -> float:
+        """Fraction of logged applications that used verified rewrites."""
+        if not self.log:
+            return 1.0
+        return sum(1 for a in self.log if a.verified) / len(self.log)

@@ -1,0 +1,197 @@
+"""Subgraph matching: locating a rewrite's left-hand side in a host graph.
+
+The matcher finds injective mappings from pattern nodes to host nodes such
+that
+
+* component types and port lists agree,
+* concrete pattern parameters agree and :class:`Var` metavariables bind
+  consistently,
+* every pattern-internal connection exists identically in the host,
+* every pattern boundary port (marked external input/output) corresponds to
+  a host port *not* fed from or feeding into the matched region — the
+  crossing edges the rewrite will re-attach.
+
+Patterns are *closed*: every pattern node port is either connected inside
+the pattern or marked as interface I/O, so a successful match guarantees the
+matched host region touches the rest of the graph only through the
+interface.  That is what makes removal and replacement sound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
+from ..errors import MatchError
+from .rewrite import Match, Rewrite, Var
+
+
+def find_matches(graph: ExprHigh, rewrite: Rewrite) -> Iterator[Match]:
+    """Yield every match of *rewrite*'s lhs in *graph*, deterministically."""
+    pattern = rewrite.lhs
+    pattern.validate()  # closed-pattern requirement
+    pattern_nodes = _matching_order(pattern)
+    if not pattern_nodes:
+        raise MatchError(f"rewrite {rewrite.name!r} has an empty pattern")
+    yield from _extend(graph, pattern, pattern_nodes, 0, {}, {})
+
+
+def first_match(graph: ExprHigh, rewrite: Rewrite) -> Match | None:
+    """The first match in deterministic order, or None."""
+    return next(find_matches(graph, rewrite), None)
+
+
+def _matching_order(pattern: ExprHigh) -> list[str]:
+    """Order pattern nodes so each (after the first) touches a prior node.
+
+    Keeps the backtracking search anchored: candidates for later nodes are
+    constrained by connections to already-matched nodes.
+    """
+    names = sorted(pattern.nodes)
+    if not names:
+        return []
+    order = [names[0]]
+    placed = {names[0]}
+    remaining = [n for n in names if n not in placed]
+    while remaining:
+        progressed = False
+        for name in list(remaining):
+            if any(
+                (src.node in placed) != (dst.node in placed)
+                and name in (src.node, dst.node)
+                for dst, src in pattern.connections.items()
+            ):
+                order.append(name)
+                placed.add(name)
+                remaining.remove(name)
+                progressed = True
+        if not progressed:  # disconnected pattern: anchor a fresh component
+            order.append(remaining[0])
+            placed.add(remaining[0])
+            remaining.pop(0)
+    return order
+
+
+def _extend(
+    graph: ExprHigh,
+    pattern: ExprHigh,
+    order: list[str],
+    depth: int,
+    node_map: dict[str, str],
+    params: dict[str, object],
+) -> Iterator[Match]:
+    if depth == len(order):
+        match = _finalize(graph, pattern, node_map, params)
+        if match is not None:
+            yield match
+        return
+    pattern_name = order[depth]
+    pattern_spec = pattern.nodes[pattern_name]
+    for host_name in sorted(graph.nodes):
+        if host_name in node_map.values():
+            continue
+        bound = _spec_matches(pattern_spec, graph.nodes[host_name], params)
+        if bound is None:
+            continue
+        node_map[pattern_name] = host_name
+        if _connections_consistent(graph, pattern, node_map):
+            yield from _extend(graph, pattern, order, depth + 1, node_map, bound)
+        del node_map[pattern_name]
+
+
+def _spec_matches(
+    pattern_spec: NodeSpec,
+    host_spec: NodeSpec,
+    params: dict[str, object],
+) -> dict[str, object] | None:
+    """Check spec compatibility; return extended bindings or None."""
+    if pattern_spec.typ != host_spec.typ:
+        return None
+    if pattern_spec.in_ports != host_spec.in_ports:
+        return None
+    if pattern_spec.out_ports != host_spec.out_ports:
+        return None
+    bound = dict(params)
+    for key, value in pattern_spec.params:
+        host_value = host_spec.param(key, _MISSING)
+        if isinstance(value, Var):
+            if host_value is _MISSING:
+                return None
+            existing = bound.get(value.name, _MISSING)
+            if existing is _MISSING:
+                bound[value.name] = host_value
+            elif existing != host_value:
+                return None
+        else:
+            if host_value != value:
+                return None
+    return bound
+
+
+_MISSING = object()
+
+
+def _connections_consistent(
+    graph: ExprHigh,
+    pattern: ExprHigh,
+    node_map: dict[str, str],
+) -> bool:
+    """Check pattern connections among currently mapped nodes."""
+    for dst, src in pattern.connections.items():
+        if dst.node in node_map and src.node in node_map:
+            host_src = graph.source_of(node_map[dst.node], dst.port)
+            if host_src != Endpoint(node_map[src.node], src.port):
+                return False
+    return True
+
+
+def _finalize(
+    graph: ExprHigh,
+    pattern: ExprHigh,
+    node_map: dict[str, str],
+    params: dict[str, object],
+) -> Match | None:
+    """Validate boundary conditions and assemble the Match."""
+    matched_hosts = set(node_map.values())
+
+    inputs: dict[int, Endpoint] = {}
+    for index, endpoint in pattern.inputs.items():
+        host = Endpoint(node_map[endpoint.node], endpoint.port)
+        source = graph.source_of(host.node, host.port)
+        if source is not None and source.node in matched_hosts:
+            return None  # boundary input is fed from inside the region
+        inputs[index] = host
+
+    outputs: dict[int, Endpoint] = {}
+    for index, endpoint in pattern.outputs.items():
+        host = Endpoint(node_map[endpoint.node], endpoint.port)
+        sinks = graph.sinks_of(host.node, host.port)
+        if any(sink.node in matched_hosts for sink in sinks):
+            return None  # boundary output feeds back into the region
+        outputs[index] = host
+
+    # Host connections touching the region must all be accounted for: either
+    # a pattern-internal connection or a crossing at an interface port.
+    interface_ports = set(inputs.values()) | set(outputs.values())
+    internal = {
+        (Endpoint(node_map[src.node], src.port), Endpoint(node_map[dst.node], dst.port))
+        for dst, src in pattern.connections.items()
+    }
+    for dst, src in graph.connections.items():
+        touches_dst = dst.node in matched_hosts
+        touches_src = src.node in matched_hosts
+        if touches_dst and touches_src:
+            if (src, dst) not in internal:
+                return None  # extra edge inside the region not in the pattern
+        elif touches_dst and dst not in interface_ports:
+            return None
+        elif touches_src and src not in interface_ports:
+            return None
+
+    return Match(
+        nodes=dict(node_map),
+        params=dict(params),
+        inputs=inputs,
+        outputs=outputs,
+        host_specs={node_map[p]: graph.nodes[node_map[p]] for p in node_map},
+    )

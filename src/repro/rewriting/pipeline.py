@@ -1,0 +1,244 @@
+"""The five-phase Graphiti transformation pipeline (section 3.1).
+
+Given a compiled kernel and its loop mark (the oracle information), the
+pipeline applies:
+
+1. **Normalize** — exhaustively combine Muxes and Branches sharing forked
+   conditions (fig. 3a).
+2. **Eliminate** — exhaustively cancel Split/Join pairs and sunk Forks
+   introduced by phase 1 (fig. 3b), then drop identity wires.
+3. **Purify** — compose the loop body into a single Pure component using
+   the e-graph oracle (fig. 5, section 3.2); *refuses effectful bodies*,
+   which is what catches the bicg bug of section 6.2.
+4. **Reorder** — apply the main out-of-order loop rewrite (fig. 3d).
+5. **Expand** — splice the saved body back in tagged form, undoing the
+   Pure generation.
+
+The engine log records which applications were backed by a discharged
+refinement obligation, mirroring the paper's verified-core/unverified-minor
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.environment import Environment
+from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
+from ..errors import RewriteError
+from .engine import RewriteEngine
+from .purify import PurityError, discover_region, purify_rewrite
+from .rewrite import Match, Rewrite
+from .rules import combine, loop_rewrite, reduction
+from ..components import split as split_spec
+
+
+@dataclass
+class TransformResult:
+    """Outcome of running the pipeline on one kernel graph."""
+
+    graph: ExprHigh
+    transformed: bool
+    refusal: str | None = None
+    rewrites_applied: int = 0
+    composition_steps: int = 0
+    verified_applications: int = 0
+
+    @property
+    def total_steps(self) -> int:
+        return self.rewrites_applied + self.composition_steps
+
+
+@dataclass
+class GraphitiPipeline:
+    """Drives the verified rewriting flow of figure 1 over kernel graphs.
+
+    With *check_obligations* every verified rewrite's refinement obligation
+    is discharged (once, cached) before its first application; with
+    *check_types* the output graph must be well-typed in the section 6.3
+    sense (every connection joins ports of one deducible type).
+    """
+
+    env: Environment
+    check_obligations: bool = False
+    check_types: bool = False
+    engine: RewriteEngine = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.engine = RewriteEngine(check_obligations=self.check_obligations)
+
+    # -- public API ---------------------------------------------------------
+
+    def transform_kernel(self, graph: ExprHigh, mark) -> TransformResult:
+        """Make the marked loop out-of-order; refuse when unsound."""
+        if mark.effectful:
+            return TransformResult(
+                graph=graph,
+                transformed=False,
+                refusal=(
+                    "loop body performs stores; reordering iterations would "
+                    "permute the memory write order (the bicg case)"
+                ),
+            )
+        working = graph.copy()
+        start_count = self.engine.stats.rewrites_applied
+
+        # Phase 1: combine steering.
+        working = self.engine.apply_exhaustively(
+            working, [combine.mux_combine(), combine.branch_combine()]
+        )
+        # Phase 2: eliminate leftovers.  Identity-wire removal exposes new
+        # Split/Join adjacencies, so the two interleave to a fixpoint.
+        cleanup = [
+            reduction.split_join_elim(),
+            reduction.fork_sink_elim(),
+            reduction.pure_id_elim(),
+        ]
+        while True:
+            applied_before = self.engine.stats.rewrites_applied
+            working = self.engine.apply_exhaustively(working, cleanup)
+            nodes_before = len(working.nodes)
+            working = remove_identity_wires(working)
+            if (
+                self.engine.stats.rewrites_applied == applied_before
+                and len(working.nodes) == nodes_before
+            ):
+                break
+
+        # Phase 3: purify the loop body.
+        mux = _single_node(working, "Mux")
+        branch = _single_node(working, "Branch")
+        init_node = _single_node(working, "Init")
+        cond_fork_src = working.source_of(init_node, "in0")
+        if cond_fork_src is None:
+            raise RewriteError("loop Init is not fed by a condition fork")
+        cond_fork = cond_fork_src.node
+        try:
+            region = discover_region(working, mux, branch, cond_fork)
+            rewrite, match, steps = purify_rewrite(working, region, self.env)
+        except PurityError as exc:
+            return TransformResult(graph=graph, transformed=False, refusal=str(exc))
+        saved_body = rewrite.lhs  # the region subgraph, kept for phase 5
+        working = self.engine.apply_at(working, rewrite, match)
+
+        # Phase 4: the main out-of-order rewrite.
+        ooo = loop_rewrite.ooo_loop(tags=mark.tags)
+        transformed = self.engine.apply_once(working, ooo)
+        if transformed is None:
+            raise RewriteError("normalized loop did not match the ooo-loop pattern")
+        working = transformed
+
+        # Phase 5: expand the Pure body back into tagged components.
+        working = self._expand_body(working, saved_body)
+
+        if self.check_types:
+            from ..core.typecheck import typecheck
+
+            typecheck(working)
+
+        applied = self.engine.stats.rewrites_applied - start_count
+        verified = sum(1 for a in self.engine.log if a.verified)
+        return TransformResult(
+            graph=working,
+            transformed=True,
+            rewrites_applied=applied,
+            composition_steps=steps,
+            verified_applications=verified,
+        )
+
+    # -- phase 5 ---------------------------------------------------------------
+
+    def _expand_body(self, graph: ExprHigh, saved_body: ExprHigh) -> ExprHigh:
+        """Replace the tagged ``Pure; Split`` pair with the saved tagged body.
+
+        *saved_body* is the purify rewrite's lhs: the original region with
+        its internal connections and interface marks.  Expansion re-creates
+        it with ``tagged=true`` on every value-transforming component, the
+        reverse of Pure generation (phase 5 of section 3.1).
+        """
+        pure_nodes = [
+            name
+            for name, spec in graph.nodes.items()
+            if spec.typ == "Pure" and spec.param("tagged") is True
+        ]
+        if len(pure_nodes) != 1:
+            raise RewriteError(f"expected one tagged Pure body, found {pure_nodes}")
+        body = pure_nodes[0]
+        fn = str(graph.nodes[body].param("fn"))
+        split_sinks = graph.sinks_of(body, "out0")
+        if len(split_sinks) != 1 or graph.nodes[split_sinks[0].node].typ != "Split":
+            raise RewriteError("tagged Pure body is not followed by the loop Split")
+        split_name = split_sinks[0].node
+
+        lhs = ExprHigh()
+        lhs.add_node("body", NodeSpec.make("Pure", ["in0"], ["out0"], {"fn": fn, "tagged": True}))
+        lhs.add_node("sp", split_spec(tagged=True))
+        lhs.connect("body", "out0", "sp", "in0")
+        lhs.mark_input(0, "body", "in0")
+        lhs.mark_output(0, "sp", "out0")
+        lhs.mark_output(1, "sp", "out1")
+
+        def rhs(match: Match) -> ExprHigh:
+            replacement = ExprHigh()
+            for name, spec in saved_body.nodes.items():
+                replacement.add_node(name, _tagged_spec(spec))
+            for dst, src in saved_body.connections.items():
+                replacement.connect(src.node, src.port, dst.node, dst.port)
+            for index, endpoint in saved_body.inputs.items():
+                replacement.mark_input(index, endpoint.node, endpoint.port)
+            for index, endpoint in saved_body.outputs.items():
+                replacement.mark_output(index, endpoint.node, endpoint.port)
+            return replacement
+
+        expand = Rewrite(
+            name="expand-body",
+            lhs=lhs,
+            rhs=rhs,
+            verified=False,
+            description="Pure body expanded back into tagged components (phase 5)",
+        )
+        match = Match(
+            nodes={"body": body, "sp": split_name},
+            params={},
+            inputs={0: Endpoint(body, "in0")},
+            outputs={0: Endpoint(split_name, "out0"), 1: Endpoint(split_name, "out1")},
+            host_specs={body: graph.nodes[body], split_name: graph.nodes[split_name]},
+        )
+        return self.engine.apply_at(graph, expand, match)
+
+
+def _tagged_spec(spec: NodeSpec) -> NodeSpec:
+    if spec.typ in ("Operator", "Pure", "Join", "Split"):
+        return spec.with_params(tagged=True)
+    return spec
+
+
+def _single_node(graph: ExprHigh, typ: str) -> str:
+    nodes = [name for name, spec in graph.nodes.items() if spec.typ == typ]
+    if len(nodes) != 1:
+        raise RewriteError(f"expected exactly one {typ} after normalization, found {nodes}")
+    return nodes[0]
+
+
+def remove_identity_wires(graph: ExprHigh) -> ExprHigh:
+    """Drop untagged ``Pure{fn=id}`` nodes, fusing their connections.
+
+    A pure identity over an elastic channel is a wire; removing it deletes
+    one queue, which only removes behaviours.  This is an (unverified)
+    hygiene pass, the analogue of Dynamatic's wire cleanups.
+    """
+    result = graph.copy()
+    for name in list(result.nodes):
+        spec = result.nodes.get(name)
+        if spec is None or spec.typ != "Pure" or spec.param("fn") != "id":
+            continue
+        if spec.param("tagged") is True:
+            continue
+        source = result.source_of(name, "in0")
+        sinks = result.sinks_of(name, "out0")
+        if source is None or len(sinks) != 1:
+            continue
+        sink = sinks[0]
+        result.remove_node(name)
+        result.connect(source.node, source.port, sink.node, sink.port)
+    return result

@@ -1,0 +1,45 @@
+"""Shared helpers for defining rewrite rules and their obligations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ...components import default_environment
+from ...core.environment import Environment
+from ...core.exprhigh import ExprHigh
+from ...core.ports import IOPort
+
+
+def obligation_env(capacity: int = 1, functions: Mapping[str, tuple] = ()) -> Environment:
+    """A small-capacity environment for bounded obligation checking."""
+    env = default_environment(capacity=capacity)
+    for name, (fn, arity) in dict(functions).items():
+        env.register_function(name, fn, arity)
+    return env
+
+
+def io_values(per_index: Mapping[int, Iterable[object]]) -> dict:
+    """Stimuli keyed by interface index."""
+    return {IOPort(index): tuple(values) for index, values in per_index.items()}
+
+
+def graph_of(nodes: Mapping[str, object], connections, inputs, outputs) -> ExprHigh:
+    """Assemble an ExprHigh from compact descriptions.
+
+    *connections* is an iterable of ``("src.port", "dst.port")`` strings,
+    *inputs*/*outputs* map interface indices to ``"node.port"`` strings.
+    """
+    graph = ExprHigh()
+    for name, spec in nodes.items():
+        graph.add_node(name, spec)
+    for src, dst in connections:
+        src_node, _, src_port = src.partition(".")
+        dst_node, _, dst_port = dst.partition(".")
+        graph.connect(src_node, src_port, dst_node, dst_port)
+    for index, endpoint in inputs.items():
+        node, _, port = endpoint.partition(".")
+        graph.mark_input(index, node, port)
+    for index, endpoint in outputs.items():
+        node, _, port = endpoint.partition(".")
+        graph.mark_output(index, node, port)
+    return graph

@@ -1,0 +1,142 @@
+"""Additional normalization rewrites used while massaging loop shapes.
+
+These are the remaining "minor rewrites used to normalize the structure of
+the loop" (section 3.1): fork-tree rotations, output swaps, Merge
+commutativity, and buffer elimination.  All carry discharged refinement
+obligations.
+"""
+
+from __future__ import annotations
+
+from ...components import buffer, fork, merge, pure, split
+from ..rewrite import Match, Rewrite
+from .common import graph_of, io_values, obligation_env
+
+
+def _split_swap_lhs():
+    return graph_of(
+        {"sp": split()},
+        [],
+        {0: "sp.in0"},
+        {0: "sp.out0", 1: "sp.out1"},
+    )
+
+
+def _split_swap_rhs(match: Match):
+    return graph_of(
+        {"p": pure("swap"), "sp": split()},
+        [("p.out0", "sp.in0")],
+        {0: "p.in0"},
+        {0: "sp.out1", 1: "sp.out0"},
+    )
+
+
+def _split_swap_obligation():
+    from .. import algebra
+
+    env = obligation_env(capacity=1)
+    algebra.ensure(env, "swap")
+    yield _split_swap_lhs(), _split_swap_rhs(None), env, io_values({0: (("a", "b"),)})
+
+
+def split_swap() -> Rewrite:
+    """A Split equals a swap Pure followed by a Split with crossed outputs."""
+    return Rewrite(
+        name="split-swap",
+        lhs=_split_swap_lhs(),
+        rhs=_split_swap_rhs,
+        verified=True,
+        obligation=_split_swap_obligation,
+        description="Split commutativity via a swap Pure (split/join algebra)",
+    )
+
+
+def _fork_assoc_lhs():
+    return graph_of(
+        {"fa": fork(2), "fb": fork(2)},
+        [("fa.out0", "fb.in0")],
+        {0: "fa.in0"},
+        {0: "fb.out0", 1: "fb.out1", 2: "fa.out1"},
+    )
+
+
+def _fork_assoc_rhs(match: Match):
+    return graph_of(
+        {"fa": fork(2), "fb": fork(2)},
+        [("fa.out1", "fb.in0")],
+        {0: "fa.in0"},
+        {0: "fa.out0", 1: "fb.out0", 2: "fb.out1"},
+    )
+
+
+def _fork_assoc_obligation():
+    env = obligation_env(capacity=1)
+    yield _fork_assoc_lhs(), _fork_assoc_rhs(None), env, io_values({0: ("x", "y")})
+
+
+def fork_assoc() -> Rewrite:
+    """Rotate a fork comb: which fork output carries the subtree is free."""
+    return Rewrite(
+        name="fork-assoc",
+        lhs=_fork_assoc_lhs(),
+        rhs=_fork_assoc_rhs,
+        verified=True,
+        obligation=_fork_assoc_obligation,
+        description="Fork-tree rotation (loop normalization)",
+    )
+
+
+def _merge_swap_lhs():
+    return graph_of({"m": merge()}, [], {0: "m.in0", 1: "m.in1"}, {0: "m.out0"})
+
+
+def _merge_swap_rhs(match: Match):
+    return graph_of({"m": merge()}, [], {0: "m.in1", 1: "m.in0"}, {0: "m.out0"})
+
+
+def _merge_swap_obligation():
+    env = obligation_env(capacity=1)
+    yield _merge_swap_lhs(), _merge_swap_rhs(None), env, io_values({0: ("a",), 1: ("b",)})
+
+
+def merge_swap() -> Rewrite:
+    """Merge is commutative: its inputs can be exchanged."""
+    return Rewrite(
+        name="merge-swap",
+        lhs=_merge_swap_lhs(),
+        rhs=_merge_swap_rhs,
+        verified=True,
+        obligation=_merge_swap_obligation,
+        description="Merge commutativity (loop normalization)",
+    )
+
+
+def _buffer_elim_lhs():
+    from ...core.exprhigh import NodeSpec
+
+    from ..rewrite import Var
+
+    spec = NodeSpec.make("Buffer", ["in0"], ["out0"], {"slots": Var("S")})
+    return graph_of({"b": spec}, [], {0: "b.in0"}, {0: "b.out0"})
+
+
+def _buffer_elim_rhs(match: Match):
+    return graph_of({"w": pure("id")}, [], {0: "w.in0"}, {0: "w.out0"})
+
+
+def _buffer_elim_obligation():
+    env = obligation_env(capacity=1)
+    lhs = graph_of({"b": buffer(slots=3)}, [], {0: "b.in0"}, {0: "b.out0"})
+    yield lhs, _buffer_elim_rhs(None), env, io_values({0: ("x", "y")})
+
+
+def buffer_elim() -> Rewrite:
+    """A buffer shrinks to a wire: fewer slots, fewer behaviours."""
+    return Rewrite(
+        name="buffer-elim",
+        lhs=_buffer_elim_lhs(),
+        rhs=_buffer_elim_rhs,
+        verified=True,
+        obligation=_buffer_elim_obligation,
+        description="Buffer removal refines (slack only adds behaviours)",
+    )

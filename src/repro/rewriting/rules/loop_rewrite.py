@@ -1,0 +1,119 @@
+"""The main out-of-order loop rewrite (fig. 3d, sections 3.3 and 5).
+
+The left-hand side is the *normalized sequential loop*: a single Mux and a
+single Branch guarding a Pure body, the Boolean condition split off the
+body's output, forked to the Branch and (through an Init holding the initial
+``false``) back to the Mux.
+
+The right-hand side replaces the Mux by an unconditional Merge — which is
+what lets independent loop instances overlap and overtake each other — and
+wraps the loop in a Tagger/Untagger so results are released in program
+order.  The Init and condition Fork disappear: a Merge needs no condition.
+
+The refinement obligation is the bounded analogue of theorem 5.3
+(𝓘 ⊑ 𝓢): checked here on concrete loop bodies, and dissected invariant by
+invariant in :mod:`repro.refinement.loop_proof`.
+"""
+
+from __future__ import annotations
+
+from ...components import branch, fork, init, merge, mux, split, tagger
+from ...core.exprhigh import ExprHigh, NodeSpec
+from ..rewrite import Match, Rewrite, Var
+from .common import graph_of, io_values, obligation_env
+
+
+def sequential_loop_lhs() -> ExprHigh:
+    """The normalized sequential loop pattern (lhs of fig. 3d)."""
+    return graph_of(
+        nodes={
+            "mx": mux(),
+            "body": NodeSpec.make("Pure", ["in0"], ["out0"], {"fn": Var("F")}),
+            "sp": split(),
+            "fk": fork(2),
+            "ini": init(value=False),
+            "br": branch(),
+        },
+        connections=[
+            ("mx.out0", "body.in0"),
+            ("body.out0", "sp.in0"),
+            ("sp.out0", "br.in0"),
+            ("sp.out1", "fk.in0"),
+            ("fk.out0", "br.cond"),
+            ("fk.out1", "ini.in0"),
+            ("ini.out0", "mx.cond"),
+            ("br.out0", "mx.in0"),
+        ],
+        inputs={0: "mx.in1"},
+        outputs={0: "br.out1"},
+    )
+
+
+def ooo_loop_rhs(fn: str, tags: int) -> ExprHigh:
+    """The tagged out-of-order loop (rhs of fig. 3d) for a concrete body."""
+    return graph_of(
+        nodes={
+            "tg": tagger(tags=tags),
+            "mg": merge(),
+            "body": NodeSpec.make("Pure", ["in0"], ["out0"], {"fn": fn, "tagged": True}),
+            "sp": split(tagged=True),
+            "br": branch(tagged=True),
+        },
+        connections=[
+            ("tg.out0", "mg.in1"),
+            ("mg.out0", "body.in0"),
+            ("body.out0", "sp.in0"),
+            ("sp.out0", "br.in0"),
+            ("sp.out1", "br.cond"),
+            ("br.out0", "mg.in0"),
+            ("br.out1", "tg.in1"),
+        ],
+        inputs={0: "tg.in0"},
+        outputs={0: "tg.out1"},
+    )
+
+
+def sequential_loop_concrete(fn: str) -> ExprHigh:
+    """The lhs pattern instantiated with a concrete body function."""
+    loop = sequential_loop_lhs().copy()
+    spec = loop.nodes["body"]
+    loop.nodes["body"] = NodeSpec.make(spec.typ, spec.in_ports, spec.out_ports, {"fn": fn})
+    return loop
+
+
+def _dec_step(n: int) -> tuple[int, bool]:
+    """A tiny loop body: count down, continue while positive."""
+    return n - 1, n - 1 > 0
+
+
+def _obligation(tags: int):
+    def instances():
+        env = obligation_env(capacity=1, functions={"dec_step": (_dec_step, 1)})
+        lhs = sequential_loop_concrete("dec_step")
+        rhs = ooo_loop_rhs("dec_step", tags=min(tags, 2))
+        yield lhs, rhs, env, io_values({0: (1, 2)})
+
+    return instances
+
+
+def ooo_loop(tags: int = 4) -> Rewrite:
+    """The verified out-of-order loop rewrite, with *tags* in-flight slots.
+
+    *tags* is the rewrite's parameter supplied by the oracle (the paper uses
+    the per-benchmark counts of Elakhras et al.).  The obligation instance
+    is checked with a small tag count and a terminating countdown body — the
+    bounded stand-in for the parametric Lean proof of section 5.
+    """
+    lhs = sequential_loop_lhs()
+
+    def rhs(match: Match) -> ExprHigh:
+        return ooo_loop_rhs(str(match.params["F"]), tags)
+
+    return Rewrite(
+        name="ooo-loop",
+        lhs=lhs,
+        rhs=rhs,
+        verified=True,
+        obligation=_obligation(tags),
+        description="Mux-guarded sequential loop becomes tagged Merge loop (fig. 3d)",
+    )

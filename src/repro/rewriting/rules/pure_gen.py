@@ -1,0 +1,236 @@
+"""Phase-3 rewrites: turning a loop body into Pure components (fig. 5).
+
+The sequence of figure 5: replace each operator by a Pure implementation
+(adding Joins for extra inputs), lift Forks to the top of the body
+(duplicating what sits above them), replace Forks by ``Pure{dup}; Split``,
+and compose adjacent Pures.  Together with the shuffle rules these reduce an
+arbitrary side-effect-free body to a single Pure — which *is* the proof that
+the body consumes one token and produces one token, in order.
+"""
+
+from __future__ import annotations
+
+from ...components import fork, join, split
+from ...core.exprhigh import NodeSpec
+from .. import algebra
+from ..rewrite import Match, Rewrite, Var
+from .common import graph_of, io_values, obligation_env
+
+
+def _tagged(match: Match, node: str) -> bool:
+    return bool(match.host_specs[match.nodes[node]].param("tagged", False))
+
+
+def _pure_spec(fn: str, tagged: bool) -> NodeSpec:
+    return NodeSpec.make("Pure", ["in0"], ["out0"], {"fn": fn, "tagged": tagged})
+
+
+def _op1_lhs():
+    spec = NodeSpec.make("Operator", ["in0"], ["out0"], {"op": Var("F")})
+    return graph_of({"op": spec}, [], {0: "op.in0"}, {0: "op.out0"})
+
+
+def _op1_rhs(match: Match):
+    fn = str(match.params["F"])
+    return graph_of(
+        {"p": _pure_spec(fn, _tagged(match, "op"))}, [], {0: "p.in0"}, {0: "p.out0"}
+    )
+
+
+def _op1_obligation():
+    env = obligation_env(capacity=1)
+    lhs = graph_of(
+        {"op": NodeSpec.make("Operator", ["in0"], ["out0"], {"op": "ne0"})},
+        [], {0: "op.in0"}, {0: "op.out0"},
+    )
+    rhs = graph_of({"p": _pure_spec("ne0", False)}, [], {0: "p.in0"}, {0: "p.out0"})
+    yield lhs, rhs, env, io_values({0: (0, 1)})
+
+
+def op1_to_pure() -> Rewrite:
+    """A unary Operator is already a Pure."""
+    return Rewrite(
+        name="op1-to-pure",
+        lhs=_op1_lhs(),
+        rhs=_op1_rhs,
+        verified=True,
+        obligation=_op1_obligation,
+        description="Unary operator becomes a Pure component (fig. 5b)",
+    )
+
+
+def _op2_lhs():
+    spec = NodeSpec.make("Operator", ["in0", "in1"], ["out0"], {"op": Var("F")})
+    return graph_of({"op": spec}, [], {0: "op.in0", 1: "op.in1"}, {0: "op.out0"})
+
+
+def _op2_rhs(match: Match):
+    fn = algebra.tup(str(match.params["F"]))
+    tagged = _tagged(match, "op")
+    return graph_of(
+        {"jn": join(tagged=tagged), "p": _pure_spec(fn, tagged)},
+        [("jn.out0", "p.in0")],
+        {0: "jn.in0", 1: "jn.in1"},
+        {0: "p.out0"},
+    )
+
+
+def _op2_obligation():
+    env = obligation_env(capacity=1)
+    algebra.ensure(env, "tup(mod)")
+    lhs = graph_of(
+        {"op": NodeSpec.make("Operator", ["in0", "in1"], ["out0"], {"op": "mod"})},
+        [], {0: "op.in0", 1: "op.in1"}, {0: "op.out0"},
+    )
+    rhs = graph_of(
+        {"jn": join(tagged=False), "p": _pure_spec("tup(mod)", False)},
+        [("jn.out0", "p.in0")],
+        {0: "jn.in0", 1: "jn.in1"},
+        {0: "p.out0"},
+    )
+    yield lhs, rhs, env, io_values({0: (5, 7), 1: (3,)})
+
+
+def op2_to_pure() -> Rewrite:
+    """A binary Operator becomes Join followed by a tupled Pure."""
+    return Rewrite(
+        name="op2-to-pure",
+        lhs=_op2_lhs(),
+        rhs=_op2_rhs,
+        verified=True,
+        obligation=_op2_obligation,
+        description="Binary operator becomes Join; Pure(tup f) (fig. 5b)",
+    )
+
+
+def _fork_lift_lhs():
+    return graph_of(
+        {"p": NodeSpec.make("Pure", ["in0"], ["out0"], {"fn": Var("F")}), "fk": fork(2)},
+        [("p.out0", "fk.in0")],
+        {0: "p.in0"},
+        {0: "fk.out0", 1: "fk.out1"},
+    )
+
+
+def _fork_lift_rhs(match: Match):
+    fn = str(match.params["F"])
+    tagged = _tagged(match, "p")
+    return graph_of(
+        {"fk": fork(2), "pa": _pure_spec(fn, tagged), "pb": _pure_spec(fn, tagged)},
+        [("fk.out0", "pa.in0"), ("fk.out1", "pb.in0")],
+        {0: "fk.in0"},
+        {0: "pa.out0", 1: "pb.out0"},
+    )
+
+
+def _fork_lift_obligation():
+    env = obligation_env(capacity=1)
+    lhs = graph_of(
+        {"p": _pure_spec("incr", False), "fk": fork(2)},
+        [("p.out0", "fk.in0")],
+        {0: "p.in0"},
+        {0: "fk.out0", 1: "fk.out1"},
+    )
+    rhs = graph_of(
+        {"fk": fork(2), "pa": _pure_spec("incr", False), "pb": _pure_spec("incr", False)},
+        [("fk.out0", "pa.in0"), ("fk.out1", "pb.in0")],
+        {0: "fk.in0"},
+        {0: "pa.out0", 1: "pb.out0"},
+    )
+    yield lhs, rhs, env, io_values({0: (1, 2)})
+
+
+def fork_lift_pure() -> Rewrite:
+    """Move a Fork above a Pure, duplicating the Pure (fig. 5c)."""
+    return Rewrite(
+        name="fork-lift-pure",
+        lhs=_fork_lift_lhs(),
+        rhs=_fork_lift_rhs,
+        verified=True,
+        obligation=_fork_lift_obligation,
+        description="Fork moved above a Pure, duplicating it (fig. 5c)",
+    )
+
+
+def _fork_to_pure_lhs():
+    return graph_of({"fk": fork(2)}, [], {0: "fk.in0"}, {0: "fk.out0", 1: "fk.out1"})
+
+
+def _fork_to_pure_rhs(match: Match):
+    tagged = _tagged(match, "fk")
+    return graph_of(
+        {"p": _pure_spec("dup", tagged), "sp": split(tagged=tagged)},
+        [("p.out0", "sp.in0")],
+        {0: "p.in0"},
+        {0: "sp.out0", 1: "sp.out1"},
+    )
+
+
+def _fork_to_pure_obligation():
+    env = obligation_env(capacity=1)
+    algebra.ensure(env, "dup")
+    lhs = _fork_to_pure_lhs()
+    rhs = graph_of(
+        {"p": _pure_spec("dup", False), "sp": split(tagged=False)},
+        [("p.out0", "sp.in0")],
+        {0: "p.in0"},
+        {0: "sp.out0", 1: "sp.out1"},
+    )
+    yield lhs, rhs, env, io_values({0: ("x", "y")})
+
+
+def fork_to_pure() -> Rewrite:
+    """A Fork becomes ``Pure{dup}`` followed by a Split (fig. 5d)."""
+    return Rewrite(
+        name="fork-to-pure",
+        lhs=_fork_to_pure_lhs(),
+        rhs=_fork_to_pure_rhs,
+        verified=True,
+        obligation=_fork_to_pure_obligation,
+        description="Fork becomes Pure(dup); Split (fig. 5d)",
+    )
+
+
+def _compose_lhs():
+    return graph_of(
+        {
+            "p": NodeSpec.make("Pure", ["in0"], ["out0"], {"fn": Var("F")}),
+            "q": NodeSpec.make("Pure", ["in0"], ["out0"], {"fn": Var("G")}),
+        },
+        [("p.out0", "q.in0")],
+        {0: "p.in0"},
+        {0: "q.out0"},
+    )
+
+
+def _compose_rhs(match: Match):
+    fn = algebra.comp(str(match.params["F"]), str(match.params["G"]))
+    tagged = _tagged(match, "p") or _tagged(match, "q")
+    return graph_of({"pq": _pure_spec(fn, tagged)}, [], {0: "pq.in0"}, {0: "pq.out0"})
+
+
+def _compose_obligation():
+    env = obligation_env(capacity=1)
+    algebra.ensure(env, "comp(incr,ne0)")
+    lhs = graph_of(
+        {"p": _pure_spec("incr", False), "q": _pure_spec("ne0", False)},
+        [("p.out0", "q.in0")],
+        {0: "p.in0"},
+        {0: "q.out0"},
+    )
+    rhs = graph_of(
+        {"pq": _pure_spec("comp(incr,ne0)", False)}, [], {0: "pq.in0"}, {0: "pq.out0"}
+    )
+    yield lhs, rhs, env, io_values({0: (-1, 0)})
+
+
+def pure_compose() -> Rewrite:
+    """Two Pures in sequence compose into one."""
+    return Rewrite(
+        name="pure-compose",
+        lhs=_compose_lhs(),
+        rhs=_compose_rhs,
+        verified=True,
+        obligation=_compose_obligation,
+        description="Sequential Pures fuse into one Pure (fig. 5e)",
+    )

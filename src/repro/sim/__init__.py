@@ -1,0 +1,13 @@
+"""Cycle-level simulation of elastic circuits (the ModelSim substitute)."""
+
+from .cycle import Channel, CycleSimulator, SimStats
+from .trace import FiringEvent, FiringTrace, render_timeline
+
+__all__ = [
+    "Channel",
+    "CycleSimulator",
+    "SimStats",
+    "FiringEvent",
+    "FiringTrace",
+    "render_timeline",
+]

@@ -1,0 +1,89 @@
+"""Tests for the benchmark kernel definitions."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import BENCHMARKS, bicg, gemm, gsum_many, gsum_single, load_benchmark, matvec, mvt
+from repro.hls.ir import run_program
+
+
+class TestLoadBenchmark:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_all_benchmarks_construct(self, name):
+        program = load_benchmark(name)
+        assert program.kernels
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_benchmark("img-avg")  # omitted, as in the paper
+
+
+class TestReferenceSemantics:
+    def test_matvec_matches_numpy(self):
+        program = matvec(8)
+        trace = run_program(program)
+        A = program.arrays["A"].reshape(8, 8)
+        np.testing.assert_allclose(trace.arrays["y"], A @ program.arrays["x"], atol=1e-9)
+
+    def test_mvt_matches_numpy(self):
+        program = mvt(6)
+        x1 = program.arrays["x1"].copy()
+        x2 = program.arrays["x2"].copy()
+        trace = run_program(program)
+        A = program.arrays["A"].reshape(6, 6)
+        np.testing.assert_allclose(trace.arrays["x1"], x1 + A @ program.arrays["y1"], atol=1e-9)
+        np.testing.assert_allclose(trace.arrays["x2"], x2 + A.T @ program.arrays["y2"], atol=1e-9)
+
+    def test_bicg_matches_numpy(self):
+        program = bicg(6)
+        trace = run_program(program)
+        A = program.arrays["A"].reshape(6, 6)
+        np.testing.assert_allclose(trace.arrays["q"], A @ program.arrays["p"], atol=1e-9)
+        np.testing.assert_allclose(trace.arrays["s"], A.T @ program.arrays["r"], atol=1e-9)
+
+    def test_gemm_matches_numpy(self):
+        program = gemm(5)
+        trace = run_program(program)
+        A = program.arrays["A"].reshape(5, 5)
+        B = program.arrays["B"].reshape(5, 5)
+        np.testing.assert_allclose(
+            trace.arrays["C"].reshape(5, 5), 1.5 * (A @ B), atol=1e-9
+        )
+
+    def test_gsum_single_matches_numpy(self):
+        program = gsum_single(32)
+        trace = run_program(program)
+        d = program.arrays["d"][: 2 * 32 : 2]
+        expected = np.where(d >= 0, (d * d) * (d * 0.5) + d * 2.0, 0.0).sum()
+        np.testing.assert_allclose(trace.arrays["out"][0], expected, atol=1e-9)
+
+    def test_gsum_many_matches_numpy(self):
+        program = gsum_many(3, 16)
+        trace = run_program(program)
+        for inst in range(3):
+            base = inst * 32
+            d = program.arrays["d"][base : base + 32 : 2]
+            expected = np.where(d >= 0, (d * d) * (d * 0.5) + d * 2.0, 0.0).sum()
+            np.testing.assert_allclose(trace.arrays["out"][inst], expected, atol=1e-9)
+
+
+class TestPaperProperties:
+    def test_bicg_is_the_effectful_benchmark(self):
+        assert bicg(4).kernels[0].loop.is_effectful()
+        for factory in (gemm, matvec, mvt):
+            program = factory(4)
+            assert not any(k.loop.is_effectful() for k in program.kernels)
+
+    def test_matvec_has_the_large_tag_budget(self):
+        assert matvec().kernels[0].tags == 50
+
+    def test_gsum_single_is_sequential(self):
+        program = gsum_single(16)
+        assert program.kernels[0].sequential_outer
+        assert len(list(program.kernels[0].outer_points())) == 1
+
+    def test_mvt_has_two_sweeps(self):
+        assert len(mvt(4).kernels) == 2
+
+    def test_gemm_outer_space_is_two_dimensional(self):
+        assert len(gemm(4).kernels[0].outer) == 2

@@ -1,0 +1,94 @@
+"""Tests for the CMerge and Reorg components (Table 1 completeness)."""
+
+import pytest
+
+from repro.components import cmerge, default_environment, reorg
+from repro.core.ports import IOPort
+from repro.errors import SemanticsError
+
+
+@pytest.fixture
+def env():
+    return default_environment(capacity=2)
+
+
+class TestCMerge:
+    def test_emits_value_then_index(self, env):
+        module = env.lookup("CMerge")
+        (state,) = module.init
+        (state,) = module.inputs[IOPort(0)].fire(state, "left-token")
+        outs = list(module.outputs[IOPort(0)].fire(state))
+        assert len(outs) == 1
+        value, state = outs[0]
+        assert value == "left-token"
+        index_outs = list(module.outputs[IOPort(1)].fire(state))
+        assert index_outs[0][0] is True  # left side won
+
+    def test_right_side_reports_false(self, env):
+        module = env.lookup("CMerge")
+        (state,) = module.init
+        (state,) = module.inputs[IOPort(1)].fire(state, "right-token")
+        value, state = next(iter(module.outputs[IOPort(0)].fire(state)))
+        index, _ = next(iter(module.outputs[IOPort(1)].fire(state)))
+        assert value == "right-token"
+        assert index is False
+
+    def test_index_gates_next_emission(self, env):
+        """A second token cannot pass before the index token is consumed."""
+        module = env.lookup("CMerge")
+        (state,) = module.init
+        (state,) = module.inputs[IOPort(0)].fire(state, "a")
+        (state,) = module.inputs[IOPort(1)].fire(state, "b")
+        _, state = next(iter(module.outputs[IOPort(0)].fire(state)))
+        assert not list(module.outputs[IOPort(0)].fire(state))
+        _, state = next(iter(module.outputs[IOPort(1)].fire(state)))
+        assert list(module.outputs[IOPort(0)].fire(state))
+
+    def test_nondeterministic_when_both_present(self, env):
+        module = env.lookup("CMerge")
+        (state,) = module.init
+        (state,) = module.inputs[IOPort(0)].fire(state, "L")
+        (state,) = module.inputs[IOPort(1)].fire(state, "R")
+        values = {value for value, _ in module.outputs[IOPort(0)].fire(state)}
+        assert values == {"L", "R"}
+
+
+class TestReorg:
+    def test_applies_shuffle(self, env):
+        module = env.lookup("Reorg{fn=swap}")
+        (state,) = module.init
+        (state,) = module.inputs[IOPort(0)].fire(state, (1, 2))
+        value, _ = next(iter(module.outputs[IOPort(0)].fire(state)))
+        assert value == (2, 1)
+
+    def test_assoc_shuffles(self, env):
+        module = env.lookup("Reorg{fn=assocl}")
+        (state,) = module.init
+        (state,) = module.inputs[IOPort(0)].fire(state, (1, (2, 3)))
+        value, _ = next(iter(module.outputs[IOPort(0)].fire(state)))
+        assert value == ((1, 2), 3)
+
+    def test_composed_shuffle(self, env):
+        from repro.rewriting import algebra
+
+        name = "comp(swap,assocr)"
+        algebra.ensure(env, name)
+        module = env.lookup(f"Reorg{{fn={name}}}")
+        (state,) = module.init
+        (state,) = module.inputs[IOPort(0)].fire(state, (1, (2, 3)))
+        value, _ = next(iter(module.outputs[IOPort(0)].fire(state)))
+        assert value == (2, (3, 1))
+
+    def test_computation_rejected(self, env):
+        with pytest.raises(SemanticsError):
+            env.lookup("Reorg{fn=incr}")
+
+    def test_is_shuffle_classifier(self):
+        from repro.rewriting.algebra import is_shuffle
+
+        assert is_shuffle("swap")
+        assert is_shuffle("comp(assocl,first(swap))")
+        assert is_shuffle("par(fst,snd)")
+        assert not is_shuffle("incr")
+        assert not is_shuffle("comp(swap,incr)")
+        assert not is_shuffle("tup(mod)")

@@ -1,0 +1,312 @@
+"""Behavioural tests for every library component's module semantics."""
+
+import pytest
+
+from repro.components import default_environment
+from repro.core.encoding import encode_component
+from repro.core.module import Module
+from repro.core.ports import IOPort
+
+
+@pytest.fixture
+def env():
+    return default_environment(capacity=3)
+
+
+def feed(module: Module, state, port: int, value):
+    results = list(module.inputs[IOPort(port)].fire(state, value))
+    assert results, f"input {port} refused value {value!r}"
+    assert len(results) == 1
+    return results[0]
+
+
+def outputs_of(module: Module, state, port: int):
+    return list(module.outputs[IOPort(port)].fire(state))
+
+
+def drain_one(module: Module, state, port: int):
+    out = outputs_of(module, state, port)
+    assert out, f"output {port} had nothing to emit"
+    assert len(out) == 1
+    return out[0]
+
+
+class TestFork:
+    def test_duplicates_to_all_outputs(self, env):
+        fork = env.lookup("Fork{n=3}")
+        (state,) = fork.init
+        state = feed(fork, state, 0, 42)
+        for port in range(3):
+            value, _ = drain_one(fork, state, port)
+            assert value == 42
+
+    def test_outputs_drain_independently(self, env):
+        fork = env.lookup("Fork{n=2}")
+        (state,) = fork.init
+        state = feed(fork, state, 0, 1)
+        _, state = drain_one(fork, state, 0)
+        assert not outputs_of(fork, state, 0)
+        value, _ = drain_one(fork, state, 1)
+        assert value == 1
+
+    def test_backpressure_refuses_when_full(self, env):
+        fork = env.lookup("Fork{n=2}")
+        (state,) = fork.init
+        for v in range(3):
+            state = feed(fork, state, 0, v)
+        assert not list(fork.inputs[IOPort(0)].fire(state, 99))
+
+
+class TestJoin:
+    def test_synchronises_into_tuple(self, env):
+        join = env.lookup("Join")
+        (state,) = join.init
+        state = feed(join, state, 0, "left")
+        assert not outputs_of(join, state, 0), "join must wait for both inputs"
+        state = feed(join, state, 1, "right")
+        value, _ = drain_one(join, state, 0)
+        assert value == ("left", "right")
+
+    def test_fifo_pairing(self, env):
+        join = env.lookup("Join")
+        (state,) = join.init
+        for v in (1, 2):
+            state = feed(join, state, 0, v)
+        for v in ("a", "b"):
+            state = feed(join, state, 1, v)
+        value, state = drain_one(join, state, 0)
+        assert value == (1, "a")
+        value, _ = drain_one(join, state, 0)
+        assert value == (2, "b")
+
+
+class TestSplit:
+    def test_destructures_tuple(self, env):
+        split = env.lookup("Split")
+        (state,) = split.init
+        state = feed(split, state, 0, (7, True))
+        left, _ = drain_one(split, state, 0)
+        right, _ = drain_one(split, state, 1)
+        assert (left, right) == (7, True)
+
+    def test_tagged_split_propagates_tag(self, env):
+        split = env.lookup("Split{tagged=true}")
+        (state,) = split.init
+        state = feed(split, state, 0, (3, (7, True)))
+        left, _ = drain_one(split, state, 0)
+        right, _ = drain_one(split, state, 1)
+        assert left == (3, 7)
+        assert right == (3, True)
+
+
+class TestMux:
+    def test_true_selects_first_input(self, env):
+        mux = env.lookup("Mux")
+        (state,) = mux.init
+        state = feed(mux, state, 0, True)
+        state = feed(mux, state, 1, "T")
+        state = feed(mux, state, 2, "F")
+        value, _ = drain_one(mux, state, 0)
+        assert value == "T"
+
+    def test_false_selects_second_input(self, env):
+        mux = env.lookup("Mux")
+        (state,) = mux.init
+        state = feed(mux, state, 0, False)
+        state = feed(mux, state, 2, "F")
+        value, _ = drain_one(mux, state, 0)
+        assert value == "F"
+
+    def test_waits_for_selected_side(self, env):
+        mux = env.lookup("Mux")
+        (state,) = mux.init
+        state = feed(mux, state, 0, True)
+        state = feed(mux, state, 2, "F")
+        assert not outputs_of(mux, state, 0)
+
+
+class TestBranch:
+    def test_true_goes_to_out0(self, env):
+        branch = env.lookup("Branch")
+        (state,) = branch.init
+        state = feed(branch, state, 0, True)
+        state = feed(branch, state, 1, 5)
+        assert drain_one(branch, state, 0)[0] == 5
+        assert not outputs_of(branch, state, 1)
+
+    def test_false_goes_to_out1(self, env):
+        branch = env.lookup("Branch")
+        (state,) = branch.init
+        state = feed(branch, state, 0, False)
+        state = feed(branch, state, 1, 5)
+        assert drain_one(branch, state, 1)[0] == 5
+        assert not outputs_of(branch, state, 0)
+
+    def test_tagged_branch_reads_bool_from_pair(self, env):
+        branch = env.lookup("Branch{tagged=true}")
+        (state,) = branch.init
+        state = feed(branch, state, 0, (2, False))
+        state = feed(branch, state, 1, (2, 99))
+        assert drain_one(branch, state, 1)[0] == (2, 99)
+
+
+class TestMerge:
+    def test_single_side_deterministic(self, env):
+        merge = env.lookup("Merge")
+        (state,) = merge.init
+        state = feed(merge, state, 0, "x")
+        assert drain_one(merge, state, 0)[0] == "x"
+
+    def test_both_sides_nondeterministic(self, env):
+        merge = env.lookup("Merge")
+        (state,) = merge.init
+        state = feed(merge, state, 0, "left")
+        state = feed(merge, state, 1, "right")
+        emitted = {value for value, _ in outputs_of(merge, state, 0)}
+        assert emitted == {"left", "right"}
+
+
+class TestInit:
+    def test_starts_with_initial_token(self, env):
+        init = env.lookup("Init{value=false}")
+        (state,) = init.init
+        value, state = drain_one(init, state, 0)
+        assert value is False
+        assert not outputs_of(init, state, 0)
+
+    def test_behaves_like_queue_after(self, env):
+        init = env.lookup("Init{value=false}")
+        (state,) = init.init
+        _, state = drain_one(init, state, 0)
+        state = feed(init, state, 0, True)
+        assert drain_one(init, state, 0)[0] is True
+
+
+class TestOperator:
+    def test_applies_function(self, env):
+        mod = env.lookup(encode_component("Operator", {"op": "mod"}))
+        (state,) = mod.init
+        state = feed(mod, state, 0, 10)
+        state = feed(mod, state, 1, 4)
+        assert drain_one(mod, state, 0)[0] == 2
+
+    def test_waits_for_all_arguments(self, env):
+        mod = env.lookup("Operator{op=mod}")
+        (state,) = mod.init
+        state = feed(mod, state, 0, 10)
+        assert not outputs_of(mod, state, 0)
+
+    def test_tagged_operator_keeps_tag(self, env):
+        add = env.lookup("Operator{op=add;tagged=true}")
+        (state,) = add.init
+        state = feed(add, state, 0, (5, 1))
+        state = feed(add, state, 1, (5, 2))
+        assert drain_one(add, state, 0)[0] == (5, 3)
+
+
+class TestPure:
+    def test_applies_unary_function(self, env):
+        pure = env.lookup("Pure{fn=incr}")
+        (state,) = pure.init
+        state = feed(pure, state, 0, 41)
+        assert drain_one(pure, state, 0)[0] == 42
+
+    def test_tagged_pure_maps_over_value(self, env):
+        pure = env.lookup("Pure{fn=incr;tagged=true}")
+        (state,) = pure.init
+        state = feed(pure, state, 0, (9, 41))
+        assert drain_one(pure, state, 0)[0] == (9, 42)
+
+    def test_gcd_step_function(self, env):
+        pure = env.lookup("Pure{fn=gcd_step}")
+        (state,) = pure.init
+        state = feed(pure, state, 0, (12, 8))
+        value, _ = drain_one(pure, state, 0)
+        assert value == ((8, 4), True)
+
+
+class TestConstantAndSink:
+    def test_constant_emits_per_trigger(self, env):
+        const = env.lookup("Constant{value=7}")
+        (state,) = const.init
+        assert not outputs_of(const, state, 0)
+        state = feed(const, state, 0, ())
+        assert drain_one(const, state, 0)[0] == 7
+
+    def test_sink_always_accepts(self, env):
+        sink = env.lookup("Sink")
+        (state,) = sink.init
+        for v in range(10):
+            state = feed(sink, state, 0, v)
+
+
+class TestTagger:
+    def test_tags_in_allocation_order(self, env):
+        tagger = env.lookup("Tagger{tags=2}")
+        (state,) = tagger.init
+        state = feed(tagger, state, 0, "a")
+        state = feed(tagger, state, 0, "b")
+        first_tagged, state = drain_one(tagger, state, 0)
+        second_tagged, state = drain_one(tagger, state, 0)
+        assert first_tagged == (0, "a")
+        assert second_tagged == (1, "b")
+
+    def test_refuses_when_out_of_tags(self, env):
+        tagger = env.lookup("Tagger{tags=1}")
+        (state,) = tagger.init
+        state = feed(tagger, state, 0, "a")
+        assert not list(tagger.inputs[IOPort(0)].fire(state, "b"))
+
+    def test_reorders_out_of_order_completions(self, env):
+        tagger = env.lookup("Tagger{tags=2}")
+        (state,) = tagger.init
+        state = feed(tagger, state, 0, "a")
+        state = feed(tagger, state, 0, "b")
+        _, state = drain_one(tagger, state, 0)
+        _, state = drain_one(tagger, state, 0)
+        # Tag 1 ("b") finishes before tag 0 ("a").
+        state = feed(tagger, state, 1, (1, "B"))
+        assert not outputs_of(tagger, state, 1), "must hold younger result"
+        state = feed(tagger, state, 1, (0, "A"))
+        value, state = drain_one(tagger, state, 1)
+        assert value == "A"
+        value, state = drain_one(tagger, state, 1)
+        assert value == "B"
+
+    def test_tag_reuse_after_release(self, env):
+        tagger = env.lookup("Tagger{tags=1}")
+        (state,) = tagger.init
+        state = feed(tagger, state, 0, "a")
+        _, state = drain_one(tagger, state, 0)
+        state = feed(tagger, state, 1, (0, "A"))
+        _, state = drain_one(tagger, state, 1)
+        state = feed(tagger, state, 0, "b")
+        assert drain_one(tagger, state, 0)[0] == (0, "b")
+
+    def test_unknown_tag_refused(self, env):
+        tagger = env.lookup("Tagger{tags=2}")
+        (state,) = tagger.init
+        assert not list(tagger.inputs[IOPort(1)].fire(state, (1, "x")))
+
+
+class TestStore:
+    def test_records_write_history_in_order(self, env):
+        store = env.lookup("Store")
+        (state,) = store.init
+        state = feed(store, state, 0, 100)
+        state = feed(store, state, 1, "v0")
+        (state,) = store.internal_steps(state)
+        state = feed(store, state, 0, 104)
+        state = feed(store, state, 1, "v1")
+        (state,) = store.internal_steps(state)
+        from repro.components import store_history
+
+        assert store_history(state) == ((100, "v0"), (104, "v1"))
+
+    def test_emits_completion_token(self, env):
+        store = env.lookup("Store")
+        (state,) = store.init
+        state = feed(store, state, 0, 0)
+        state = feed(store, state, 1, 1)
+        (state,) = store.internal_steps(state)
+        assert drain_one(store, state, 0)[0] == ()

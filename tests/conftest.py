@@ -1,0 +1,24 @@
+"""Test-suite configuration.
+
+Registers a fast hypothesis profile so the property tests keep the whole
+suite in the tens of seconds; set ``HYPOTHESIS_PROFILE=thorough`` for a
+deeper fuzzing run.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "fast",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))

@@ -1,0 +1,75 @@
+"""Tests for the component-string encoding."""
+
+import pytest
+
+from repro.core.encoding import decode_component, encode_component
+from repro.core.types import BOOL, I32, TaggedType, TupleType
+from repro.errors import GraphError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "typ,params",
+        [
+            ("Fork", {}),
+            ("Fork", {"n": 2}),
+            ("Mux", {"type": I32}),
+            ("Pure", {"fn": "gcd_step", "tagged": True}),
+            ("Tagger", {"tags": 8, "type": TupleType(I32, BOOL)}),
+            ("Split", {"tagged": False, "type": TaggedType(I32)}),
+            ("Init", {"value": False}),
+            ("Buffer", {"slots": 3}),
+        ],
+    )
+    def test_round_trip(self, typ, params):
+        encoded = encode_component(typ, params)
+        name, decoded = decode_component(encoded)
+        assert name == typ
+        assert decoded == params
+
+    def test_no_params_is_bare_name(self):
+        assert encode_component("Fork", {}) == "Fork"
+        assert decode_component("Fork") == ("Fork", {})
+
+    def test_keys_sorted_for_canonicity(self):
+        a = encode_component("X", {"b": 1, "a": 2})
+        b = encode_component("X", {"a": 2, "b": 1})
+        assert a == b
+
+
+class TestErrors:
+    def test_reserved_chars_in_name_rejected(self):
+        with pytest.raises(GraphError):
+            encode_component("Bad{name", {})
+
+    def test_reserved_chars_in_value_rejected(self):
+        with pytest.raises(GraphError):
+            encode_component("X", {"k": "a;b"})
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(GraphError):
+            encode_component("X", {"k": object()})
+
+    def test_malformed_decode_rejected(self):
+        with pytest.raises(GraphError):
+            decode_component("X{broken")
+        with pytest.raises(GraphError):
+            decode_component("X{novalue}")
+
+
+class TestValueConventions:
+    def test_bools(self):
+        _, params = decode_component("X{a=true;b=false}")
+        assert params == {"a": True, "b": False}
+
+    def test_numbers(self):
+        _, params = decode_component("X{n=3;x=1.5}")
+        assert params == {"n": 3, "x": 1.5}
+
+    def test_plain_strings(self):
+        _, params = decode_component("X{op=fadd}")
+        assert params == {"op": "fadd"}
+
+    def test_type_keys_parse_types(self):
+        _, params = decode_component("X{type=tagged<(i32 * bool), 8>}")
+        assert params == {"type": TaggedType(TupleType(I32, BOOL), 8)}

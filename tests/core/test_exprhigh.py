@@ -1,0 +1,165 @@
+"""Tests for the ExprHigh named graph language and ExprLow round trips."""
+
+import pytest
+
+from repro.components import fork, join, mux, operator, sink
+from repro.core.exprhigh import Endpoint, ExprHigh, NodeSpec, lift
+from repro.errors import GraphError
+
+
+def fork_mod_graph():
+    """The figure 6 example: a fork feeding a modulo operator."""
+    g = ExprHigh()
+    g.add_node("f", fork(2))
+    g.add_node("m", operator("mod", 2))
+    g.connect("f", "out0", "m", "in0")
+    g.mark_input(0, "f", "in0")
+    g.mark_input(1, "m", "in1")
+    g.mark_output(0, "f", "out1")
+    g.mark_output(1, "m", "out0")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        g = ExprHigh()
+        g.add_node("a", fork(2))
+        with pytest.raises(GraphError):
+            g.add_node("a", fork(2))
+
+    def test_connect_unknown_port_rejected(self):
+        g = ExprHigh()
+        g.add_node("a", fork(2))
+        g.add_node("b", sink())
+        with pytest.raises(GraphError):
+            g.connect("a", "nope", "b", "in0")
+
+    def test_double_connect_input_rejected(self):
+        g = ExprHigh()
+        g.add_node("a", fork(2))
+        g.add_node("b", sink())
+        g.connect("a", "out0", "b", "in0")
+        with pytest.raises(GraphError):
+            g.connect("a", "out1", "b", "in0")
+
+    def test_double_connect_output_rejected(self):
+        g = ExprHigh()
+        g.add_node("a", fork(2))
+        g.add_node("b", sink())
+        g.add_node("c", sink())
+        g.connect("a", "out0", "b", "in0")
+        with pytest.raises(GraphError):
+            g.connect("a", "out0", "c", "in0")
+
+    def test_validate_detects_loose_ports(self):
+        g = ExprHigh()
+        g.add_node("a", fork(2))
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_mark_connected_port_as_input_rejected(self):
+        g = ExprHigh()
+        g.add_node("a", fork(2))
+        g.add_node("b", sink())
+        g.connect("a", "out0", "b", "in0")
+        with pytest.raises(GraphError):
+            g.mark_input(0, "b", "in0")
+
+
+class TestQueries:
+    def test_source_and_sinks(self):
+        g = fork_mod_graph()
+        assert g.source_of("m", "in0") == Endpoint("f", "out0")
+        assert g.sinks_of("f", "out0") == [Endpoint("m", "in0")]
+        assert g.source_of("f", "in0") is None
+
+    def test_successors_predecessors(self):
+        g = fork_mod_graph()
+        succs = list(g.successors("f"))
+        assert [s[0] for s in succs] == ["m"]
+        preds = list(g.predecessors("m"))
+        assert [p[0] for p in preds] == ["f"]
+
+
+class TestMutation:
+    def test_remove_node_clears_connections(self):
+        g = fork_mod_graph()
+        g.remove_node("m")
+        assert all(dst.node != "m" and src.node != "m" for dst, src in g.connections.items())
+        assert 1 not in g.inputs
+
+    def test_rename_node_updates_everything(self):
+        g = fork_mod_graph()
+        g.rename_node("f", "fork0")
+        assert "fork0" in g.nodes
+        assert g.source_of("m", "in0") == Endpoint("fork0", "out0")
+        assert g.inputs[0] == Endpoint("fork0", "in0")
+
+    def test_fresh_name(self):
+        g = fork_mod_graph()
+        assert g.fresh_name("f") == "f_1"
+        assert g.fresh_name("new") == "new"
+
+    def test_copy_is_independent(self):
+        g = fork_mod_graph()
+        clone = g.copy()
+        clone.remove_node("m")
+        assert "m" in g.nodes
+
+    def test_disconnect_returns_source(self):
+        g = fork_mod_graph()
+        src = g.disconnect("m", "in0")
+        assert src == Endpoint("f", "out0")
+        assert g.source_of("m", "in0") is None
+
+
+class TestLowerLift:
+    def test_lower_produces_expected_size(self):
+        low = fork_mod_graph().lower()
+        assert low.size() == 2
+        assert len(list(low.connections())) == 1
+
+    def test_lift_round_trips_structure(self):
+        g = fork_mod_graph()
+        lifted = lift(g.lower())
+        assert set(lifted.nodes) == set(g.nodes)
+        assert len(lifted.connections) == len(g.connections)
+        assert set(lifted.inputs) == set(g.inputs)
+        assert set(lifted.outputs) == set(g.outputs)
+
+    def test_lift_recovers_params(self):
+        g = fork_mod_graph()
+        lifted = lift(g.lower())
+        assert lifted.nodes["m"].param("op") == "mod"
+        assert lifted.nodes["f"].param("n") == 2
+
+    def test_lower_with_custom_order(self):
+        g = fork_mod_graph()
+        low = g.lower(node_order=["m", "f"])
+        assert [b for b in low.bases()][0].typ.startswith("Operator")
+
+    def test_lower_rejects_bad_order(self):
+        g = fork_mod_graph()
+        with pytest.raises(GraphError):
+            g.lower(node_order=["m"])
+
+    def test_double_round_trip_is_stable(self):
+        g = fork_mod_graph()
+        once = lift(g.lower())
+        twice = lift(once.lower())
+        assert set(twice.nodes) == set(once.nodes)
+        assert twice.lower() == once.lower()
+
+
+class TestNodeSpec:
+    def test_param_access(self):
+        spec = mux(type="i32")
+        assert spec.param("type") == "i32"
+        assert spec.param("missing", 42) == 42
+
+    def test_with_params_merges(self):
+        spec = join().with_params(type="i32")
+        assert spec.param("type") == "i32"
+
+    def test_specs_are_hashable(self):
+        assert hash(NodeSpec.make("X", ["a"], ["b"], {"k": 1}))

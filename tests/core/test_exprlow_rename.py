@@ -1,0 +1,60 @@
+"""Tests for direction-aware port renaming on ExprLow."""
+
+from repro.core.exprlow import Base, Connect, Product, rename_ports
+from repro.core.ports import InternalPort, IOPort, sequential_map
+
+
+def base(name, n_in=1, n_out=1):
+    return Base(
+        "Buffer",
+        sequential_map(name, [f"in{i}" for i in range(n_in)]),
+        sequential_map(name, [f"out{i}" for i in range(n_out)]),
+    )
+
+
+class TestRenamePorts:
+    def test_renames_base_targets(self):
+        expr = base("a")
+        renamed = rename_ports(
+            expr,
+            {InternalPort("a", "in0"): IOPort(7)},
+            {InternalPort("a", "out0"): IOPort(8)},
+        )
+        assert renamed.dangling_inputs() == frozenset({IOPort(7)})
+        assert renamed.dangling_outputs() == frozenset({IOPort(8)})
+
+    def test_directions_are_independent(self):
+        """The same name may be an input on one side and an output on the
+        other; renaming must not conflate them."""
+        expr = Base(
+            "Buffer",
+            sequential_map("a", ["x"]),
+            sequential_map("b", ["x"]),  # output named b.x
+        )
+        renamed = rename_ports(
+            expr,
+            {InternalPort("a", "x"): IOPort(0)},
+            {InternalPort("a", "x"): IOPort(9)},  # no output has this name
+        )
+        assert renamed.dangling_inputs() == frozenset({IOPort(0)})
+        assert renamed.dangling_outputs() == frozenset({InternalPort("b", "x")})
+
+    def test_connect_endpoints_renamed(self):
+        expr = Connect(
+            InternalPort("a", "out0"),
+            InternalPort("b", "in0"),
+            Product(base("a"), base("b")),
+        )
+        renamed = rename_ports(
+            expr,
+            {InternalPort("b", "in0"): InternalPort("b", "renamed_in")},
+            {InternalPort("a", "out0"): InternalPort("a", "renamed_out")},
+        )
+        assert list(renamed.connections()) == [
+            (InternalPort("a", "renamed_out"), InternalPort("b", "renamed_in"))
+        ]
+
+    def test_unmapped_ports_untouched(self):
+        expr = Product(base("a"), base("b"))
+        renamed = rename_ports(expr, {}, {})
+        assert renamed == expr

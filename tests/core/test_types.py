@@ -1,0 +1,91 @@
+"""Tests for the wire type language and unification."""
+
+import pytest
+
+from repro.core.types import (
+    BOOL,
+    I32,
+    UNIT,
+    FloatType,
+    IntType,
+    TaggedType,
+    TupleType,
+    TypeVar,
+    parse_type,
+    unify,
+)
+from repro.errors import TypeCheckError
+
+
+class TestTypeConstruction:
+    def test_int_width_must_be_positive(self):
+        with pytest.raises(TypeCheckError):
+            IntType(0)
+
+    def test_float_width_restricted(self):
+        with pytest.raises(TypeCheckError):
+            FloatType(16)
+
+    def test_concrete_types_have_no_free_vars(self):
+        assert I32.is_concrete()
+        assert TupleType(I32, BOOL).is_concrete()
+
+    def test_type_var_is_not_concrete(self):
+        assert not TypeVar("T").is_concrete()
+        assert not TupleType(TypeVar("T"), BOOL).is_concrete()
+
+
+class TestSubstitution:
+    def test_substitute_into_tuple(self):
+        pattern = TupleType(TypeVar("T"), TypeVar("U"))
+        result = pattern.substitute({"T": I32, "U": BOOL})
+        assert result == TupleType(I32, BOOL)
+
+    def test_substitute_into_tagged(self):
+        pattern = TaggedType(TypeVar("T"))
+        assert pattern.substitute({"T": I32}) == TaggedType(I32)
+
+    def test_unbound_var_left_alone(self):
+        assert TypeVar("T").substitute({}) == TypeVar("T")
+
+
+class TestUnify:
+    def test_var_binds_to_concrete(self):
+        assignment = unify(TypeVar("T"), I32)
+        assert assignment == {"T": I32}
+
+    def test_consistent_rebinding_allowed(self):
+        pattern = TupleType(TypeVar("T"), TypeVar("T"))
+        assert unify(pattern, TupleType(I32, I32)) == {"T": I32}
+
+    def test_inconsistent_binding_rejected(self):
+        pattern = TupleType(TypeVar("T"), TypeVar("T"))
+        with pytest.raises(TypeCheckError):
+            unify(pattern, TupleType(I32, BOOL))
+
+    def test_structural_mismatch_rejected(self):
+        with pytest.raises(TypeCheckError):
+            unify(I32, BOOL)
+
+    def test_tagged_structure(self):
+        assignment = unify(TaggedType(TypeVar("T")), TaggedType(BOOL))
+        assert assignment == {"T": BOOL}
+
+    def test_tag_width_mismatch_rejected(self):
+        with pytest.raises(TypeCheckError):
+            unify(TaggedType(TypeVar("T"), tag_bits=4), TaggedType(BOOL, tag_bits=8))
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "typ",
+        [UNIT, BOOL, I32, IntType(8), FloatType(64), TupleType(I32, BOOL),
+         TaggedType(I32), TaggedType(TupleType(I32, BOOL), 4), TypeVar("T"),
+         TupleType(TupleType(BOOL, BOOL), I32)],
+    )
+    def test_round_trip(self, typ):
+        assert parse_type(str(typ)) == typ
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeCheckError):
+            parse_type("notatype!!")

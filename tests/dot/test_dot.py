@@ -1,0 +1,152 @@
+"""Tests for the dot parser and printer."""
+
+import pytest
+
+from repro.components import branch, fork, init, mux, operator, pure, tagger
+from repro.core.exprhigh import Endpoint, ExprHigh
+from repro.core.types import I32
+from repro.dot import parse_dot, print_dot
+from repro.errors import DotParseError
+
+EXAMPLE = """
+Digraph gcd {
+  // the loop steering
+  "mux0" [type = "Mux"];
+  "branch0" [type = "Branch"];
+  "init0" [type = "Init", value = "false"];
+  "fork0" [type = "Fork", n = "2"];
+  "body" [type = "Pure", fn = "gcd_step"];
+  "split0" [type = "Split"];
+  "_in0" [type = "Input", index = "0"];
+  "_out0" [type = "Output", index = "0"];
+
+  "mux0" -> "body" [from = "out0", to = "in0"];
+  "body" -> "split0" [from = "out0", to = "in0"];
+  "split0" -> "branch0" [from = "out0", to = "in0"];
+  "split0" -> "fork0" [from = "out1", to = "in0"];
+  "fork0" -> "branch0" [from = "out0", to = "cond"];
+  "fork0" -> "init0" [from = "out1", to = "in0"];
+  "init0" -> "mux0" [from = "out0", to = "cond"];
+  "branch0" -> "mux0" [from = "out0", to = "in0"];
+  "_in0" -> "mux0" [to = "in1"];
+  "branch0" -> "_out0" [from = "out1"];
+}
+"""
+
+
+class TestParse:
+    def test_parses_example(self):
+        graph = parse_dot(EXAMPLE)
+        assert set(graph.nodes) == {"mux0", "branch0", "init0", "fork0", "body", "split0"}
+        assert graph.nodes["body"].param("fn") == "gcd_step"
+        assert graph.inputs[0] == Endpoint("mux0", "in1")
+        assert graph.outputs[0] == Endpoint("branch0", "out1")
+        graph.validate()
+
+    def test_default_ports_from_type(self):
+        graph = parse_dot(EXAMPLE)
+        assert graph.nodes["mux0"].in_ports == ("cond", "in0", "in1")
+        assert graph.nodes["fork0"].out_ports == ("out0", "out1")
+
+    def test_attribute_decoding(self):
+        graph = parse_dot('Digraph g { "b" [type = "Buffer", slots = "3", type2 = "x"]; }')
+        assert graph.nodes["b"].param("slots") == 3
+
+    def test_operator_arity(self):
+        graph = parse_dot('Digraph g { "op" [type = "Operator", op = "add", arity = "2"]; }')
+        assert graph.nodes["op"].in_ports == ("in0", "in1")
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(DotParseError):
+            parse_dot('Digraph g { "n" [foo = "bar"]; }')
+
+    def test_unknown_type_without_ports_rejected(self):
+        with pytest.raises(DotParseError):
+            parse_dot('Digraph g { "n" [type = "Alien"]; }')
+
+    def test_unknown_type_with_ports_accepted(self):
+        graph = parse_dot('Digraph g { "n" [type = "Alien", in = "a b", out = "c"]; }')
+        assert graph.nodes["n"].in_ports == ("a", "b")
+
+    def test_edge_needs_port_attrs(self):
+        src = 'Digraph g { "a" [type = "Fork"]; "b" [type = "Sink"]; "a" -> "b"; }'
+        with pytest.raises(DotParseError):
+            parse_dot(src)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(DotParseError):
+            parse_dot("graph g { }")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(DotParseError):
+            parse_dot('Digraph g { "unclosed }')
+
+    def test_comments_skipped(self):
+        graph = parse_dot('Digraph g {\n # hash comment\n // slash comment\n "n" [type = "Sink"];\n}')
+        assert "n" in graph.nodes
+
+
+class TestRoundTrip:
+    def _rich_graph(self):
+        g = ExprHigh()
+        g.add_node("m", mux(type=I32))
+        g.add_node("b", branch())
+        g.add_node("i", init(value=False))
+        g.add_node("f", fork(2))
+        g.add_node("p", pure("gcd_step"))
+        g.add_node("s", operator("add", 2))
+        g.add_node("t", tagger(tags=8))
+        g.connect("m", "out0", "p", "in0")
+        g.connect("p", "out0", "b", "in0")
+        g.connect("f", "out0", "b", "cond")
+        g.connect("f", "out1", "i", "in0")
+        g.connect("i", "out0", "m", "cond")
+        g.connect("b", "out0", "m", "in0")
+        g.connect("t", "out0", "s", "in0")
+        g.connect("s", "out0", "t", "in1")
+        g.mark_input(0, "m", "in1")
+        g.mark_input(1, "f", "in0")
+        g.mark_input(2, "t", "in0")
+        g.mark_input(3, "s", "in1")
+        g.mark_output(0, "b", "out1")
+        g.mark_output(1, "t", "out1")
+        return g
+
+    def test_print_parse_round_trip(self):
+        g = self._rich_graph()
+        reparsed = parse_dot(print_dot(g))
+        assert reparsed.nodes == g.nodes
+        assert reparsed.connections == g.connections
+        assert reparsed.inputs == g.inputs
+        assert reparsed.outputs == g.outputs
+
+    def test_round_trip_preserves_types(self):
+        g = self._rich_graph()
+        reparsed = parse_dot(print_dot(g))
+        assert reparsed.nodes["m"].param("type") == I32
+
+    def test_printed_graph_is_stable(self):
+        g = self._rich_graph()
+        once = print_dot(g)
+        twice = print_dot(parse_dot(once))
+        assert once == twice
+
+    def test_cmerge_and_reorg_round_trip(self):
+        from repro.components import cmerge, reorg, sink
+
+        g = ExprHigh()
+        g.add_node("cm", cmerge())
+        g.add_node("rg", reorg("swap"))
+        g.add_node("sk", sink())
+        g.connect("cm", "out0", "rg", "in0")
+        g.connect("cm", "index", "sk", "in0")
+        g.mark_input(0, "cm", "in0")
+        g.mark_input(1, "cm", "in1")
+        g.mark_output(0, "rg", "out0")
+        reparsed = parse_dot(print_dot(g))
+        assert reparsed.nodes == g.nodes
+        assert reparsed.nodes["rg"].param("fn") == "swap"
+
+    def test_cmerge_default_ports(self):
+        graph = parse_dot('Digraph g { "c" [type = "CMerge"]; }')
+        assert graph.nodes["c"].out_ports == ("out0", "index")

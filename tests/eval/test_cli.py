@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.components import default_environment
+from repro.dot import parse_dot, print_dot
+from repro.hls.frontend import compile_program
+from repro.hls.ir import BinOp, Const, DoWhile, Kernel, Load, OuterLoop, Program, StoreOp, UnOp, Var
+
+
+@pytest.fixture
+def loop_dot(tmp_path):
+    """A compiled GCD kernel written out as dot, plus its loop mark."""
+    loop = DoWhile(
+        "gcd",
+        ("a", "b"),
+        {"a": Var("b"), "b": BinOp("mod", Var("a"), Var("b"))},
+        UnOp("ne0", Var("b")),
+        ("a",),
+    )
+    kernel = Kernel(
+        "gcd",
+        loop,
+        (OuterLoop("i", 2),),
+        {"a": Load("x", Var("i")), "b": Load("y", Var("i"))},
+        (StoreOp("out", Var("i"), Var("a")),),
+        tags=2,
+    )
+    program = Program(
+        "gcd",
+        {"x": np.array([12, 9]), "y": np.array([8, 6]), "out": np.zeros(2)},
+        [kernel],
+    )
+    env = default_environment()
+    compiled = compile_program(program, env)
+    ck = compiled.kernels[0]
+    path = tmp_path / "gcd.dot"
+    path.write_text(print_dot(ck.graph))
+    return path, ck.mark
+
+
+class TestTransform:
+    def test_transform_writes_tagged_graph(self, loop_dot, tmp_path, capsys):
+        path, mark = loop_dot
+        out = tmp_path / "out.dot"
+        code = main(
+            [
+                "transform",
+                str(path),
+                "-o",
+                str(out),
+                "--mux",
+                mark.mux_nodes[0],
+                "--mux",
+                mark.mux_nodes[1],
+                "--branch",
+                mark.branch_nodes[0],
+                "--branch",
+                mark.branch_nodes[1],
+                "--init",
+                mark.init_node,
+                "--cond-fork",
+                mark.cond_fork,
+                "--tags",
+                "2",
+            ]
+        )
+        assert code == 0
+        result = parse_dot(out.read_text())
+        types = {spec.typ for spec in result.nodes.values()}
+        assert "Tagger" in types
+        assert "Mux" not in types
+
+    def test_transform_refuses_effectful_loop(self, tmp_path, capsys):
+        # A graph containing a Store is flagged effectful and refused.
+        loop = DoWhile(
+            "st",
+            ("n", "i"),
+            {"n": BinOp("sub", Var("n"), Const(1)), "i": Var("i")},
+            BinOp("lt", Const(0), Var("n")),
+            ("n",),
+            stores=(StoreOp("log", Var("n"), Var("i")),),
+        )
+        kernel = Kernel("st", loop, (OuterLoop("i", 1),), {"n": Const(2), "i": Var("i")})
+        program = Program("st", {"log": np.zeros(4)}, [kernel])
+        env = default_environment()
+        ck = compile_program(program, env).kernels[0]
+        path = tmp_path / "st.dot"
+        path.write_text(print_dot(ck.graph))
+        code = main(
+            [
+                "transform",
+                str(path),
+                "--mux",
+                ck.mark.mux_nodes[0],
+                "--mux",
+                ck.mark.mux_nodes[1],
+                "--branch",
+                ck.mark.branch_nodes[0],
+                "--branch",
+                ck.mark.branch_nodes[1],
+                "--init",
+                ck.mark.init_node,
+                "--cond-fork",
+                ck.mark.cond_fork,
+            ]
+        )
+        assert code == 2
+        assert "refused" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_prints_all_flows(self, capsys, monkeypatch):
+        # Shrink the benchmark so the CLI smoke test stays fast.
+        import repro.eval.runner as runner
+        from repro.benchmarks import matvec
+
+        original = runner.run_benchmark
+        monkeypatch.setattr(
+            runner,
+            "run_benchmark",
+            lambda name, program=None: original(name, matvec(6)),
+        )
+        code = main(["bench", "matvec"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for flow in ("DF-IO", "DF-OoO", "GRAPHITI", "Vericert"):
+            assert flow in out

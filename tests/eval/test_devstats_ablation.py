@@ -1,0 +1,86 @@
+"""Tests for the dev-stats and ablation measurement utilities."""
+
+import pytest
+
+from repro.eval.ablation import retag
+from repro.eval.devstats import measure
+
+
+class TestDevStats:
+    @pytest.fixture(scope="class")
+    def matvec_stats(self):
+        return measure("matvec")
+
+    def test_counts_are_positive(self, matvec_stats):
+        assert matvec_stats.nodes > 10
+        assert matvec_stats.rewrites > 5
+        assert matvec_stats.composition_steps > 0
+        assert matvec_stats.total_steps == (
+            matvec_stats.rewrites + matvec_stats.composition_steps
+        )
+
+    def test_matvec_transforms_its_single_loop(self, matvec_stats):
+        assert matvec_stats.transformed_loops == 1
+        assert matvec_stats.refused_loops == 0
+
+    def test_bicg_is_refused(self):
+        stats = measure("bicg")
+        assert stats.refused_loops == 1
+        assert stats.transformed_loops == 0
+
+    def test_mvt_has_two_loops(self):
+        stats = measure("mvt")
+        assert stats.transformed_loops == 2
+
+
+class TestRetag:
+    def test_retag_changes_every_kernel(self):
+        from repro.benchmarks import mvt
+
+        program = retag(mvt(5), 9)
+        assert all(kernel.tags == 9 for kernel in program.kernels)
+
+    def test_retag_copies_arrays(self):
+        from repro.benchmarks import matvec
+
+        original = matvec(5)
+        copy = retag(original, 3)
+        copy.arrays["y"][0] = 123.0
+        assert original.arrays["y"][0] != 123.0
+
+
+class TestTraceUtilities:
+    def test_compare_utilization(self):
+        from repro.sim.trace import FiringTrace, compare_utilization
+
+        a, b = FiringTrace(), FiringTrace()
+        a.record("u", 0, 5)
+        b.record("v", 0, 1)
+        result = compare_utilization(
+            {"A": (a, 10), "B": (b, 10)}, {"A": "u", "B": "v"}
+        )
+        assert result == {"A": 0.5, "B": 0.1}
+
+
+class TestStimuliHelpers:
+    def test_uniform_stimuli_covers_all_inputs(self):
+        from repro.components import default_environment, join
+        from repro.core import ExprHigh, denote
+        from repro.refinement import uniform_stimuli
+
+        g = ExprHigh()
+        g.add_node("j", join())
+        g.mark_input(0, "j", "in0")
+        g.mark_input(1, "j", "in1")
+        g.mark_output(0, "j", "out0")
+        module = denote(g.lower(), default_environment(capacity=1))
+        stimuli = uniform_stimuli(module, (1, 2))
+        assert set(stimuli) == module.input_ports()
+        assert all(values == (1, 2) for values in stimuli.values())
+
+    def test_io_stimuli_keys_by_index(self):
+        from repro.core.ports import IOPort
+        from repro.refinement import io_stimuli
+
+        stimuli = io_stimuli({0: (True,), 3: (1, 2)})
+        assert stimuli == {IOPort(0): (True,), IOPort(3): (1, 2)}

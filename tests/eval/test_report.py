@@ -1,0 +1,133 @@
+"""Tests for the evaluation report builders (tables, figure, checks)."""
+
+import pytest
+
+from repro.eval import paper_data
+from repro.eval.report import (
+    build_table,
+    cycle_table,
+    figure8_series,
+    render_figure8,
+    shape_checks,
+)
+from repro.eval.runner import BenchmarkResult, FlowResult
+from repro.hls.area import AreaReport
+
+
+def fake_flow(flow, cycles, cp=5.0, luts=1000, ffs=1000, dsps=5, correct=True, in_order=True, refused=0):
+    area = AreaReport(luts=luts, ffs=ffs, dsps=dsps, clock_period=cp)
+    return FlowResult(
+        flow=flow,
+        cycles=cycles,
+        area=area,
+        correct=correct,
+        stores_in_order=in_order,
+        refused_loops=refused,
+    )
+
+
+def fake_results():
+    results = {}
+    for name in paper_data.BENCHMARKS:
+        result = BenchmarkResult(name)
+        is_bicg = name == "bicg"
+        is_single = name == "gsum-single"
+        io_cycles = 10000
+        result.flows["DF-IO"] = fake_flow("DF-IO", io_cycles, cp=6.0, luts=2000, ffs=2000)
+        result.flows["DF-OoO"] = fake_flow(
+            "DF-OoO",
+            1500 if not is_single else 12000,
+            cp=8.5,
+            luts=4000,
+            ffs=4000,
+            correct=not is_bicg,
+            in_order=not is_bicg,
+        )
+        graphiti_cycles = io_cycles if is_bicg else (13000 if is_single else 1600)
+        result.flows["GRAPHITI"] = fake_flow(
+            "GRAPHITI",
+            graphiti_cycles,
+            cp=6.0 if is_bicg else 8.0,
+            luts=2000 if is_bicg else 4200,
+            ffs=2000 if is_bicg else 4500,
+            refused=1 if is_bicg else 0,
+        )
+        result.flows["Vericert"] = fake_flow("Vericert", 50000, cp=4.9, luts=900, ffs=1200)
+        results[name] = result
+    return results
+
+
+class TestTables:
+    def test_cycle_table_contains_all_rows(self):
+        table = cycle_table(fake_results())
+        assert len(table.rows) == len(paper_data.BENCHMARKS)
+        rendered = table.render()
+        for name in paper_data.BENCHMARKS:
+            assert name in rendered
+        assert "geomean" in rendered
+
+    def test_geomean_row(self):
+        table = cycle_table(fake_results())
+        row = table.geomean_row()
+        assert row.values["Vericert"] == pytest.approx(50000)
+
+    def test_build_table_skips_missing_benchmarks(self):
+        results = fake_results()
+        del results["gemm"]
+        table = build_table("t", results, lambda fr: fr.cycles, paper_data.PAPER_CYCLES)
+        assert len(table.rows) == len(paper_data.BENCHMARKS) - 1
+
+
+class TestFigure8:
+    def test_series_normalised_to_df_ooo(self):
+        series = figure8_series(fake_results())
+        for name, row in series.items():
+            assert row["DF-OoO"] == pytest.approx(1.0)
+
+    def test_render_contains_all_benchmarks(self):
+        rendered = render_figure8(fake_results())
+        for name in paper_data.BENCHMARKS:
+            assert name in rendered
+
+
+class TestShapeChecks:
+    def test_all_checks_pass_on_paper_shaped_data(self):
+        checks = shape_checks(fake_results())
+        failing = [c for c in checks if not c.holds]
+        assert failing == []
+
+    def test_bicg_check_fails_if_not_refused(self):
+        results = fake_results()
+        results["bicg"].flows["GRAPHITI"] = fake_flow("GRAPHITI", 1600, refused=0)
+        checks = {c.description: c for c in shape_checks(results)}
+        key = "bicg: Graphiti refuses the rewrite and matches DF-IO"
+        assert not checks[key].holds
+
+
+class TestPaperData:
+    def test_geomean(self):
+        assert paper_data.geomean([1, 100]) == pytest.approx(10.0)
+        assert paper_data.geomean([]) == 0.0
+        assert paper_data.geomean([0, 5]) == 0.0
+
+    def test_tables_cover_all_benchmarks_and_flows(self):
+        for table in (
+            paper_data.PAPER_CYCLES,
+            paper_data.PAPER_CLOCK_PERIOD,
+            paper_data.PAPER_EXEC_TIME,
+            paper_data.PAPER_LUTS,
+            paper_data.PAPER_FFS,
+            paper_data.PAPER_DSPS,
+        ):
+            assert set(table) == set(paper_data.BENCHMARKS)
+            for row in table.values():
+                assert set(row) == set(paper_data.FLOWS)
+
+    def test_paper_numbers_consistent(self):
+        # exec time = cycles x clock period (up to rounding in the paper)
+        for name in paper_data.BENCHMARKS:
+            for flow in paper_data.FLOWS:
+                cycles = paper_data.PAPER_CYCLES[name][flow]
+                period = paper_data.PAPER_CLOCK_PERIOD[name][flow]
+                exec_time = paper_data.PAPER_EXEC_TIME[name][flow]
+                assert exec_time == pytest.approx(cycles * period, rel=0.05)

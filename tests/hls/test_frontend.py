@@ -1,0 +1,149 @@
+"""Tests for the DF-IO dataflow front end."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.components import default_environment
+from repro.hls.frontend import compile_kernel, compile_program
+from repro.hls.ir import (
+    BinOp,
+    Const,
+    DoWhile,
+    Kernel,
+    Load,
+    OuterLoop,
+    Program,
+    Select,
+    StoreOp,
+    UnOp,
+    Var,
+)
+
+
+def simple_program(stores=(), cond_var="n"):
+    loop = DoWhile(
+        "count",
+        ("n", "i"),
+        {"n": BinOp("sub", Var("n"), Const(1)), "i": Var("i")},
+        BinOp("lt", Const(0), Var(cond_var)),
+        ("n", "i"),
+        stores=stores,
+    )
+    kernel = Kernel(
+        "count",
+        loop,
+        (OuterLoop("i", 3),),
+        {"n": BinOp("add", Var("i"), Const(1)), "i": Var("i")},
+        (StoreOp("out", Var("i"), Var("n")),),
+        tags=2,
+    )
+    return Program("count", {"out": np.zeros(3)}, [kernel])
+
+
+@pytest.fixture
+def env():
+    return default_environment()
+
+
+class TestStructure:
+    def test_one_mux_branch_per_state_var(self, env):
+        compiled = compile_program(simple_program(), env)
+        graph = compiled.kernels[0].graph
+        types = Counter(spec.typ for spec in graph.nodes.values())
+        assert types["Mux"] == 2
+        assert types["Branch"] == 2
+        assert types["Init"] == 1
+        assert types["Driver"] == 1
+        assert types["Collector"] == 1
+
+    def test_graph_is_closed(self, env):
+        compiled = compile_program(simple_program(), env)
+        compiled.kernels[0].graph.validate()
+
+    def test_loop_mark_points_at_real_nodes(self, env):
+        compiled = compile_program(simple_program(), env)
+        ck = compiled.kernels[0]
+        for name in ck.mark.mux_nodes + ck.mark.branch_nodes + [
+            ck.mark.init_node,
+            ck.mark.cond_fork,
+            ck.mark.driver,
+            ck.mark.collector,
+        ]:
+            assert name in ck.graph.nodes
+
+    def test_effectful_mark(self, env):
+        stores = (StoreOp("out", Var("n"), Var("i")),)
+        compiled = compile_program(simple_program(stores=stores), env)
+        assert compiled.kernels[0].mark.effectful
+        types = Counter(s.typ for s in compiled.kernels[0].graph.nodes.values())
+        assert types["Store"] == 1
+
+    def test_forks_are_binary(self, env):
+        compiled = compile_program(simple_program(), env)
+        for spec in compiled.kernels[0].graph.nodes.values():
+            if spec.typ == "Fork":
+                assert spec.param("n") == 2
+
+
+class TestOperators:
+    def test_constants_folded_into_partial_ops(self, env):
+        compiled = compile_program(simple_program(), env)
+        graph = compiled.kernels[0].graph
+        ops = [str(s.param("op")) for s in graph.nodes.values() if s.typ == "Operator"]
+        assert any(op.startswith("sub.k1.") for op in ops)
+        assert not any(s.typ == "Constant" for s in graph.nodes.values())
+
+    def test_partial_op_functions_registered(self, env):
+        compiled = compile_program(simple_program(), env)
+        graph = compiled.kernels[0].graph
+        for spec in graph.nodes.values():
+            if spec.typ == "Operator":
+                fn = env.function(str(spec.param("op")))
+                assert fn.arity == len(spec.in_ports)
+
+    def test_array_reader_registered_for_body_loads(self, env):
+        loop = DoWhile(
+            "sum",
+            ("s", "i"),
+            {"s": BinOp("add", Var("s"), Load("data", Var("i"))), "i": BinOp("add", Var("i"), Const(1))},
+            BinOp("lt", Var("i"), Const(3)),
+            ("s",),
+        )
+        kernel = Kernel("sum", loop, (OuterLoop("o", 1),), {"s": Const(0), "i": Const(0)})
+        program = Program("sum", {"data": np.array([5, 6, 7])}, [kernel])
+        compile_program(program, env)
+        assert env.function("read.data")(1) == 6
+
+    def test_select_with_constant_arm(self, env):
+        loop = DoWhile(
+            "sel",
+            ("x",),
+            {"x": Select(BinOp("lt", Var("x"), Const(0)), BinOp("sub", Var("x"), Const(1)), Const(0))},
+            UnOp("ne0", Var("x")),
+            ("x",),
+        )
+        kernel = Kernel("sel", loop, (OuterLoop("i", 1),), {"x": Const(-3)})
+        program = Program("sel", {}, [kernel])
+        compiled = compile_program(program, env)
+        ops = [
+            str(s.param("op"))
+            for s in compiled.kernels[0].graph.nodes.values()
+            if s.typ == "Operator"
+        ]
+        assert any(op.startswith("select.k2.") for op in ops)
+
+
+class TestSemanticsAgainstReference:
+    def test_compiled_ops_compute_reference_values(self, env):
+        """The registered operator functions, applied per the body wiring,
+        must reproduce one reference loop step."""
+        program = simple_program()
+        compiled = compile_program(program, env)
+        # dec: n' = n - 1 via the partial op
+        fn = env.function("sub.k1.1")
+        assert fn(5) == 4
+        cmp_fn = env.function("lt.k0.0")
+        assert cmp_fn(3) is True
+        assert cmp_fn(0) is False

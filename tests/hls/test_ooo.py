@@ -1,0 +1,90 @@
+"""Tests for the DF-OoO (unverified) transformation."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.components import default_environment
+from repro.hls.frontend import compile_program
+from repro.hls.ir import (
+    BinOp,
+    Const,
+    DoWhile,
+    Kernel,
+    Load,
+    OuterLoop,
+    Program,
+    StoreOp,
+    UnOp,
+    Var,
+)
+from repro.hls.ooo import transform_out_of_order
+
+
+def compiled_countdown(stores=()):
+    loop = DoWhile(
+        "count",
+        ("n", "i"),
+        {"n": BinOp("sub", Var("n"), Const(1)), "i": Var("i")},
+        BinOp("lt", Const(0), Var("n")),
+        ("n", "i"),
+        stores=stores,
+    )
+    kernel = Kernel(
+        "count",
+        loop,
+        (OuterLoop("i", 3),),
+        {"n": BinOp("add", Var("i"), Const(1)), "i": Var("i")},
+        (StoreOp("out", Var("i"), Var("n")),),
+        tags=2,
+    )
+    program = Program("count", {"out": np.zeros(3)}, [kernel])
+    env = default_environment()
+    compiled = compile_program(program, env)
+    return compiled.kernels[0]
+
+
+class TestStructure:
+    def test_muxes_become_merges(self):
+        ck = compiled_countdown()
+        result = transform_out_of_order(ck.graph, ck.mark)
+        types = Counter(spec.typ for spec in result.nodes.values())
+        assert types["Mux"] == 0
+        assert types["Merge"] == len(ck.mark.mux_nodes)
+        assert types["Init"] == 0
+        assert types["Tagger"] == 1
+        result.validate()
+
+    def test_tagger_shape_covers_all_streams(self):
+        ck = compiled_countdown()
+        result = transform_out_of_order(ck.graph, ck.mark)
+        tagger = next(s for s in result.nodes.values() if s.typ == "Tagger")
+        enters = [p for p in tagger.in_ports if p.startswith("enter")]
+        rets = [p for p in tagger.in_ports if p.startswith("ret")]
+        assert len(enters) == 2  # one per state variable
+        assert len(rets) == 2  # one per exit stream (both vars exported)
+        assert tagger.param("tags") == ck.mark.tags
+
+    def test_in_loop_components_tagged(self):
+        ck = compiled_countdown()
+        result = transform_out_of_order(ck.graph, ck.mark)
+        branches = [s for s in result.nodes.values() if s.typ == "Branch"]
+        assert branches and all(s.param("tagged") for s in branches)
+        operators = [s for s in result.nodes.values() if s.typ == "Operator"]
+        assert operators and all(s.param("tagged") for s in operators)
+
+    def test_no_purity_check_performed(self):
+        """DF-OoO transforms even an effectful loop — the unsoundness the
+        paper discovered on bicg."""
+        ck = compiled_countdown(stores=(StoreOp("out", Var("n"), Var("i")),))
+        assert ck.mark.effectful
+        result = transform_out_of_order(ck.graph, ck.mark)
+        stores = [s for s in result.nodes.values() if s.typ == "Store"]
+        assert stores and all(s.param("tagged") for s in stores)
+
+    def test_original_graph_untouched(self):
+        ck = compiled_countdown()
+        before = dict(ck.graph.nodes)
+        transform_out_of_order(ck.graph, ck.mark)
+        assert ck.graph.nodes == before

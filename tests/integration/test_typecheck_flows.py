@@ -1,0 +1,37 @@
+"""Integration: every generated circuit is well-typed (section 6.3).
+
+The paper's bridge between the parametric proof environment and concrete
+graphs is well-typedness; here we deduce types for every benchmark circuit
+in every flow — untagged, Graphiti-transformed, and DF-OoO-transformed —
+including the tag-wrapping consistency inside tagged regions.
+"""
+
+import pytest
+
+from repro.benchmarks import bicg, gemm, gsum_many, gsum_single, matvec, mvt
+from repro.components import default_environment
+from repro.core.typecheck import typecheck
+from repro.hls.frontend import compile_program
+from repro.hls.ooo import transform_out_of_order
+from repro.rewriting.pipeline import GraphitiPipeline
+
+SMALL = {
+    "matvec": lambda: matvec(6),
+    "mvt": lambda: mvt(5),
+    "bicg": lambda: bicg(5),
+    "gemm": lambda: gemm(4),
+    "gsum-single": lambda: gsum_single(16),
+    "gsum-many": lambda: gsum_many(2, 8),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_all_flows_well_typed(name):
+    program = SMALL[name]()
+    env = default_environment()
+    compiled = compile_program(program, env)
+    for ck in compiled.kernels:
+        assert typecheck(ck.graph)
+        assert typecheck(transform_out_of_order(ck.graph, ck.mark))
+        outcome = GraphitiPipeline(env).transform_kernel(ck.graph, ck.mark)
+        assert typecheck(outcome.graph)

@@ -1,0 +1,149 @@
+"""Property-based tests on the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.components import default_environment
+from repro.core.encoding import decode_component, encode_component
+from repro.core.module import deq, enq, first
+from repro.core.ports import InternalPort, IOPort, PortMap
+from repro.core.types import BOOL, I32, UNIT, FloatType, IntType, TaggedType, TupleType
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+
+
+@st.composite
+def port_maps(draw):
+    n = draw(st.integers(0, 5))
+    targets = draw(
+        st.lists(
+            st.tuples(names, names).map(lambda t: InternalPort(*t)),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return PortMap({IOPort(i): t for i, t in enumerate(targets)})
+
+
+class TestPortMapLaws:
+    @given(port_maps())
+    def test_inverse_is_involutive(self, pm):
+        assert pm.inverse().inverse() == pm
+
+    @given(port_maps())
+    def test_inverse_round_trips_every_entry(self, pm):
+        inv = pm.inverse()
+        for src in pm:
+            assert inv[pm[src]] == src
+
+    @given(port_maps())
+    def test_compose_with_identity(self, pm):
+        assert pm.compose(PortMap()) == pm
+
+
+@st.composite
+def wire_types(draw, depth=2):
+    if depth == 0:
+        return draw(st.sampled_from([UNIT, BOOL, I32, IntType(8), FloatType(64)]))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return draw(wire_types(depth=0))
+    if choice == 1:
+        return TupleType(draw(wire_types(depth - 1)), draw(wire_types(depth - 1)))
+    if choice == 2:
+        return TaggedType(draw(wire_types(depth - 1)), draw(st.sampled_from([4, 8])))
+    return draw(wire_types(depth=0))
+
+
+class TestEncodingRoundTrip:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["n", "slots", "tags", "fn", "op", "value", "tagged"]),
+            st.one_of(
+                st.integers(-100, 100),
+                st.booleans(),
+                st.text(alphabet="abcdefg.()_", min_size=1, max_size=8),
+            ),
+            max_size=4,
+        )
+    )
+    def test_params_round_trip(self, params):
+        encoded = encode_component("X", params)
+        name, decoded = decode_component(encoded)
+        assert name == "X"
+        assert decoded == params
+
+    @given(wire_types())
+    def test_type_params_round_trip(self, typ):
+        encoded = encode_component("X", {"type": typ})
+        _, decoded = decode_component(encoded)
+        assert decoded["type"] == typ
+
+
+class TestQueueLaws:
+    @given(st.lists(st.integers(), max_size=12))
+    def test_fifo_order(self, values):
+        queue = ()
+        for value in values:
+            queue = enq(queue, value)
+        drained = []
+        while True:
+            popped = deq(queue)
+            if popped is None:
+                break
+            value, queue = popped
+            drained.append(value)
+        assert drained == values
+
+    @given(st.lists(st.integers(), min_size=1, max_size=12))
+    def test_first_is_oldest(self, values):
+        queue = ()
+        for value in values:
+            queue = enq(queue, value)
+        assert first(queue) == values[0]
+
+    @given(st.lists(st.integers(), max_size=6), st.integers(1, 4))
+    def test_capacity_never_exceeded(self, values, capacity):
+        queue = ()
+        for value in values:
+            result = enq(queue, value, capacity)
+            if result is not None:
+                queue = result
+            assert len(queue) <= capacity
+
+
+class TestEGraphSemantics:
+    @st.composite
+    @staticmethod
+    def terms(draw, depth=3):
+        if depth == 0:
+            return draw(st.sampled_from(["id", "incr", "ne0"]))
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            return draw(TestEGraphSemantics.terms(depth=0))
+        if choice == 1:
+            return f"comp({draw(TestEGraphSemantics.terms(depth - 1))},{draw(TestEGraphSemantics.terms(depth - 1))})"
+        if choice == 2:
+            return f"comp(dup,par({draw(TestEGraphSemantics.terms(depth - 1))},{draw(TestEGraphSemantics.terms(depth - 1))}))"
+        if choice == 3:
+            return f"comp({draw(TestEGraphSemantics.terms(depth - 1))},id)"
+        return "comp(dup,fst)"
+
+    @given(terms())
+    @settings(max_examples=25, deadline=None)
+    def test_simplification_preserves_function(self, term):
+        from repro.rewriting import algebra
+        from repro.rewriting.egraph import simplify
+
+        env = default_environment()
+        original = algebra.ensure(env, term)
+        # Few iterations: deep random terms can saturate large e-graphs,
+        # and soundness (not minimality) is the property under test.
+        reduced = algebra.ensure(env, simplify(term, iterations=4))
+        for value in (0, 1, 5):
+            try:
+                expected = original(value)
+            except (TypeError, IndexError):
+                continue  # ill-typed sample (e.g. projecting a scalar)
+            assert reduced(value) == expected

@@ -1,0 +1,184 @@
+"""Tests for the refinement metatheory (section 4.6).
+
+The paper proves refinement is a preorder and is preserved by the product
+and connect combinators, then derives theorem 4.6 (replacement refines).
+These tests check each property on concrete bounded instances, which is
+how an executable semantics validates a metatheory: any law broken by the
+implementation shows up as a counterexample here.
+"""
+
+import pytest
+
+from repro.components import buffer, default_environment, pure
+from repro.core import ExprHigh, denote
+from repro.core.module import connect_ports, product
+from repro.core.ports import InternalPort, IOPort, PortMap
+from repro.core.semantics import denote as denote_low
+from repro.refinement import refines, uniform_stimuli
+
+
+def denote_modules(expr, env):
+    return denote_low(expr, env)
+
+
+@pytest.fixture
+def env():
+    return default_environment(capacity=1)
+
+
+def single(env, spec, name="n"):
+    g = ExprHigh()
+    g.add_node(name, spec)
+    for i, p in enumerate(spec.in_ports):
+        g.mark_input(i, name, p)
+    for i, p in enumerate(spec.out_ports):
+        g.mark_output(i, name, p)
+    return denote(g.lower(), env)
+
+
+class TestPreorder:
+    def test_reflexivity(self, env):
+        for spec in (buffer(slots=1), pure("incr")):
+            module = single(env, spec)
+            assert refines(module, module, uniform_stimuli(module, (0, 1)))
+
+    def test_transitivity_on_buffers(self, env):
+        b1 = single(env, buffer(slots=1))
+        b2 = single(env, buffer(slots=2))
+        b3 = single(env, buffer(slots=3))
+        stimuli = uniform_stimuli(b1, (0, 1))
+        assert refines(b1, b2, stimuli)
+        assert refines(b2, b3, stimuli)
+        assert refines(b1, b3, stimuli)  # the composition the preorder promises
+
+    def test_antisymmetry_fails_as_expected(self, env):
+        """Refinement is a preorder, not a partial order: mutually refining
+        modules need not be equal — e.g. a buffer against itself renamed."""
+        a = single(env, buffer(slots=2))
+        b = single(env, buffer(slots=2))
+        stimuli = uniform_stimuli(a, (0,))
+        assert refines(a, b, stimuli) and refines(b, a, stimuli)
+
+
+class TestCongruence:
+    """Refinement is preserved over ⊎ and [o ⇝ i] (the §4.6 lemmas)."""
+
+    def _renamed(self, env, spec, instance):
+        module = single(env, spec)
+        from repro.core.module import rename
+
+        in_map = PortMap({IOPort(0): InternalPort(instance, "in")})
+        out_map = PortMap({IOPort(0): InternalPort(instance, "out")})
+        return rename(module, in_map, out_map)
+
+    def test_product_preserves_refinement(self, env):
+        small = single(env, buffer(slots=1))
+        large = single(env, buffer(slots=2))
+        other = self._renamed(env, pure("incr"), "ctx")
+        lhs = product(small, other)
+        rhs = product(large, other)
+        stimuli = {IOPort(0): (0, 1), InternalPort("ctx", "in"): (5,)}
+        assert refines(lhs, rhs, stimuli)
+
+    def test_connect_preserves_refinement(self, env):
+        small = single(env, buffer(slots=1))
+        large = single(env, buffer(slots=2))
+        stage = self._renamed(env, pure("incr"), "ctx")
+        lhs = connect_ports(product(small, stage), IOPort(0), InternalPort("ctx", "in"))
+        rhs = connect_ports(product(large, stage), IOPort(0), InternalPort("ctx", "in"))
+        stimuli = {IOPort(0): (0, 1)}
+        assert refines(lhs, rhs, stimuli)
+
+
+class TestReplacementTheorem:
+    """Theorem 4.6 observed: rhs ⊑ lhs implies e[lhs := rhs] ⊑ e."""
+
+    def _context(self, inner_nodes):
+        """A graph embedding *inner_nodes* between two incr stages."""
+        g = ExprHigh()
+        g.add_node("pre", pure("incr"))
+        g.add_node("post", pure("incr"))
+        entry, exit_ = inner_nodes(g)
+        g.connect("pre", "out0", entry[0], entry[1])
+        g.connect(exit_[0], exit_[1], "post", "in0")
+        g.mark_input(0, "pre", "in0")
+        g.mark_output(0, "post", "out0")
+        return g
+
+    def test_replacing_refining_subterm_refines(self, env):
+        def two_buffers(g):
+            g.add_node("b1", buffer(slots=1))
+            g.add_node("b2", buffer(slots=1))
+            g.connect("b1", "out0", "b2", "in0")
+            return ("b1", "in0"), ("b2", "out0")
+
+        def one_buffer(g):
+            g.add_node("b", buffer(slots=2))
+            return ("b", "in0"), ("b", "out0")
+
+        spec_graph = self._context(two_buffers)
+        impl_graph = self._context(one_buffer)
+        # First the premise: the replacement refines the replaced subgraph?
+        # A 2-slot buffer does NOT refine a chain (no pre-input taus), but a
+        # chain refines a 2-slot buffer — so the valid rewrite direction is
+        # buffer(2) -> chain. Check that direction end to end.
+        impl = denote_low(spec_graph.lower(), env)  # chain inside context
+        spec = denote_low(impl_graph.lower(), env.with_capacity(4))
+        stimuli = uniform_stimuli(impl, (0, 1))
+        assert refines(impl, spec, stimuli)
+
+    def test_theorem_46_on_exprlow_directly(self, env):
+        """The literal ExprLow statement: ⟦rhs⟧ ⊑ ⟦lhs⟧ implies
+        ⟦e[lhs := rhs]⟧ ⊑ ⟦e⟧, using the syntactic substitution itself."""
+        from repro.core import exprlow
+        from repro.core.encoding import encode_component
+        from repro.core.ports import InternalPort, PortMap, sequential_map
+
+        def buffer_base(name, slots):
+            return exprlow.Base(
+                encode_component("Buffer", {"slots": slots}),
+                sequential_map(name, ["in0"]),
+                sequential_map(name, ["out0"]),
+            )
+
+        def incr_base(name):
+            return exprlow.Base(
+                encode_component("Pure", {"fn": "incr"}),
+                sequential_map(name, ["in0"]),
+                sequential_map(name, ["out0"]),
+            )
+
+        lhs = buffer_base("mid", 2)
+        rhs = buffer_base("mid", 1)
+        # Premise: rhs ⊑ lhs (a smaller buffer refines a bigger one).
+        stimuli_single = uniform_stimuli(denote_modules(rhs, env), (0, 1))
+        assert refines(
+            denote_modules(rhs, env), denote_modules(lhs, env.with_capacity(4)), stimuli_single
+        )
+        # Context e: incr ; mid-buffer, connected.
+        e = exprlow.Connect(
+            InternalPort("pre", "out0"),
+            InternalPort("mid", "in0"),
+            exprlow.Product(incr_base("pre"), lhs),
+        )
+        rewritten = e.substitute(lhs, rhs)
+        assert rewritten != e
+        impl = denote_modules(rewritten, env)
+        spec = denote_modules(e, env.with_capacity(4))
+        assert refines(impl, spec, uniform_stimuli(impl, (0, 1)))
+
+    def test_replacing_non_refining_subterm_can_break(self, env):
+        def id_stage(g):
+            g.add_node("mid", pure("id"))
+            return ("mid", "in0"), ("mid", "out0")
+
+        def incr_stage(g):
+            g.add_node("mid", pure("incr"))
+            return ("mid", "in0"), ("mid", "out0")
+
+        original = self._context(id_stage)
+        broken = self._context(incr_stage)
+        impl = denote_low(broken.lower(), env)
+        spec = denote_low(original.lower(), env.with_capacity(4))
+        stimuli = uniform_stimuli(impl, (0,))
+        assert not refines(impl, spec, stimuli)

@@ -1,0 +1,92 @@
+"""Tests for the derived-function algebra."""
+
+import pytest
+
+from repro.components import default_environment
+from repro.errors import SemanticsError
+from repro.rewriting import algebra
+
+
+@pytest.fixture
+def env():
+    return default_environment()
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize(
+        "name,arg,expected",
+        [
+            ("id", 5, 5),
+            ("dup", 5, (5, 5)),
+            ("swap", (1, 2), (2, 1)),
+            ("fst", (1, 2), 1),
+            ("snd", (1, 2), 2),
+            ("assocl", (1, (2, 3)), ((1, 2), 3)),
+            ("assocr", ((1, 2), 3), (1, (2, 3))),
+        ],
+    )
+    def test_builtin_semantics(self, env, name, arg, expected):
+        assert algebra.ensure(env, name)(arg) == expected
+
+
+class TestCombinators:
+    def test_tup_uncurries(self, env):
+        fn = algebra.ensure(env, "tup(mod)")
+        assert fn((10, 4)) == 2
+
+    def test_comp_applies_left_to_right(self, env):
+        fn = algebra.ensure(env, "comp(incr,ne0)")
+        assert fn(-1) is False
+        assert fn(0) is True
+
+    def test_first_and_second(self, env):
+        assert algebra.ensure(env, "first(incr)")((1, "x")) == (2, "x")
+        assert algebra.ensure(env, "second(incr)")(("x", 1)) == ("x", 2)
+
+    def test_par(self, env):
+        assert algebra.ensure(env, "par(incr,ne0)")((1, 0)) == (2, False)
+
+    def test_nested_combinators(self, env):
+        fn = algebra.ensure(env, "comp(dup,par(incr,comp(incr,incr)))")
+        assert fn(0) == (1, 2)
+
+    def test_untree3_flattens_left_nested_tuple(self, env):
+        env.register_function("sum3", lambda a, b, c: a + b + c, 3)
+        fn = algebra.ensure(env, "untree3(sum3)")
+        assert fn(((1, 2), 3)) == 6
+
+    def test_registration_is_idempotent(self, env):
+        a = algebra.ensure(env, "comp(incr,incr)")
+        b = algebra.ensure(env, "comp(incr,incr)")
+        assert a.name == b.name
+        assert a(1) == b(1) == 3
+
+    def test_unknown_base_rejected(self, env):
+        with pytest.raises(SemanticsError):
+            algebra.ensure(env, "comp(nonexistent,incr)")
+
+    def test_unknown_combinator_rejected(self, env):
+        with pytest.raises(SemanticsError):
+            algebra.ensure(env, "frobnicate(incr)")
+
+
+class TestSmartConstructors:
+    def test_comp_absorbs_id(self):
+        assert algebra.comp("id", "f") == "f"
+        assert algebra.comp("f", "id") == "f"
+        assert algebra.comp("f", "g") == "comp(f,g)"
+
+    def test_first_second_absorb_id(self):
+        assert algebra.first("id") == "id"
+        assert algebra.second("id") == "id"
+
+    def test_par_absorbs_double_id(self):
+        assert algebra.par("id", "id") == "id"
+        assert algebra.par("f", "id") == "par(f,id)"
+
+    def test_names_round_trip_through_ensure(self, ):
+        env = default_environment()
+        name = algebra.comp(algebra.tup("mod"), "ne0")
+        fn = algebra.ensure(env, name)
+        assert fn((9, 3)) is False
+        assert fn((9, 4)) is True

@@ -1,0 +1,135 @@
+"""Tests for rewrite application through ExprLow."""
+
+import pytest
+
+from repro.components import default_environment, fork, join, mux, pure, split
+from repro.core import denote
+from repro.core.exprhigh import Endpoint, ExprHigh
+from repro.errors import RewriteError
+from repro.refinement import refines, uniform_stimuli
+from repro.rewriting.apply import apply_rewrite
+from repro.rewriting.matcher import first_match
+from repro.rewriting.rewrite import Match, Rewrite
+from repro.rewriting.rules.combine import mux_combine
+from repro.rewriting.rules.common import graph_of
+from repro.rewriting.rules.reduction import split_join_elim
+
+from .test_matcher import host_two_mux_loop
+
+
+class TestApplyMuxCombine:
+    def _apply(self):
+        host = host_two_mux_loop()
+        rewrite = mux_combine()
+        match = first_match(host, rewrite)
+        return host, apply_rewrite(host, rewrite, match)
+
+    def test_removes_matched_and_adds_replacement(self):
+        host, (result, record) = self._apply()
+        assert "cfork" not in result.nodes
+        assert "m_a" not in result.nodes
+        types = sorted(spec.typ for spec in result.nodes.values())
+        assert types.count("Mux") == 1
+        assert types.count("Join") == 3  # two new joins + host's own join
+        assert record.matched_nodes == frozenset({"cfork", "m_a", "m_b"})
+
+    def test_crossing_edges_rewired(self):
+        host, (result, _) = self._apply()
+        # The host's join must now be fed by the replacement Split.
+        src = result.source_of("jn", "in0")
+        assert result.nodes[src.node].typ == "Split"
+
+    def test_host_external_inputs_remarked(self):
+        host, (result, _) = self._apply()
+        assert set(result.inputs) == set(host.inputs)
+        cond_target = result.inputs[0]
+        assert result.nodes[cond_target.node].typ == "Mux"
+        assert cond_target.port == "cond"
+
+    def test_result_validates(self):
+        _, (result, _) = self._apply()
+        result.validate()
+
+    def test_application_marks_verified(self):
+        _, (_, record) = self._apply()
+        assert record.verified
+        assert record.rewrite == "mux-combine"
+
+
+class TestInterfaceChecks:
+    def test_rhs_interface_mismatch_rejected(self):
+        host = host_two_mux_loop()
+        rewrite = mux_combine()
+        match = first_match(host, rewrite)
+
+        def bad_rhs(m: Match) -> ExprHigh:
+            return graph_of({"p": pure("id")}, [], {0: "p.in0"}, {0: "p.out0"})
+
+        broken = Rewrite(name="broken", lhs=rewrite.lhs, rhs=bad_rhs)
+        with pytest.raises(RewriteError):
+            apply_rewrite(host, broken, match)
+
+
+class TestSemanticPreservation:
+    """Theorem 4.6, observed: applying a verified rewrite to a concrete
+    graph produces a graph refining the original."""
+
+    def _small_host(self):
+        g = ExprHigh()
+        g.add_node("sp", split())
+        g.add_node("jn", join())
+        g.add_node("post", pure("id"))
+        g.connect("sp", "out0", "jn", "in0")
+        g.connect("sp", "out1", "jn", "in1")
+        g.connect("jn", "out0", "post", "in0")
+        g.mark_input(0, "sp", "in0")
+        g.mark_output(0, "post", "out0")
+        return g
+
+    def test_split_join_elim_preserves_refinement(self):
+        env = default_environment(capacity=1)
+        host = self._small_host()
+        rewrite = split_join_elim()
+        match = first_match(host, rewrite)
+        result, _ = apply_rewrite(host, rewrite, match)
+        impl = denote(result.lower(), env)
+        spec = denote(host.lower(), env.with_capacity(4))
+        stimuli = uniform_stimuli(impl, ((1, 2),))
+        assert refines(impl, spec, stimuli)
+
+    def test_rewritten_graph_still_computes(self):
+        env = default_environment(capacity=2)
+        host = self._small_host()
+        rewrite = split_join_elim()
+        result, _ = apply_rewrite(host, rewrite, first_match(host, rewrite))
+        module = denote(result.lower(), env)
+        from repro.core.ports import IOPort
+
+        (state,) = module.init
+        (state,) = module.inputs[IOPort(0)].fire(state, (7, 8))
+        # run internal transitions until the output appears
+        emitted = set()
+        frontier = [state]
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for value, _ in module.outputs[IOPort(0)].fire(current):
+                emitted.add(value)
+            for nxt in module.internal_steps(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        assert emitted == {(7, 8)}
+
+
+class TestFreshNaming:
+    def test_replacement_names_do_not_collide(self):
+        host = host_two_mux_loop()
+        # Pre-claim the replacement's natural names.
+        host.rename_node("jn", "jt")
+        rewrite = mux_combine()
+        match = first_match(host, rewrite)
+        result, record = apply_rewrite(host, rewrite, match)
+        assert "jt" in result.nodes  # the host's node keeps its name
+        assert len(record.new_nodes) == 4
+        result.validate()

@@ -1,0 +1,97 @@
+"""Tests for the e-graph oracle (the egg substitute of section 3.2)."""
+
+import pytest
+
+from repro.components import default_environment
+from repro.rewriting import algebra
+from repro.rewriting.egraph import EGraph, parse_term, render_term, simplify, term_size
+
+
+class TestTermSyntax:
+    @pytest.mark.parametrize(
+        "text",
+        ["id", "tup(mod)", "comp(a,b)", "par(comp(a,b),first(c))", "comp(dup,par(fst,snd))"],
+    )
+    def test_parse_render_round_trip(self, text):
+        assert render_term(parse_term(text)) == text
+
+    def test_term_size(self):
+        assert term_size(parse_term("id")) == 1
+        assert term_size(parse_term("comp(a,b)")) == 3
+
+
+class TestEGraphCore:
+    def test_hashcons_shares_subterms(self):
+        eg = EGraph()
+        a = eg.add_term(parse_term("comp(x,y)"))
+        b = eg.add_term(parse_term("comp(x,y)"))
+        assert eg.find(a) == eg.find(b)
+
+    def test_union_merges_classes(self):
+        eg = EGraph()
+        a = eg.add_term(parse_term("a"))
+        b = eg.add_term(parse_term("b"))
+        assert eg.find(a) != eg.find(b)
+        eg.union(a, b)
+        assert eg.find(a) == eg.find(b)
+
+    def test_congruence_closure(self):
+        eg = EGraph()
+        fa = eg.add_term(parse_term("first(a)"))
+        fb = eg.add_term(parse_term("first(b)"))
+        a = eg.add_term(parse_term("a"))
+        b = eg.add_term(parse_term("b"))
+        eg.union(a, b)
+        eg.rebuild()
+        assert eg.find(fa) == eg.find(fb)
+
+    def test_extract_returns_smallest(self):
+        eg = EGraph()
+        big = eg.add_term(parse_term("comp(comp(a,id),id)"))
+        small = eg.add_term(parse_term("a"))
+        eg.union(big, small)
+        eg.rebuild()
+        assert render_term(eg.extract(big)) == "a"
+
+
+class TestSimplification:
+    @pytest.mark.parametrize(
+        "before,after",
+        [
+            ("comp(dup,par(fst,snd))", "id"),  # Join of a Split disappears
+            ("comp(id,comp(tup(mod),id))", "tup(mod)"),
+            ("comp(comp(a,id),comp(id,b))", "comp(a,b)"),
+            ("first(id)", "id"),
+            ("comp(swap,swap)", "id"),
+            ("comp(dup,fst)", "id"),  # Split of a Join, left projection
+            ("comp(dup,snd)", "id"),
+            ("comp(comp(dup,par(f,g)),fst)", "f"),  # project a fanout
+            ("comp(dup,par(comp(fst,f),comp(snd,g)))", "par(f,g)"),
+        ],
+    )
+    def test_simplifies(self, before, after):
+        assert simplify(before) == after
+
+    def test_irreducible_terms_survive(self):
+        assert simplify("comp(dup,par(f,g))") == "comp(dup,par(f,g))"
+
+    def test_simplification_preserves_semantics(self):
+        env = default_environment()
+        cases = [
+            ("comp(comp(dup,par(incr,ne0)),fst)", 3),
+            ("comp(dup,par(comp(fst,incr),comp(snd,incr)))", (1, 2)),
+            ("comp(id,comp(incr,id))", 7),
+        ]
+        for term, arg in cases:
+            original = algebra.ensure(env, term)
+            reduced = algebra.ensure(env, simplify(term))
+            assert original(arg) == reduced(arg)
+
+    def test_simplified_is_never_larger(self):
+        terms = [
+            "comp(dup,par(fst,snd))",
+            "comp(comp(a,b),comp(c,d))",
+            "par(first(x),second(y))",
+        ]
+        for term in terms:
+            assert term_size(parse_term(simplify(term))) <= term_size(parse_term(term))

@@ -1,0 +1,180 @@
+"""Edge-case tests for the region purifier."""
+
+import pytest
+
+from repro.components import (
+    default_environment,
+    fork,
+    join,
+    merge,
+    mux,
+    operator,
+    pure,
+    sink,
+    split,
+    store,
+)
+from repro.core.exprhigh import Endpoint, ExprHigh
+from repro.rewriting.purify import (
+    PurityError,
+    Region,
+    check_region_pure,
+    compose_region,
+    discover_region,
+)
+
+
+def tiny_loop(body_builder):
+    """A minimal loop skeleton: mux -> [body] -> branch/cond-fork."""
+    from repro.components import branch, init
+
+    g = ExprHigh()
+    g.add_node("mx", mux())
+    g.add_node("br", branch())
+    g.add_node("cf", fork(2))
+    g.add_node("ini", init(value=False))
+    entry, data_exit, cond_exit = body_builder(g)
+    g.connect("mx", "out0", entry.node, entry.port)
+    g.connect(data_exit.node, data_exit.port, "br", "in0")
+    g.connect(cond_exit.node, cond_exit.port, "cf", "in0")
+    g.connect("cf", "out0", "br", "cond")
+    g.connect("cf", "out1", "ini", "in0")
+    g.connect("ini", "out0", "mx", "cond")
+    g.connect("br", "out0", "mx", "in0")
+    g.mark_input(0, "mx", "in1")
+    g.mark_output(0, "br", "out1")
+    return g
+
+
+def pure_body(g):
+    g.add_node("body", pure("gcd_step"))
+    g.add_node("sp", split())
+    g.connect("body", "out0", "sp", "in0")
+    return Endpoint("body", "in0"), Endpoint("sp", "out0"), Endpoint("sp", "out1")
+
+
+class TestDiscoverRegion:
+    def test_finds_the_body(self):
+        g = tiny_loop(pure_body)
+        region = discover_region(g, "mx", "br", "cf")
+        assert set(region.nodes) == {"body", "sp"}
+        assert region.entry == Endpoint("body", "in0")
+        assert region.data_exit == Endpoint("sp", "out0")
+        assert region.cond_exit == Endpoint("sp", "out1")
+
+    def test_composes_the_body_function(self):
+        env = default_environment()
+        g = tiny_loop(pure_body)
+        region = discover_region(g, "mx", "br", "cf")
+        term, steps = compose_region(g, region, env)
+        fn = env.function(term)
+        assert fn((12, 8)) == ((8, 4), True)
+        # Two node compositions plus however many oracle rule applications.
+        assert steps >= 2
+
+
+class TestPurityRefusals:
+    def test_store_refused(self):
+        g = ExprHigh()
+        g.add_node("st", store())
+        with pytest.raises(PurityError):
+            check_region_pure(g, Region(["st"], None, None, None))
+
+    def test_steering_refused(self):
+        g = ExprHigh()
+        g.add_node("m", merge())
+        with pytest.raises(PurityError, match="non-functional"):
+            check_region_pure(g, Region(["m"], None, None, None))
+
+    def test_cycle_in_body_refused(self):
+        env = default_environment()
+
+        def cyclic_body(g):
+            # Two joins feeding each other through a split: a body cycle.
+            g.add_node("j1", join())
+            g.add_node("s1", split())
+            g.connect("j1", "out0", "s1", "in0")
+            g.connect("s1", "out1", "j1", "in1")
+            g.add_node("sp2", split())
+            g.connect("s1", "out0", "sp2", "in0")
+            return Endpoint("j1", "in0"), Endpoint("sp2", "out0"), Endpoint("sp2", "out1")
+
+        g = tiny_loop(cyclic_body)
+        region = discover_region(g, "mx", "br", "cf")
+        with pytest.raises(PurityError, match="cycle"):
+            compose_region(g, region, env)
+
+
+class TestPurifyObligation:
+    def test_gcd_purify_rewrite_is_verifiable(self):
+        """The purifier's computed rewrite carries a dischargeable
+        obligation: Pure{composed}; Split refines the GCD body region on a
+        bounded instance — so even the 'unverified' purify application can
+        be checked per instance when the user asks for it."""
+        from repro.core.ports import IOPort
+        from repro.refinement.checker import check_rewrite_obligation
+        from repro.rewriting.purify import purify_rewrite as build
+
+        env = default_environment(capacity=1)
+        g = tiny_loop(pure_body)
+        region = discover_region(g, "mx", "br", "cf")
+        rewrite, match, _ = build(g, region, env)
+        report = check_rewrite_obligation(
+            rewrite.lhs,
+            rewrite.rhs(match),
+            env,
+            {IOPort(0): ((4, 2), (3, 2))},
+        )
+        assert report.certificate.relation
+
+
+class TestCompositionShapes:
+    def test_sink_consumes_one_stream(self):
+        env = default_environment()
+
+        def body_with_sink(g):
+            g.add_node("fk", fork(2))
+            g.add_node("snk", sink())
+            g.add_node("body", pure("gcd_step"))
+            g.add_node("sp", split())
+            g.connect("fk", "out1", "snk", "in0")
+            g.connect("fk", "out0", "body", "in0")
+            g.connect("body", "out0", "sp", "in0")
+            return Endpoint("fk", "in0"), Endpoint("sp", "out0"), Endpoint("sp", "out1")
+
+        g = tiny_loop(body_with_sink)
+        region = discover_region(g, "mx", "br", "cf")
+        term, _ = compose_region(g, region, env)
+        fn = env.function(term)
+        assert fn((9, 6)) == ((6, 3), True)
+
+    def test_three_input_operator_untreed(self):
+        env = default_environment()
+        env.register_function("clamp", lambda lo, x, hi: max(lo, min(x, hi)), 3)
+
+        def body_select(g):
+            g.add_node("fk1", fork(2))
+            g.add_node("fk2", fork(2))
+            g.add_node("fk3", fork(2))
+            g.add_node("op", operator("clamp", 3))
+            g.add_node("done", operator("eq0", 1))
+            g.add_node("jn", join())
+            g.connect("fk1", "out0", "op", "in0")
+            g.connect("fk1", "out1", "fk2", "in0")
+            g.connect("fk2", "out0", "op", "in1")
+            g.connect("fk2", "out1", "fk3", "in0")
+            g.connect("fk3", "out0", "op", "in2")
+            g.connect("fk3", "out1", "done", "in0")
+            g.connect("op", "out0", "jn", "in0")
+            g.connect("done", "out0", "jn", "in1")
+            g.add_node("sp", split())
+            g.connect("jn", "out0", "sp", "in0")
+            return Endpoint("fk1", "in0"), Endpoint("sp", "out0"), Endpoint("sp", "out1")
+
+        g = tiny_loop(body_select)
+        region = discover_region(g, "mx", "br", "cf")
+        term, _ = compose_region(g, region, env)
+        fn = env.function(term)
+        value, cond = fn(5)
+        assert value == 5  # clamp(5, 5, ...) with duplicated wires
+        assert cond is False  # eq0(5)
