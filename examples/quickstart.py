@@ -1,18 +1,28 @@
 """Quickstart: build a dataflow graph, check a refinement, apply a rewrite.
 
+Uses the :class:`repro.Session` facade, which owns the component
+environment, the result cache and the (optionally parallel) executor; the
+lower-level modules it wraps remain importable for fine-grained work, and
+step 4 drops down to the RewriteEngine to apply a single rewrite by hand.
+
 Run with:  python examples/quickstart.py
 """
 
-from repro.components import default_environment, fork, mux
+from repro import Session
+from repro.components import fork, mux
 from repro.core import ExprHigh, denote
 from repro.dot import parse_dot, print_dot
-from repro.refinement import check_rewrite_obligation, io_stimuli, refines
+from repro.refinement import io_stimuli, refines
 from repro.rewriting import RewriteEngine, first_match
 from repro.rewriting.rules.combine import mux_combine
 
 
 def main() -> None:
-    env = default_environment(capacity=1)
+    # One Session owns the environment, cache, and executor configuration.
+    # use_cache=False keeps the example hermetic; pass jobs=4 for parallel
+    # benchmark or verification runs.
+    session = Session(use_cache=False)
+    session.env.capacity = 1  # small queues keep refinement state spaces tiny
 
     # 1. Build a small graph: two Muxes steered by one forked condition —
     #    the lhs of the paper's figure 3a rewrite.
@@ -35,24 +45,21 @@ def main() -> None:
     # 2. Denote it into its semantics (a module) and sanity-check
     #    reflexivity of refinement on a bounded instance: both condition
     #    values, one distinguished data value per port.
-    module = denote(graph.lower(), env)
+    module = denote(graph.lower(), session.env)
     stimuli = io_stimuli(
         {0: (True, False), 1: ("a0",), 2: ("a1",), 3: ("b0",), 4: ("b1",)}
     )
     print("graph refines itself:", refines(module, module, stimuli))
 
-    # 3. Check the mux-combine rewrite's obligation (rhs ⊑ lhs) on a
-    #    bounded instance — the executable stand-in for the Lean proof.
-    rewrite = mux_combine()
-    lhs, rhs, obligation_env, obligation_stimuli = next(rewrite.obligation())
-    report = check_rewrite_obligation(lhs, rhs, obligation_env, obligation_stimuli)
-    print(
-        f"mux-combine obligation verified over "
-        f"{report.certificate.impl_states} impl states"
-    )
+    # 3. Discharge the mux-combine rewrite's obligation (rhs ⊑ lhs) through
+    #    the session — the executable stand-in for the Lean proof.  With a
+    #    cache enabled this is instant on every rerun.
+    [outcome] = session.verify([("repro.rewriting.rules.combine", "mux_combine", {})])
+    print(f"mux-combine obligation: holds={outcome['holds']} [{outcome['seconds']:.2f}s]")
 
     # 4. Apply the rewrite through the engine (theorem 4.6 then guarantees
     #    the output refines the input).
+    rewrite = mux_combine()
     engine = RewriteEngine()
     match = first_match(graph, rewrite)
     rewritten = engine.apply_at(graph, rewrite, match)

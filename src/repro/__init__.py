@@ -11,17 +11,32 @@ bug).
 
 Quick tour::
 
+    from repro import Session
+
+    session = Session(jobs=4)          # parallel + cached execution
+    session.transform(graph, mark)     # the OoO pipeline
+    session.verify()                   # discharge every rewrite obligation
+    session.bench("matvec")            # the evaluation harness
+    print(session.report())            # Tables 2-3 + Figure 8
+
+:class:`Session` (see :mod:`repro.api`) is the facade over the lower-level
+pieces, which remain importable::
+
     from repro import (
         default_environment, ExprHigh, denote,        # build + denote graphs
         refines, check_rewrite_obligation,            # refinement checking
         GraphitiPipeline,                             # the OoO pipeline
-        run_benchmark,                                # the evaluation harness
+        run_benchmark,                                # deprecated: Session.bench
     )
 
 See README.md for the architecture overview and examples/ for runnable
 walkthroughs.
 """
 
+import warnings as _warnings
+
+from ._version import __version__
+from .api import Session
 from .components import default_environment
 from .core import (
     Environment,
@@ -33,7 +48,7 @@ from .core import (
 )
 from .dot import parse_dot, print_dot
 from .errors import GraphitiError
-from .eval.runner import run_benchmark
+from .eval.runner import run_benchmark as _run_benchmark
 from .refinement import (
     check_graph_refinement,
     check_refinement,
@@ -44,9 +59,23 @@ from .refinement import (
 )
 from .rewriting import GraphitiPipeline, Rewrite, RewriteEngine, Var
 
-__version__ = "1.0.0"
+
+def run_benchmark(name, program=None):
+    """Deprecated thin shim over :meth:`repro.api.Session.bench`.
+
+    Kept so seed-era code and notebooks keep working; new code should use
+    ``Session(...).bench(name)``, which adds caching and parallelism.
+    """
+    _warnings.warn(
+        "repro.run_benchmark is deprecated; use repro.Session(...).bench(name)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_benchmark(name, program)
+
 
 __all__ = [
+    "Session",
     "default_environment",
     "Environment",
     "ExprHigh",

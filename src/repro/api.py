@@ -1,0 +1,210 @@
+"""The public facade: one Session owning environment, executor and cache.
+
+Everything the scattered entry points did — ``GraphitiPipeline`` for
+transforms, ``RewriteEngine.verify_rewrite`` for obligations,
+``run_benchmark`` for evaluation, the hand-rolled loops in ``cli.py`` —
+is reachable through one object::
+
+    from repro import Session
+
+    session = Session(jobs=4)                 # parallel, cached
+    session.transform(graph, mark)            # the five-phase OoO pipeline
+    session.verify()                          # discharge every obligation
+    session.bench("matvec")                   # one benchmark, four flows
+    print(session.report())                   # Tables 2-3 + Figure 8
+
+A Session owns:
+
+* the component :class:`~repro.core.environment.Environment` (built once,
+  shared by every transform);
+* the result cache — content-addressed, on disk, keyed by graph/environment/
+  stimuli/tool-version fingerprints (see :mod:`repro.exec.hashing`), so a
+  warm rerun recomputes nothing;
+* the :class:`~repro.exec.executor.Executor` that fans independent work
+  units — (benchmark × flow) runs, obligation discharges, weak-simulation
+  checks — over a process pool, with deterministic result ordering (output
+  is byte-identical to a serial run) and serial fallback on worker failure;
+* the :class:`~repro.exec.metrics.ExecutorMetrics` describing what actually
+  ran versus what the cache answered.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from .components import default_environment
+from .core.environment import Environment
+from .core.exprhigh import ExprHigh
+from .exec.cache import NullCache, ResultCache, default_cache_dir
+from .exec.executor import Executor, WorkUnit
+from .exec.hashing import eval_unit_key, obligation_fingerprint, weak_sim_key
+from .exec.metrics import ExecutorMetrics
+from .rewriting.pipeline import GraphitiPipeline, TransformResult
+from .rewriting.rules import VERIFY_FACTORY_SPECS, build_rewrite
+
+
+class Session:
+    """The façade over transformation, verification and evaluation.
+
+    Parameters
+    ----------
+    env:
+        Component environment; defaults to :func:`default_environment`.
+    jobs:
+        Process-pool width for independent work units; ``1`` runs serially.
+    cache_dir:
+        Result-cache directory; defaults to
+        :func:`repro.exec.cache.default_cache_dir`.
+    use_cache:
+        ``False`` disables the on-disk cache entirely (the ``--no-cache``
+        CLI flag).
+    check_obligations:
+        Passed through to :class:`GraphitiPipeline`: discharge each
+        verified rewrite's obligation (cached) before its first use.
+    """
+
+    def __init__(
+        self,
+        env: Environment | None = None,
+        *,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+        check_obligations: bool = False,
+    ):
+        self.env = env if env is not None else default_environment()
+        if use_cache:
+            self.cache = ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
+        else:
+            self.cache = NullCache()
+        self.metrics = ExecutorMetrics()
+        self.executor = Executor(jobs=jobs, cache=self.cache, metrics=self.metrics)
+        self.check_obligations = check_obligations
+
+    # -- transformation ------------------------------------------------------
+
+    def transform(self, graph: ExprHigh, mark) -> TransformResult:
+        """Run the five-phase out-of-order pipeline on a marked loop."""
+        pipeline = GraphitiPipeline(
+            self.env, check_obligations=self.check_obligations, cache=self.cache
+        )
+        return pipeline.transform_kernel(graph, mark)
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self, specs: Sequence[tuple[str, str, dict]] | None = None) -> list[dict]:
+        """Discharge every rewrite obligation, fanned out and cached.
+
+        Returns one dict per spec, in spec order: ``rewrite``, ``holds``,
+        ``verified_flag`` (was the rewrite *claimed* verified), ``detail``
+        (the counterexample message when it does not hold) and ``seconds``.
+        """
+        specs = list(specs if specs is not None else VERIFY_FACTORY_SPECS)
+        units = []
+        for module, factory, kwargs in specs:
+            rewrite = build_rewrite(module, factory, kwargs)
+            key = None
+            if rewrite.obligation is not None:
+                key = obligation_fingerprint(rewrite.name, list(rewrite.obligation()))
+            units.append(
+                WorkUnit(
+                    uid=f"verify:{rewrite.name}",
+                    fn="repro.exec.workers:discharge_rewrite",
+                    payload={"module": module, "factory": factory, "kwargs": kwargs},
+                    cache_key=key,
+                )
+            )
+        return self.executor.run(units)
+
+    def check_refinements(
+        self,
+        pairs: Sequence[tuple[ExprHigh, ExprHigh]],
+        *,
+        values: tuple = (0, 1),
+        spec_capacity: int | None = 4,
+    ) -> list[dict]:
+        """Fan out weak-simulation checks ``rhs ⊑ lhs`` over graph pairs.
+
+        Each pair is ``(lhs, rhs)`` — specification first, like
+        :func:`repro.refinement.checker.check_rewrite_obligation`.
+        """
+        units = []
+        for index, (lhs, rhs) in enumerate(pairs):
+            key = weak_sim_key(
+                rhs, lhs, self.env, None, values=values, spec_capacity=spec_capacity
+            )
+            units.append(
+                WorkUnit(
+                    uid=f"weak-sim:{index}",
+                    fn="repro.exec.workers:check_graph_pair",
+                    payload={
+                        "lhs": lhs,
+                        "rhs": rhs,
+                        "capacity": self.env.capacity,
+                        "values": tuple(values),
+                        "spec_capacity": spec_capacity,
+                    },
+                    cache_key=key,
+                )
+            )
+        return self.executor.run(units)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def bench(self, name: str, program=None) -> "BenchmarkResult":
+        """Run one benchmark through all four flows."""
+        return self.bench_many([name], {name: program} if program is not None else None)[name]
+
+    def bench_many(
+        self,
+        names: Iterable[str],
+        programs: Mapping[str, object] | None = None,
+    ) -> dict[str, "BenchmarkResult"]:
+        """Run the (benchmark × flow) matrix as independent work units."""
+        from .eval.runner import FLOWS, BenchmarkResult, FlowResult
+        from .hls.frontend import compile_program
+
+        names = list(names)
+        units = []
+        for name in names:
+            program = (programs or {}).get(name)
+            if program is None:
+                from .benchmarks import load_benchmark
+
+                program = load_benchmark(name)
+            # Compile once per benchmark, in-process, purely to derive the
+            # content-addressed keys; workers recompile deterministically.
+            key_env = default_environment()
+            compiled = compile_program(program, key_env)
+            for flow in FLOWS:
+                units.append(
+                    WorkUnit(
+                        uid=f"{name}:{flow}",
+                        fn="repro.exec.workers:eval_flow",
+                        payload={"name": name, "flow": flow, "program": program},
+                        cache_key=eval_unit_key(flow, program, compiled, key_env),
+                    )
+                )
+        raw = self.executor.run(units)
+        results: dict[str, BenchmarkResult] = {}
+        cursor = 0
+        for name in names:
+            result = BenchmarkResult(name)
+            for flow in FLOWS:
+                result.flows[flow] = FlowResult.from_dict(raw[cursor])
+                cursor += 1
+            results[name] = result
+        return results
+
+    def report(
+        self,
+        names: Iterable[str] | None = None,
+        programs: Mapping[str, object] | None = None,
+    ) -> str:
+        """Regenerate Tables 2-3 and Figure 8 (plus the shape checks)."""
+        from .eval.paper_data import BENCHMARKS
+        from .eval.report import full_report
+
+        results = self.bench_many(list(names) if names else list(BENCHMARKS), programs)
+        return full_report(results)

@@ -14,6 +14,14 @@ reproduction::
 ``transform`` reads a dot graph, runs the five-phase out-of-order pipeline
 on the marked loop, and writes the rewritten dot graph (or reports the
 refusal, e.g. for effectful loop bodies).
+
+``verify``, ``bench`` and ``report`` all go through the
+:class:`repro.api.Session` facade and accept the executor flags:
+``--jobs N`` fans independent work units (benchmark × flow runs, rewrite
+obligations) over a process pool; ``--cache-dir`` points the
+content-addressed result cache somewhere specific; ``--no-cache`` disables
+it.  Output is deterministic: a parallel or warm-cache run prints the same
+bytes as a cold serial one.
 """
 
 from __future__ import annotations
@@ -26,22 +34,26 @@ from pathlib import Path
 def _cmd_transform(args: argparse.Namespace) -> int:
     from .components import default_environment
     from .dot import parse_dot, print_dot
+    from .errors import GraphitiError
     from .hls.frontend import LoopMark
     from .rewriting.pipeline import GraphitiPipeline
 
     graph = parse_dot(Path(args.input).read_text())
-    mark = LoopMark(
-        kernel=args.kernel,
-        mux_nodes=args.mux,
-        branch_nodes=args.branch,
-        init_node=args.init,
-        cond_fork=args.cond_fork,
-        driver=args.driver or "",
-        collector=args.collector or "",
-        tags=args.tags,
-        effectful=any(spec.typ == "Store" for spec in graph.nodes.values()),
-        sequential_outer=False,
-    )
+    try:
+        mark = LoopMark.from_graph(
+            graph,
+            kernel=args.kernel,
+            mux_nodes=args.mux,
+            branch_nodes=args.branch,
+            init_node=args.init,
+            cond_fork=args.cond_fork,
+            driver=args.driver or "",
+            collector=args.collector or "",
+            tags=args.tags,
+        )
+    except GraphitiError as exc:
+        print(f"invalid loop mark: {exc}", file=sys.stderr)
+        return 2
     env = default_environment()
     pipeline = GraphitiPipeline(env, check_obligations=args.check)
     result = pipeline.transform_kernel(graph, mark)
@@ -53,55 +65,33 @@ def _cmd_transform(args: argparse.Namespace) -> int:
         Path(args.output).write_text(output)
     else:
         print(output)
-    print(
-        f"applied {result.rewrites_applied} rewrites "
-        f"(+{result.composition_steps} composition steps)",
-        file=sys.stderr,
-    )
+    print(result.summary(), file=sys.stderr)
     return 0
 
 
+def _session(args: argparse.Namespace):
+    from .api import Session
+
+    return Session(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from time import perf_counter
-
-    from .errors import RefinementError
-    from .rewriting.engine import RewriteEngine
-    from .rewriting.rules import combine, loop_rewrite, pure_gen, reduction, shuffle
-
-    factories = [
-        combine.mux_combine,
-        combine.merge_combine,
-        combine.branch_combine,
-        reduction.split_join_elim,
-        reduction.join_split_elim,
-        reduction.fork_sink_elim,
-        reduction.pure_id_elim,
-        pure_gen.op1_to_pure,
-        pure_gen.op2_to_pure,
-        pure_gen.fork_lift_pure,
-        pure_gen.fork_to_pure,
-        pure_gen.pure_compose,
-        shuffle.join_pure_left,
-        shuffle.join_pure_right,
-        shuffle.split_pure_left,
-        shuffle.split_pure_right,
-        shuffle.join_assoc,
-        shuffle.join_swap,
-        lambda: loop_rewrite.ooo_loop(tags=2),
-    ]
-    engine = RewriteEngine()
+    session = _session(args)
     failures = 0
-    for factory in factories:
-        rewrite = factory()
-        start = perf_counter()
-        try:
-            engine.verify_rewrite(rewrite)
+    for outcome in session.verify():
+        if outcome["holds"]:
             status = "verified"
-        except RefinementError as exc:
-            status = f"REFUTED ({exc})" if not rewrite.verified else f"FAILED ({exc})"
-            if rewrite.verified:
-                failures += 1
-        print(f"{rewrite.name:20s} {status}  [{perf_counter() - start:.2f}s]")
+        elif outcome["verified_flag"]:
+            status = f"FAILED ({outcome['detail']})"
+            failures += 1
+        else:
+            status = f"REFUTED ({outcome['detail']})"
+        print(f"{outcome['rewrite']:20s} {status}  [{outcome['seconds']:.2f}s]")
+    print(session.metrics.summary(), file=sys.stderr)
     if failures:
         print(f"{failures} verified-marked rewrites failed", file=sys.stderr)
         return 1
@@ -110,9 +100,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .eval.runner import run_benchmark
-
-    result = run_benchmark(args.name)
+    session = _session(args)
+    try:
+        result = session.bench(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     print(f"{'flow':10s} {'cycles':>9s} {'CP(ns)':>8s} {'exec(ns)':>11s} {'LUT':>6s} {'FF':>6s} {'DSP':>4s} ok")
     for flow in ("DF-IO", "DF-OoO", "GRAPHITI", "Vericert"):
         fr = result[flow]
@@ -121,21 +114,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{fr.execution_time:>11.0f} {fr.area.luts:>6d} {fr.area.ffs:>6d} "
             f"{fr.area.dsps:>4d} {fr.correct}"
         )
+    print(session.metrics.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .eval.paper_data import BENCHMARKS
-    from .eval.report import full_report
-    from .eval.runner import run_benchmark
 
     names = args.benchmarks or list(BENCHMARKS)
-    results = {}
-    for name in names:
-        print(f"running {name}...", file=sys.stderr)
-        results[name] = run_benchmark(name)
-    print(full_report(results))
+    print(f"running {', '.join(names)} (jobs={args.jobs})...", file=sys.stderr)
+    session = _session(args)
+    try:
+        print(session.report(names))
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(session.metrics.summary(), file=sys.stderr)
     return 0
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent work units over N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "$XDG_CACHE_HOME/graphiti-repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -157,14 +168,17 @@ def main(argv: list[str] | None = None) -> int:
     transform.set_defaults(fn=_cmd_transform)
 
     verify = sub.add_parser("verify", help="discharge every rewrite obligation")
+    _add_exec_flags(verify)
     verify.set_defaults(fn=_cmd_verify)
 
     bench = sub.add_parser("bench", help="run one benchmark through all four flows")
     bench.add_argument("name", help="bicg | gemm | gsum-many | gsum-single | matvec | mvt")
+    _add_exec_flags(bench)
     bench.set_defaults(fn=_cmd_bench)
 
     report = sub.add_parser("report", help="regenerate Tables 2-3 and Figure 8")
     report.add_argument("benchmarks", nargs="*", help="subset of benchmarks (default: all)")
+    _add_exec_flags(report)
     report.set_defaults(fn=_cmd_report)
 
     args = parser.parse_args(argv)

@@ -95,6 +95,23 @@ class Environment:
             raise SemanticsError(f"no module registered for component {name!r}")
         return builder(params, self)
 
+    # -- identity -------------------------------------------------------------
+
+    def signature(self) -> str:
+        """A canonical string identifying this environment's semantics.
+
+        Covers the queue capacity and the registered builder and function
+        names (with arities).  Function *bodies* are assumed stable for a
+        given tool version — the executor's cache keys combine this
+        signature with :data:`repro.exec.hashing.TOOL_VERSION`, so semantic
+        changes must be accompanied by a version bump to invalidate caches.
+        """
+        builders = ",".join(sorted(self._builders))
+        functions = ",".join(
+            f"{name}/{definition.arity}" for name, definition in sorted(self._functions.items())
+        )
+        return f"cap={self.capacity};builders={builders};functions={functions}"
+
     # -- derivation -----------------------------------------------------------
 
     def with_capacity(self, capacity: int | None) -> "Environment":

@@ -32,6 +32,9 @@ from ..sim.cycle import CycleSimulator
 
 FLOWS = ("DF-IO", "DF-OoO", "GRAPHITI", "Vericert")
 
+#: Flow name → transform argument of :func:`_run_dataflow`.
+_DATAFLOW_TRANSFORMS = {"DF-IO": None, "DF-OoO": "ooo", "GRAPHITI": "graphiti"}
+
 
 @dataclass
 class FlowResult:
@@ -49,6 +52,39 @@ class FlowResult:
     def execution_time(self) -> float:
         return self.area.execution_time(self.cycles)
 
+    # -- result protocol (repro.results) ------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "FlowResult",
+            "flow": self.flow,
+            "cycles": int(self.cycles),
+            "area": self.area.to_dict(),
+            "correct": bool(self.correct),
+            "stores_in_order": bool(self.stores_in_order),
+            "refused_loops": int(self.refused_loops),
+            "rewrite_steps": int(self.rewrite_steps),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FlowResult":
+        return FlowResult(
+            flow=data["flow"],
+            cycles=int(data["cycles"]),
+            area=AreaReport.from_dict(data["area"]),
+            correct=bool(data["correct"]),
+            stores_in_order=bool(data["stores_in_order"]),
+            refused_loops=int(data["refused_loops"]),
+            rewrite_steps=int(data["rewrite_steps"]),
+        )
+
+    def summary(self) -> str:
+        status = "ok" if self.correct else "WRONG RESULT"
+        return (
+            f"{self.flow}: {self.cycles} cycles @ {self.area.clock_period:.2f}ns"
+            f" ({self.execution_time:.0f}ns), {self.area.luts} LUTs, {status}"
+        )
+
 
 @dataclass
 class BenchmarkResult:
@@ -57,6 +93,26 @@ class BenchmarkResult:
 
     def __getitem__(self, flow: str) -> FlowResult:
         return self.flows[flow]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "BenchmarkResult",
+            "name": self.name,
+            "flows": {flow: result.to_dict() for flow, result in self.flows.items()},
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "BenchmarkResult":
+        result = BenchmarkResult(data["name"])
+        for flow, entry in data["flows"].items():
+            result.flows[flow] = FlowResult.from_dict(entry)
+        return result
+
+    def summary(self) -> str:
+        flows = ", ".join(
+            f"{flow}={result.cycles}c" for flow, result in self.flows.items()
+        )
+        return f"{self.name}: {flows}"
 
 
 def run_benchmark(name: str, program: Program | None = None) -> BenchmarkResult:
@@ -81,6 +137,29 @@ def run_benchmark(name: str, program: Program | None = None) -> BenchmarkResult:
     )
     result.flows["Vericert"] = _run_vericert(program, pristine)
     return result
+
+
+def run_flow(name: str, flow: str, program: Program | None = None) -> FlowResult:
+    """Run *name* under a single flow — the executor's unit of work.
+
+    Compiling per flow (rather than sharing one compiled program across the
+    four flows, as :func:`run_benchmark` does) is deterministic, so the
+    measurements are identical to the serial path's; it is what lets the
+    (benchmark × flow) matrix fan out as independent, picklable work units.
+    """
+    program = program if program is not None else load_benchmark(name)
+    pristine = {key: array.copy() for key, array in program.arrays.items()}
+    if flow == "Vericert":
+        return _run_vericert(program, pristine)
+    if flow not in _DATAFLOW_TRANSFORMS:
+        raise ValueError(f"unknown flow {flow!r}; expected one of {FLOWS}")
+    reference = run_program(program, {key: array.copy() for key, array in pristine.items()})
+    env = default_environment()
+    compiled = compile_program(program, env)
+    return _run_dataflow(
+        flow, compiled, program, pristine, reference, env,
+        transform=_DATAFLOW_TRANSFORMS[flow],
+    )
 
 
 def _restore_arrays(program: Program, pristine: dict) -> None:

@@ -1,0 +1,45 @@
+"""Parallel, cached execution of independent work units.
+
+The executor subsystem behind :class:`repro.api.Session`: canonical
+fingerprints (:mod:`~repro.exec.hashing`), a content-addressed on-disk
+result cache (:mod:`~repro.exec.cache`), per-unit metrics
+(:mod:`~repro.exec.metrics`), and the process-pool orchestrator itself
+(:mod:`~repro.exec.executor`), plus the picklable worker functions it fans
+out (:mod:`~repro.exec.workers`).
+"""
+
+from .cache import CacheError, CacheStats, NullCache, ResultCache, default_cache_dir
+from .executor import Executor, ExecutorError, WorkUnit, resolve_worker
+from .hashing import (
+    TOOL_VERSION,
+    eval_unit_key,
+    fingerprint,
+    graph_fingerprint,
+    obligation_fingerprint,
+    program_fingerprint,
+    stimuli_fingerprint,
+    weak_sim_key,
+)
+from .metrics import ExecutorMetrics, UnitMetric
+
+__all__ = [
+    "CacheError",
+    "CacheStats",
+    "NullCache",
+    "ResultCache",
+    "default_cache_dir",
+    "Executor",
+    "ExecutorError",
+    "WorkUnit",
+    "resolve_worker",
+    "TOOL_VERSION",
+    "eval_unit_key",
+    "fingerprint",
+    "graph_fingerprint",
+    "obligation_fingerprint",
+    "program_fingerprint",
+    "stimuli_fingerprint",
+    "weak_sim_key",
+    "ExecutorMetrics",
+    "UnitMetric",
+]

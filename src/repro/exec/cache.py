@@ -1,0 +1,160 @@
+"""Content-addressed on-disk result cache.
+
+Entries are JSON files keyed by a fingerprint (see
+:mod:`repro.exec.hashing`), sharded by the first two hex digits so a large
+cache does not put thousands of files in one directory.  Writes go through
+a temporary file plus :func:`os.replace`, so a concurrent reader never sees
+a half-written entry; a corrupted entry (truncated file, hand-edited JSON,
+wrong embedded key) is quarantined by deletion and reported as a miss, so
+the worst failure mode is recomputation.
+
+:class:`NullCache` is the ``--no-cache`` implementation: same interface,
+never stores anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import GraphitiError
+
+#: Bump when the entry layout changes; older entries then read as misses.
+CACHE_FORMAT = 1
+
+
+class CacheError(GraphitiError):
+    """The cache directory could not be created or written."""
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class ResultCache:
+    """A directory of content-addressed JSON entries."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheError(f"cannot create cache directory {self.root}: {exc}") from exc
+
+    # -- addressing ---------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- operations ---------------------------------------------------------
+
+    def get(self, key: str) -> object | None:
+        """The stored payload, or None on miss (including corrupted entries)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if entry["format"] != CACHE_FORMAT or entry["key"] != key:
+                raise ValueError("stale format or mismatched key")
+            payload = entry["payload"]
+        except (ValueError, KeyError, TypeError):
+            # Corrupted or stale: quarantine by deletion, report a miss.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: object) -> None:
+        """Store a JSON-serialisable, non-None payload atomically."""
+        if payload is None:
+            raise CacheError("cache payloads must not be None (None encodes a miss)")
+        path = self.path_for(key)
+        entry = {"format": CACHE_FORMAT, "key": key, "payload": payload}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError as exc:
+            raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
+        self.stats.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class NullCache:
+    """The disabled cache: every lookup misses, nothing is stored."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> None:
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: object) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> int:
+        return 0
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/graphiti-repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "graphiti-repro"

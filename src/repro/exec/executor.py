@@ -1,0 +1,185 @@
+"""The parallel, cached work-unit executor.
+
+A :class:`WorkUnit` names a module-level worker function (``"module:attr"``
+— the indirection keeps units picklable, since worker processes re-resolve
+the callable themselves), a picklable keyword payload, and an optional
+content-addressed cache key.  :meth:`Executor.run` evaluates a batch:
+
+1. every unit with a cache hit is answered immediately;
+2. the misses run — serially when ``jobs == 1`` (or only one miss), else
+   fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`;
+3. a unit whose worker raises, or whose pool dies underneath it
+   (``BrokenProcessPool``), is retried *serially in the parent* — the pool
+   is an optimisation, never a source of new failure modes; an exception
+   from the serial retry is genuine and propagates;
+4. results come back **in submission order**, whatever order workers
+   finished in, so downstream output is byte-identical to a serial run.
+
+Worker functions must return a JSON-serialisable value other than ``None``
+(``None`` is the cache-miss sentinel).
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+from ..errors import GraphitiError
+from .cache import NullCache
+from .metrics import ExecutorMetrics, UnitMetric
+
+
+class ExecutorError(GraphitiError):
+    """A work unit was malformed or its worker could not be resolved."""
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent, picklable piece of work."""
+
+    uid: str
+    fn: str  # "package.module:function"
+    payload: dict = field(default_factory=dict)
+    cache_key: str | None = None
+
+
+def resolve_worker(spec: str) -> Callable[..., Any]:
+    """Import ``"module:function"`` and return the callable."""
+    module_name, sep, attr = spec.partition(":")
+    if not sep or not module_name or not attr:
+        raise ExecutorError(f"worker spec {spec!r} is not of the form 'module:function'")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ExecutorError(f"cannot import worker module {module_name!r}: {exc}") from exc
+    fn = getattr(module, attr, None)
+    if not callable(fn):
+        raise ExecutorError(f"worker {spec!r} does not name a callable")
+    return fn
+
+
+def _call_unit(fn_spec: str, payload: dict) -> dict:
+    """Pool entry point: run one unit, returning its in-worker wall time."""
+    start = perf_counter()
+    value = resolve_worker(fn_spec)(**payload)
+    return {"seconds": perf_counter() - start, "value": value}
+
+
+class Executor:
+    """Runs batches of work units with caching and a process pool."""
+
+    def __init__(self, jobs: int = 1, cache=None, metrics: ExecutorMetrics | None = None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache if cache is not None else NullCache()
+        self.metrics = metrics if metrics is not None else ExecutorMetrics()
+
+    def run(self, units: Sequence[WorkUnit]) -> list[Any]:
+        """Evaluate every unit; results are indexed like *units*."""
+        units = list(units)
+        results: list[Any] = [None] * len(units)
+        pending: list[int] = []
+        for index, unit in enumerate(units):
+            hit = self._lookup(unit)
+            if hit is not None:
+                results[index] = hit[0]
+            else:
+                pending.append(index)
+        if not pending:
+            return results
+        if self.jobs == 1 or len(pending) == 1:
+            for index in pending:
+                results[index] = self._run_serial(units[index])
+        else:
+            self._run_pool(units, pending, results)
+        return results
+
+    # -- cache --------------------------------------------------------------
+
+    def _lookup(self, unit: WorkUnit) -> tuple[Any] | None:
+        if unit.cache_key is None:
+            return None
+        start = perf_counter()
+        payload = self.cache.get(unit.cache_key)
+        if payload is None:
+            return None
+        self.metrics.record(
+            UnitMetric(uid=unit.uid, seconds=perf_counter() - start, cached=True, mode="cache")
+        )
+        return (payload,)
+
+    def _store(self, unit: WorkUnit, value: Any) -> None:
+        if unit.cache_key is not None and value is not None:
+            self.cache.put(unit.cache_key, value)
+
+    # -- serial path ---------------------------------------------------------
+
+    def _run_serial(self, unit: WorkUnit, retried: bool = False) -> Any:
+        start = perf_counter()
+        value = resolve_worker(unit.fn)(**unit.payload)
+        self.metrics.record(
+            UnitMetric(
+                uid=unit.uid,
+                seconds=perf_counter() - start,
+                cached=False,
+                mode="serial",
+                retried=retried,
+            )
+        )
+        self._store(unit, value)
+        return value
+
+    # -- pool path ------------------------------------------------------------
+
+    def _run_pool(self, units: list[WorkUnit], pending: list[int], results: list[Any]) -> None:
+        completed: set[int] = set()
+        fallback: list[int] = []
+        try:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)), mp_context=context
+            ) as pool:
+                futures = {
+                    pool.submit(_call_unit, units[index].fn, units[index].payload): index
+                    for index in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            outcome = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception:
+                            # The unit itself failed in the worker; retry it
+                            # serially so a transient worker problem cannot
+                            # fail the batch.
+                            fallback.append(index)
+                            completed.add(index)
+                            continue
+                        results[index] = outcome["value"]
+                        completed.add(index)
+                        self.metrics.record(
+                            UnitMetric(
+                                uid=units[index].uid,
+                                seconds=outcome["seconds"],
+                                cached=False,
+                                mode="pool",
+                            )
+                        )
+                        self._store(units[index], outcome["value"])
+        except (BrokenProcessPool, OSError):
+            # The pool itself died (a worker crashed hard, or fork failed):
+            # everything not finished falls back to the serial path.
+            pass
+        fallback.extend(index for index in pending if index not in completed)
+        for index in fallback:
+            results[index] = self._run_serial(units[index], retried=True)

@@ -1,0 +1,147 @@
+"""Canonical fingerprints for cache keys.
+
+A cached result is only reusable when *everything* that determined it is
+unchanged, so every key produced here is a SHA-256 over a canonical
+rendering of:
+
+* the ExprHigh graph(s) involved (sorted nodes with their encoded
+  component strings, sorted connections, and the I/O interface);
+* the environment signature (queue capacity plus the registered builder
+  and function names — see :meth:`repro.core.environment.Environment.signature`);
+* the stimuli (per-port value sequences, or a benchmark's IR and array
+  contents);
+* the tool version (:data:`TOOL_VERSION`), so upgrading the reproduction
+  invalidates every prior entry.
+
+Fingerprints are plain hex strings; :func:`fingerprint` combines parts
+with an unambiguous separator so ``("ab", "c")`` and ``("a", "bc")`` hash
+differently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .._version import __version__ as TOOL_VERSION
+from ..core.environment import Environment
+from ..core.exprhigh import ExprHigh
+
+_SEP = "\x1f"  # ASCII unit separator: cannot occur in the rendered parts
+
+
+def fingerprint(*parts: str) -> str:
+    """SHA-256 over the parts, keeping part boundaries unambiguous."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "backslashreplace"))
+        digest.update(_SEP.encode())
+    return digest.hexdigest()
+
+
+def graph_fingerprint(graph: ExprHigh) -> str:
+    """Canonical hash of an ExprHigh graph.
+
+    Node insertion order does not matter; names, component types,
+    parameters, port lists, connections and the external interface all do.
+    Parameters are rendered through ``repr`` of the sorted parameter tuple,
+    which is total (it also covers pattern metavariables) and deterministic
+    for every value kind the graphs carry.
+    """
+    nodes = [
+        f"{name}|{spec.typ}|{spec.in_ports!r}|{spec.out_ports!r}|{spec.params!r}"
+        for name, spec in sorted(graph.nodes.items())
+    ]
+    connections = sorted(f"{dst}<-{src}" for dst, src in graph.connections.items())
+    inputs = [f"{index}:{endpoint}" for index, endpoint in sorted(graph.inputs.items())]
+    outputs = [f"{index}:{endpoint}" for index, endpoint in sorted(graph.outputs.items())]
+    return fingerprint(
+        "graph",
+        ";".join(nodes),
+        ";".join(connections),
+        ";".join(inputs),
+        ";".join(outputs),
+    )
+
+
+def stimuli_fingerprint(stimuli: Mapping | None) -> str:
+    """Hash a stimuli mapping (port → finite value sequence)."""
+    if stimuli is None:
+        return fingerprint("stimuli", "none")
+    rows = sorted(f"{port}={tuple(values)!r}" for port, values in stimuli.items())
+    return fingerprint("stimuli", ";".join(rows))
+
+
+def array_fingerprint(name: str, array: np.ndarray) -> str:
+    digest = hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+    return f"{name}:{array.dtype.str}:{array.shape}:{digest}"
+
+
+def program_fingerprint(program) -> str:
+    """Hash a mini-IR program: kernels plus initial array contents.
+
+    The IR is a tree of frozen dataclasses, so ``repr`` is a faithful
+    canonical rendering; arrays hash their dtype, shape and raw bytes.
+    """
+    arrays = [array_fingerprint(name, array) for name, array in sorted(program.arrays.items())]
+    return fingerprint("program", program.name, repr(program.kernels), ";".join(arrays))
+
+
+def eval_unit_key(flow: str, program, compiled, env: Environment) -> str:
+    """Cache key for one (benchmark × flow) evaluation run.
+
+    *compiled* is the :class:`~repro.hls.frontend.CompiledProgram`; hashing
+    the compiled kernel graphs (not just the IR) means any front-end change
+    that alters the circuits also invalidates the cache.
+    """
+    kernel_parts: list[str] = []
+    for ck in compiled.kernels:
+        kernel_parts.append(graph_fingerprint(ck.graph))
+        kernel_parts.append(repr(ck.mark))
+    return fingerprint(
+        "eval",
+        TOOL_VERSION,
+        flow,
+        program_fingerprint(program),
+        env.signature(),
+        *kernel_parts,
+    )
+
+
+def obligation_fingerprint(name: str, instances: Sequence[tuple]) -> str:
+    """Cache key for a rewrite's refinement-obligation discharge.
+
+    *instances* are the rewrite's ``(lhs, rhs, env, stimuli)`` obligation
+    instances; the key covers each instance's graphs, environment signature
+    and stimuli, plus the tool version.
+    """
+    parts: list[str] = ["obligation", TOOL_VERSION, name]
+    for lhs, rhs, env, stimuli in instances:
+        parts.append(graph_fingerprint(lhs))
+        parts.append(graph_fingerprint(rhs))
+        parts.append(env.signature())
+        parts.append(stimuli_fingerprint(stimuli))
+    return fingerprint(*parts)
+
+
+def weak_sim_key(
+    impl: ExprHigh,
+    spec: ExprHigh,
+    env: Environment,
+    stimuli: Mapping | None,
+    values: Iterable | None = None,
+    spec_capacity: int | None = None,
+) -> str:
+    """Cache key for one weak-simulation (graph refinement) check."""
+    return fingerprint(
+        "weak-sim",
+        TOOL_VERSION,
+        graph_fingerprint(impl),
+        graph_fingerprint(spec),
+        env.signature(),
+        stimuli_fingerprint(stimuli),
+        repr(tuple(values) if values is not None else None),
+        repr(spec_capacity),
+    )

@@ -1,0 +1,65 @@
+"""Per-unit timing and accounting for the executor.
+
+Every work unit the executor touches leaves one :class:`UnitMetric` —
+whether it was served from cache, computed in a pool worker, computed
+serially, or retried after a worker failure.  The aggregate
+:class:`ExecutorMetrics` is what tests assert on (e.g. "a warm rerun
+performs zero recomputation" is ``metrics.executed == 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UnitMetric:
+    """One unit's outcome: where it ran and how long it took."""
+
+    uid: str
+    seconds: float
+    cached: bool
+    mode: str = "serial"  # "cache" | "serial" | "pool"
+    retried: bool = False
+
+
+@dataclass
+class ExecutorMetrics:
+    units: list[UnitMetric] = field(default_factory=list)
+
+    def record(self, metric: UnitMetric) -> None:
+        self.units.append(metric)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for unit in self.units if unit.cached)
+
+    @property
+    def executed(self) -> int:
+        """Units actually recomputed (anything not served from cache)."""
+        return sum(1 for unit in self.units if not unit.cached)
+
+    @property
+    def retries(self) -> int:
+        return sum(1 for unit in self.units if unit.retried)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(unit.seconds for unit in self.units)
+
+    def to_dict(self) -> dict:
+        return {
+            "units": len(self.units),
+            "hits": self.hits,
+            "executed": self.executed,
+            "retries": self.retries,
+            "total_seconds": self.total_seconds,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.units)} units: {self.hits} cached, {self.executed} executed"
+            f" ({self.retries} retried), {self.total_seconds:.2f}s work"
+        )

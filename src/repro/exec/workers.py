@@ -1,0 +1,78 @@
+"""Module-level worker functions the executor fans out.
+
+Each worker takes only picklable keyword arguments and returns a plain
+JSON-serialisable dict (the executor and the cache both require this), so
+the same function runs identically in-process and in a pool worker.  The
+three unit kinds mirror the serial entry points they wrap:
+
+* :func:`eval_flow` — one (benchmark × flow) evaluation run
+  (:func:`repro.eval.runner.run_flow`);
+* :func:`discharge_rewrite` — one rewrite's refinement-obligation
+  discharge (:meth:`repro.rewriting.engine.RewriteEngine.verify_rewrite`);
+* :func:`check_graph_pair` — one weak-simulation check between two
+  ExprHigh graphs (:func:`repro.refinement.checker.check_rewrite_obligation`).
+
+Environments are rebuilt inside the worker (they hold closures and are not
+picklable); graphs and IR programs pickle directly.
+"""
+
+from __future__ import annotations
+
+import importlib
+from time import perf_counter
+
+
+def eval_flow(*, name: str, flow: str, program=None) -> dict:
+    """Run one benchmark under one flow; returns ``FlowResult.to_dict()``."""
+    from ..eval.runner import run_flow
+
+    return run_flow(name, flow, program=program).to_dict()
+
+
+def discharge_rewrite(*, module: str, factory: str, kwargs: dict | None = None) -> dict:
+    """Build a rewrite from its factory and discharge its obligation.
+
+    The factory indirection (module + attribute + keyword arguments) keeps
+    the unit picklable — rewrites themselves close over builder functions.
+    """
+    from ..errors import RefinementError
+    from ..rewriting.engine import RewriteEngine
+
+    rewrite = getattr(importlib.import_module(module), factory)(**(kwargs or {}))
+    engine = RewriteEngine()
+    start = perf_counter()
+    try:
+        engine.verify_rewrite(rewrite)
+        holds, detail = True, ""
+    except RefinementError as exc:
+        holds, detail = False, str(exc)
+    return {
+        "rewrite": rewrite.name,
+        "verified_flag": bool(rewrite.verified),
+        "holds": holds,
+        "detail": detail,
+        "seconds": perf_counter() - start,
+    }
+
+
+def check_graph_pair(
+    *,
+    lhs,
+    rhs,
+    capacity: int | None = 1,
+    values: tuple = (0, 1),
+    spec_capacity: int | None = 4,
+) -> dict:
+    """Check the weak-simulation obligation ``rhs ⊑ lhs`` for two graphs."""
+    from ..components import default_environment
+    from ..errors import RefinementError
+    from ..refinement.checker import check_rewrite_obligation
+
+    env = default_environment(capacity=capacity)
+    try:
+        report = check_rewrite_obligation(
+            lhs, rhs, env, values=values, spec_capacity=spec_capacity
+        )
+    except RefinementError as exc:
+        return {"holds": False, "detail": str(exc)}
+    return {"holds": True, **report.to_dict()}

@@ -147,6 +147,23 @@ class AreaReport:
     def execution_time(self, cycles: int) -> float:
         return cycles * self.clock_period
 
+    def to_dict(self) -> dict:
+        return {
+            "luts": int(self.luts),
+            "ffs": int(self.ffs),
+            "dsps": int(self.dsps),
+            "clock_period": float(self.clock_period),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "AreaReport":
+        return AreaReport(
+            luts=int(data["luts"]),
+            ffs=int(data["ffs"]),
+            dsps=int(data["dsps"]),
+            clock_period=float(data["clock_period"]),
+        )
+
 
 def analyze(
     graph: ExprHigh,

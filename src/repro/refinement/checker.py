@@ -41,6 +41,22 @@ class RefinementReport:
     def spec_states(self) -> int:
         return self.certificate.spec_states
 
+    # -- result protocol (repro.results) ------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "RefinementReport",
+            "holds": True,  # a report only exists for a successful check
+            "impl_states": int(self.impl_states),
+            "spec_states": int(self.spec_states),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"refinement holds ({self.impl_states} impl states, "
+            f"{self.spec_states} spec states)"
+        )
+
 
 def check_refinement(impl: Module, spec: Module, stimuli: Stimuli) -> RefinementReport:
     """Check ``impl ⊑ spec``; raises :class:`RefinementError` on failure."""

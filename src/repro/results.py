@@ -1,0 +1,48 @@
+"""The common result protocol.
+
+Every user-facing result object — :class:`~repro.rewriting.pipeline.TransformResult`,
+:class:`~repro.refinement.checker.RefinementReport`,
+:class:`~repro.eval.runner.FlowResult` (and its aggregate
+:class:`~repro.eval.runner.BenchmarkResult`) — implements the same two
+methods, so the CLI, the cache serialiser and the report generators handle
+them uniformly instead of special-casing each type:
+
+* ``to_dict()`` — a JSON-serialisable dict, always carrying a ``"kind"``
+  discriminator;
+* ``summary()`` — a one-line human-readable digest.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .errors import GraphitiError
+
+
+@runtime_checkable
+class Result(Protocol):
+    """Anything with a dict form and a one-line summary."""
+
+    def to_dict(self) -> dict: ...
+
+    def summary(self) -> str: ...
+
+
+def as_dict(result: object) -> dict:
+    """``result.to_dict()``, with a clear error for non-conforming objects."""
+    if not isinstance(result, Result):
+        raise GraphitiError(
+            f"{type(result).__name__} does not implement the result protocol "
+            "(to_dict/summary)"
+        )
+    return result.to_dict()
+
+
+def summarize(result: object) -> str:
+    """``result.summary()``, with a clear error for non-conforming objects."""
+    if not isinstance(result, Result):
+        raise GraphitiError(
+            f"{type(result).__name__} does not implement the result protocol "
+            "(to_dict/summary)"
+        )
+    return result.summary()

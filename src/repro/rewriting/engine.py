@@ -35,8 +35,9 @@ class EngineStats:
 class RewriteEngine:
     """Applies rewrites and tracks provenance and statistics."""
 
-    def __init__(self, check_obligations: bool = False):
+    def __init__(self, check_obligations: bool = False, cache=None):
         self.check_obligations = check_obligations
+        self.cache = cache  # a repro.exec cache (ResultCache/NullCache), or None
         self.log: list[Application] = []
         self.stats = EngineStats()
         self._discharged: set[str] = set()
@@ -48,7 +49,10 @@ class RewriteEngine:
 
         Returns True when every bounded instance of ``rhs ⊑ lhs`` holds;
         raises :class:`RefinementError` on a counterexample.  Results are
-        cached per rewrite name.
+        cached per rewrite name within this engine, and — when the engine
+        was given a result cache — across processes keyed by the content of
+        the obligation instances, so an already-discharged obligation is
+        never re-simulated.
         """
         if rewrite.name in self._discharged:
             return True
@@ -56,8 +60,20 @@ class RewriteEngine:
             raise RefinementError(
                 f"rewrite {rewrite.name!r} has no obligation instances to check"
             )
-        for lhs, rhs, env, stimuli in rewrite.obligation():
+        instances = list(rewrite.obligation())
+        key = None
+        if self.cache is not None:
+            from ..exec.hashing import obligation_fingerprint
+
+            key = obligation_fingerprint(rewrite.name, instances)
+            entry = self.cache.get(key)
+            if isinstance(entry, dict) and entry.get("holds"):
+                self._discharged.add(rewrite.name)
+                return True
+        for lhs, rhs, env, stimuli in instances:
             check_rewrite_obligation(lhs, rhs, env, stimuli)
+        if key is not None:
+            self.cache.put(key, {"holds": True, "rewrite": rewrite.name})
         self._discharged.add(rewrite.name)
         return True
 

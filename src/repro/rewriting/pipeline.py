@@ -48,6 +48,29 @@ class TransformResult:
     def total_steps(self) -> int:
         return self.rewrites_applied + self.composition_steps
 
+    # -- result protocol (repro.results) ------------------------------------
+
+    def to_dict(self) -> dict:
+        """Dict form; the graph itself is summarised by its node count."""
+        return {
+            "kind": "TransformResult",
+            "transformed": bool(self.transformed),
+            "refusal": self.refusal,
+            "rewrites_applied": int(self.rewrites_applied),
+            "composition_steps": int(self.composition_steps),
+            "verified_applications": int(self.verified_applications),
+            "nodes": len(self.graph.nodes),
+        }
+
+    def summary(self) -> str:
+        if not self.transformed:
+            return f"refused: {self.refusal}"
+        return (
+            f"applied {self.rewrites_applied} rewrites "
+            f"(+{self.composition_steps} composition steps), "
+            f"{self.verified_applications} verified applications"
+        )
+
 
 @dataclass
 class GraphitiPipeline:
@@ -62,10 +85,11 @@ class GraphitiPipeline:
     env: Environment
     check_obligations: bool = False
     check_types: bool = False
+    cache: object | None = None  # a repro.exec result cache for obligation discharges
     engine: RewriteEngine = field(init=False)
 
     def __post_init__(self) -> None:
-        self.engine = RewriteEngine(check_obligations=self.check_obligations)
+        self.engine = RewriteEngine(check_obligations=self.check_obligations, cache=self.cache)
 
     # -- public API ---------------------------------------------------------
 

@@ -42,7 +42,43 @@ def all_rewrites(tags: int = 4) -> list[Rewrite]:
     ]
 
 
+#: The obligation-discharge worklist of ``repro.cli verify`` and
+#: :meth:`repro.api.Session.verify`: (module, factory, kwargs) triples.
+#: Factory references (rather than Rewrite objects, which close over
+#: builder functions) keep each discharge picklable as an executor unit.
+VERIFY_FACTORY_SPECS: tuple[tuple[str, str, dict], ...] = (
+    ("repro.rewriting.rules.combine", "mux_combine", {}),
+    ("repro.rewriting.rules.combine", "merge_combine", {}),
+    ("repro.rewriting.rules.combine", "branch_combine", {}),
+    ("repro.rewriting.rules.reduction", "split_join_elim", {}),
+    ("repro.rewriting.rules.reduction", "join_split_elim", {}),
+    ("repro.rewriting.rules.reduction", "fork_sink_elim", {}),
+    ("repro.rewriting.rules.reduction", "pure_id_elim", {}),
+    ("repro.rewriting.rules.pure_gen", "op1_to_pure", {}),
+    ("repro.rewriting.rules.pure_gen", "op2_to_pure", {}),
+    ("repro.rewriting.rules.pure_gen", "fork_lift_pure", {}),
+    ("repro.rewriting.rules.pure_gen", "fork_to_pure", {}),
+    ("repro.rewriting.rules.pure_gen", "pure_compose", {}),
+    ("repro.rewriting.rules.shuffle", "join_pure_left", {}),
+    ("repro.rewriting.rules.shuffle", "join_pure_right", {}),
+    ("repro.rewriting.rules.shuffle", "split_pure_left", {}),
+    ("repro.rewriting.rules.shuffle", "split_pure_right", {}),
+    ("repro.rewriting.rules.shuffle", "join_assoc", {}),
+    ("repro.rewriting.rules.shuffle", "join_swap", {}),
+    ("repro.rewriting.rules.loop_rewrite", "ooo_loop", {"tags": 2}),
+)
+
+
+def build_rewrite(module: str, factory: str, kwargs: dict | None = None) -> Rewrite:
+    """Instantiate a rewrite from a ``VERIFY_FACTORY_SPECS``-style triple."""
+    import importlib
+
+    return getattr(importlib.import_module(module), factory)(**(kwargs or {}))
+
+
 __all__ = [
+    "VERIFY_FACTORY_SPECS",
+    "build_rewrite",
     "all_rewrites",
     "combine",
     "extra",

@@ -113,17 +113,19 @@ class TestTransform:
 
 class TestBench:
     def test_bench_prints_all_flows(self, capsys, monkeypatch):
-        # Shrink the benchmark so the CLI smoke test stays fast.
+        # Shrink the benchmark so the CLI smoke test stays fast.  bench now
+        # goes through the Session/executor path, whose unit of work is
+        # run_flow (one benchmark under one flow).
         import repro.eval.runner as runner
         from repro.benchmarks import matvec
 
-        original = runner.run_benchmark
+        original = runner.run_flow
         monkeypatch.setattr(
             runner,
-            "run_benchmark",
-            lambda name, program=None: original(name, matvec(6)),
+            "run_flow",
+            lambda name, flow, program=None: original(name, flow, matvec(6)),
         )
-        code = main(["bench", "matvec"])
+        code = main(["bench", "matvec", "--no-cache"])
         assert code == 0
         out = capsys.readouterr().out
         for flow in ("DF-IO", "DF-OoO", "GRAPHITI", "Vericert"):

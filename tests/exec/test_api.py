@@ -1,0 +1,237 @@
+"""Session facade: equivalence, caching, loop marks, the result protocol."""
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.benchmarks import matvec
+from repro.components import default_environment, fork, mux
+from repro.core import ExprHigh
+from repro.errors import GraphitiError
+from repro.eval.runner import FLOWS, FlowResult, run_benchmark, run_flow
+from repro.hls.frontend import LoopMark, compile_program
+from repro.hls.ir import BinOp, DoWhile, Kernel, Load, OuterLoop, Program, StoreOp, UnOp, Var
+from repro.results import as_dict, summarize
+from repro.rewriting.rules.combine import mux_combine
+
+
+def gcd_program() -> Program:
+    loop = DoWhile(
+        "gcd",
+        ("a", "b"),
+        {"a": Var("b"), "b": BinOp("mod", Var("a"), Var("b"))},
+        UnOp("ne0", Var("b")),
+        ("a",),
+    )
+    kernel = Kernel(
+        "gcd",
+        loop,
+        (OuterLoop("i", 2),),
+        {"a": Load("x", Var("i")), "b": Load("y", Var("i"))},
+        (StoreOp("out", Var("i"), Var("a")),),
+        tags=2,
+    )
+    return Program(
+        "gcd",
+        {"x": np.array([12, 9]), "y": np.array([8, 6]), "out": np.zeros(2)},
+        [kernel],
+    )
+
+
+class TestFlowEquivalence:
+    def test_run_flow_matches_run_benchmark_on_full_matrix(self):
+        combined = run_benchmark("matvec", matvec(5))
+        for flow in FLOWS:
+            single = run_flow("matvec", flow, matvec(5))
+            assert single.to_dict() == combined[flow].to_dict()
+
+    def test_parallel_report_is_byte_identical_to_serial(self, tmp_path):
+        programs = {"matvec": matvec(5), "gsum-single": None}
+        from repro.benchmarks import gsum_single
+
+        programs["gsum-single"] = gsum_single(40)
+        names = ["matvec", "gsum-single"]
+        serial = Session(jobs=1, use_cache=False).report(names, programs)
+        parallel = Session(jobs=2, use_cache=False).report(names, programs)
+        assert parallel == serial
+
+
+class TestSessionCaching:
+    def test_warm_rerun_recomputes_nothing_and_matches(self, tmp_path):
+        programs = {"matvec": matvec(5)}
+        cold = Session(jobs=1, cache_dir=tmp_path)
+        first = cold.report(["matvec"], programs)
+        assert cold.metrics.executed == len(FLOWS)
+
+        warm = Session(jobs=1, cache_dir=tmp_path)
+        second = warm.report(["matvec"], {"matvec": matvec(5)})
+        assert second == first
+        assert warm.metrics.executed == 0
+        assert warm.metrics.hits == len(FLOWS)
+
+    def test_program_edit_invalidates_cache(self, tmp_path):
+        Session(cache_dir=tmp_path).bench("matvec", program=matvec(5))
+        edited = matvec(5)
+        edited.arrays["x"][0] += 1.0
+        session = Session(cache_dir=tmp_path)
+        session.bench("matvec", program=edited)
+        assert session.metrics.executed == len(FLOWS)
+
+    def test_verify_is_cached(self, tmp_path):
+        specs = [("repro.rewriting.rules.combine", "mux_combine", {})]
+        cold = Session(cache_dir=tmp_path)
+        first = cold.verify(specs)
+        assert cold.metrics.executed == 1 and first[0]["holds"]
+
+        warm = Session(cache_dir=tmp_path)
+        second = warm.verify(specs)
+        assert warm.metrics.executed == 0 and warm.metrics.hits == 1
+        assert second == first
+
+    def test_check_refinements_fans_out_and_caches(self, tmp_path):
+        graph = ExprHigh()
+        graph.add_node("f", fork(1))
+        graph.mark_input(0, "f", "in0")
+        graph.mark_output(0, "f", "out0")
+        env = default_environment(capacity=1)
+        session = Session(env, cache_dir=tmp_path)
+        [outcome] = session.check_refinements([(graph, graph.copy())])
+        assert outcome["holds"]
+        warm = Session(default_environment(capacity=1), cache_dir=tmp_path)
+        [again] = warm.check_refinements([(graph, graph.copy())])
+        assert warm.metrics.executed == 0 and again == outcome
+
+
+class TestSessionTransform:
+    def test_transform_kernel_via_session(self):
+        program = gcd_program()
+        compiled = compile_program(program, default_environment())
+        ck = compiled.kernels[0]
+        session = Session(use_cache=False)
+        result = session.transform(ck.graph, ck.mark)
+        assert result.transformed
+        assert "Tagger" in {spec.typ for spec in result.graph.nodes.values()}
+
+
+class TestLoopMarkFromGraph:
+    def make(self):
+        program = gcd_program()
+        compiled = compile_program(program, default_environment())
+        return compiled.kernels[0]
+
+    def test_valid_mark_matches_frontend_mark(self):
+        ck = self.make()
+        mark = LoopMark.from_graph(
+            ck.graph,
+            kernel=ck.mark.kernel,
+            mux_nodes=ck.mark.mux_nodes,
+            branch_nodes=ck.mark.branch_nodes,
+            init_node=ck.mark.init_node,
+            cond_fork=ck.mark.cond_fork,
+            driver=ck.mark.driver,
+            collector=ck.mark.collector,
+            tags=ck.mark.tags,
+            effectful=ck.mark.effectful,
+            sequential_outer=ck.mark.sequential_outer,
+        )
+        assert mark == ck.mark
+
+    def test_unknown_node_raises_graphiti_error(self):
+        ck = self.make()
+        with pytest.raises(GraphitiError, match="nonexistent"):
+            LoopMark.from_graph(
+                ck.graph,
+                mux_nodes=["nonexistent"],
+                branch_nodes=ck.mark.branch_nodes,
+                init_node=ck.mark.init_node,
+                cond_fork=ck.mark.cond_fork,
+            )
+
+    def test_wrong_component_type_raises(self):
+        ck = self.make()
+        with pytest.raises(GraphitiError, match="expected 'Init'"):
+            LoopMark.from_graph(
+                ck.graph,
+                mux_nodes=ck.mark.mux_nodes,
+                branch_nodes=ck.mark.branch_nodes,
+                init_node=ck.mark.cond_fork,  # a Fork, not an Init
+                cond_fork=ck.mark.cond_fork,
+            )
+
+    def test_empty_mux_list_and_bad_tags_raise(self):
+        ck = self.make()
+        with pytest.raises(GraphitiError):
+            LoopMark.from_graph(
+                ck.graph,
+                mux_nodes=[],
+                branch_nodes=ck.mark.branch_nodes,
+                init_node=ck.mark.init_node,
+                cond_fork=ck.mark.cond_fork,
+            )
+        with pytest.raises(GraphitiError, match="tag budget"):
+            LoopMark.from_graph(
+                ck.graph,
+                mux_nodes=ck.mark.mux_nodes,
+                branch_nodes=ck.mark.branch_nodes,
+                init_node=ck.mark.init_node,
+                cond_fork=ck.mark.cond_fork,
+                tags=0,
+            )
+
+    def test_effectful_derived_from_graph(self):
+        ck = self.make()  # gcd stores only in the collector epilogue
+        mark = LoopMark.from_graph(
+            ck.graph,
+            mux_nodes=ck.mark.mux_nodes,
+            branch_nodes=ck.mark.branch_nodes,
+            init_node=ck.mark.init_node,
+            cond_fork=ck.mark.cond_fork,
+        )
+        assert mark.effectful == any(
+            spec.typ == "Store" for spec in ck.graph.nodes.values()
+        )
+
+
+class TestResultProtocol:
+    def test_flow_result_roundtrip(self):
+        result = run_flow("matvec", "Vericert", matvec(4))
+        data = as_dict(result)
+        assert data["kind"] == "FlowResult"
+        assert FlowResult.from_dict(data).to_dict() == data
+        assert "Vericert" in summarize(result)
+
+    def test_transform_result_protocol(self):
+        program = gcd_program()
+        ck = compile_program(program, default_environment()).kernels[0]
+        result = Session(use_cache=False).transform(ck.graph, ck.mark)
+        data = as_dict(result)
+        assert data["kind"] == "TransformResult" and data["transformed"]
+        assert "rewrites" in summarize(result)
+
+    def test_refinement_report_protocol(self):
+        from repro.refinement.checker import check_rewrite_obligation
+
+        lhs, rhs, env, stimuli = next(mux_combine().obligation())
+        report = check_rewrite_obligation(lhs, rhs, env, stimuli)
+        data = as_dict(report)
+        assert data["kind"] == "RefinementReport" and data["holds"]
+        assert "refinement holds" in summarize(report)
+
+    def test_benchmark_result_protocol(self):
+        result = Session(use_cache=False).bench("matvec", program=matvec(4))
+        data = as_dict(result)
+        assert data["kind"] == "BenchmarkResult"
+        assert set(data["flows"]) == set(FLOWS)
+
+    def test_non_result_rejected(self):
+        with pytest.raises(GraphitiError):
+            summarize(object())
+
+
+class TestDeprecatedShim:
+    def test_top_level_run_benchmark_warns_and_delegates(self):
+        import repro
+
+        with pytest.warns(DeprecationWarning):
+            result = repro.run_benchmark("matvec", matvec(4))
+        assert set(result.flows) == set(FLOWS)

@@ -1,0 +1,36 @@
+"""Picklable worker functions used by the executor tests.
+
+These live in a real module (not a test file) so the executor can resolve
+them by name in pool workers as well as in-process.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def double(*, x: int) -> dict:
+    return {"value": 2 * x}
+
+
+def fail_always(*, message: str = "boom") -> dict:
+    raise ValueError(message)
+
+
+def crash_unless_parent(*, parent_pid: int, x: int) -> dict:
+    """Hard-kill the process when run in a pool worker; succeed in-process.
+
+    ``os._exit`` skips all cleanup, so inside a ProcessPoolExecutor worker
+    this reliably produces a BrokenProcessPool — the worker-crash scenario
+    the executor must survive via its serial fallback.
+    """
+    if os.getpid() != parent_pid:
+        os._exit(13)
+    return {"value": x}
+
+
+def fail_in_worker_only(*, parent_pid: int, x: int) -> dict:
+    """Raise (cleanly) in a pool worker; succeed when retried in-process."""
+    if os.getpid() != parent_pid:
+        raise RuntimeError("transient worker failure")
+    return {"value": x}
