@@ -1,6 +1,10 @@
 """Section 6.3 analogue: rewriting statistics and engine throughput.
 
 Run with:  pytest benchmarks/bench_rewriting.py --benchmark-only -s
+
+Run standalone (``python benchmarks/bench_rewriting.py``) to microbenchmark
+the matcher and the rewrite fixpoint on the largest benchmark graphs and
+append an entry to ``benchmarks/BENCH_rewriting.json``.
 """
 
 import pytest
@@ -82,3 +86,91 @@ def test_benchmark_pipeline_runtime(benchmark, name):
 
     outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
     assert all(outcome.transformed for outcome in outcomes)
+
+
+# -- standalone microbenchmark: matcher + fixpoint on the largest graphs ----
+
+_LARGEST = ("gemm", "mvt")  # most nodes / most loops among the paper set
+
+
+def _phase_rules():
+    from repro.rewriting.rules import combine, reduction
+
+    return [
+        combine.mux_combine(),
+        combine.branch_combine(),
+        reduction.split_join_elim(),
+        reduction.fork_sink_elim(),
+        reduction.pure_id_elim(),
+    ]
+
+
+def _best_of(repeats, fn):
+    from time import perf_counter
+
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = perf_counter()
+        value = fn()
+        best = min(best, perf_counter() - start)
+    return best, value
+
+
+def collect_measurements(repeats: int = 5) -> dict:
+    """Time match enumeration and the rewrite fixpoint per large benchmark."""
+    from repro.rewriting.engine import RewriteEngine
+    from repro.rewriting.matcher import find_matches
+
+    env = default_environment()
+    results = {}
+    for name in _LARGEST:
+        compiled = compile_program(load_benchmark(name), env)
+        graph = compiled.kernels[0].graph
+        rules = _phase_rules()
+
+        def enumerate_all():
+            return sum(1 for rule in rules for _ in find_matches(graph, rule))
+
+        match_seconds, match_count = _best_of(repeats, enumerate_all)
+
+        def fixpoint(use_worklist):
+            engine = RewriteEngine()
+            engine.apply_exhaustively(graph.copy(), rules, use_worklist=use_worklist)
+            return engine.stats
+
+        worklist_seconds, worklist_stats = _best_of(repeats, lambda: fixpoint(True))
+        scan_seconds, scan_stats = _best_of(repeats, lambda: fixpoint(False))
+        results[name] = {
+            "nodes": len(graph.nodes),
+            "edges": len(graph.connections),
+            "match_enumeration_seconds": round(match_seconds, 6),
+            "matches_enumerated": match_count,
+            "fixpoint_worklist_seconds": round(worklist_seconds, 6),
+            "fixpoint_scan_seconds": round(scan_seconds, 6),
+            "rewrites_applied": worklist_stats.rewrites_applied,
+            "worklist_matches_tried": worklist_stats.matches_tried,
+            "scan_matches_tried": scan_stats.matches_tried,
+            "worklist_scans": worklist_stats.worklist_scans,
+            "full_scans": worklist_stats.full_scans,
+        }
+        assert worklist_stats.rewrites_applied == scan_stats.rewrites_applied
+    return results
+
+
+def main() -> None:
+    import json
+    from pathlib import Path
+
+    from repro._version import __version__
+
+    entry = {"tool_version": __version__, "benchmarks": collect_measurements()}
+    out = Path(__file__).with_name("BENCH_rewriting.json")
+    history = json.loads(out.read_text()) if out.exists() else []
+    history.append(entry)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -182,6 +182,18 @@ def main(argv: list[str] | None = None) -> int:
     report.set_defaults(fn=_cmd_report)
 
     args = parser.parse_args(argv)
+    if getattr(args, "jobs", 1) < 1:
+        print(f"error: --jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        parent = Path(cache_dir).expanduser().parent
+        if not parent.is_dir():
+            print(
+                f"error: --cache-dir parent directory {parent} does not exist",
+                file=sys.stderr,
+            )
+            return 2
     return args.fn(args)
 
 

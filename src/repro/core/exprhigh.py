@@ -81,6 +81,13 @@ class ExprHigh:
       port, each used at most once;
     * external inputs/outputs map distinct I/O indices to otherwise
       unconnected ports.
+
+    Alongside the four public mappings the graph keeps incrementally
+    maintained indexes — a reverse adjacency map (source endpoint →
+    destination endpoint), per-node edge lists, and a component-type index —
+    so adjacency and type queries are O(degree) rather than O(edges).  Every
+    mutator validates its arguments *before* touching any state, so a raised
+    :class:`GraphError` always leaves the graph (and its indexes) unchanged.
     """
 
     nodes: dict[str, NodeSpec] = field(default_factory=dict)
@@ -88,11 +95,80 @@ class ExprHigh:
     inputs: dict[int, Endpoint] = field(default_factory=dict)  # io index -> input port
     outputs: dict[int, Endpoint] = field(default_factory=dict)  # io index -> output port
 
+    def __post_init__(self) -> None:
+        self._rebuild_indexes()
+
+    # -- index maintenance --------------------------------------------------
+
+    def _rebuild_indexes(self) -> None:
+        """Derive every index from the public mappings (O(V + E)).
+
+        Called on construction; the mutators below keep the indexes in sync
+        incrementally, so this never runs on the hot path.  Inner dicts are
+        used as insertion-ordered sets to keep iteration deterministic.
+        """
+        # src endpoint -> dst endpoint (total: each output feeds <= 1 input)
+        self._rev: dict[Endpoint, Endpoint] = {
+            src: dst for dst, src in self.connections.items()
+        }
+        # node -> {dst endpoint of each edge leaving / entering the node}
+        self._out_edges: dict[str, dict[Endpoint, None]] = {n: {} for n in self.nodes}
+        self._in_edges: dict[str, dict[Endpoint, None]] = {n: {} for n in self.nodes}
+        # component type -> {node name}
+        self._by_type: dict[str, dict[str, None]] = {}
+        for name, spec in self.nodes.items():
+            self._by_type.setdefault(spec.typ, {})[name] = None
+        for dst, src in self.connections.items():
+            self._out_edges[src.node][dst] = None
+            self._in_edges[dst.node][dst] = None
+
+    def _link(self, src: Endpoint, dst: Endpoint) -> None:
+        self.connections[dst] = src
+        self._rev[src] = dst
+        self._out_edges[src.node][dst] = None
+        self._in_edges[dst.node][dst] = None
+
+    def _unlink(self, dst: Endpoint) -> Endpoint:
+        src = self.connections.pop(dst)
+        del self._rev[src]
+        del self._out_edges[src.node][dst]
+        del self._in_edges[dst.node][dst]
+        return src
+
     # -- construction -----------------------------------------------------
 
     def add_node(self, name: str, spec: NodeSpec) -> None:
         if name in self.nodes:
             raise GraphError(f"duplicate node name {name!r}")
+        self.nodes[name] = spec
+        self._by_type.setdefault(spec.typ, {})[name] = None
+        self._out_edges[name] = {}
+        self._in_edges[name] = {}
+
+    def replace_spec(self, name: str, spec: NodeSpec) -> None:
+        """Swap a node's spec in place, keeping the type index consistent.
+
+        Port lists may only change while every connected or I/O-marked port
+        survives; connections are untouched.
+        """
+        old = self.nodes.get(name)
+        if old is None:
+            raise GraphError(f"unknown node {name!r}")
+        if old.in_ports != spec.in_ports or old.out_ports != spec.out_ports:
+            for dst in self._in_edges[name]:
+                if dst.port not in spec.in_ports:
+                    raise GraphError(f"new spec for {name!r} drops connected port {dst.port!r}")
+            for dst in self._out_edges[name]:
+                if self.connections[dst].port not in spec.out_ports:
+                    raise GraphError(f"new spec for {name!r} drops connected output port")
+            for endpoint in list(self.inputs.values()) + list(self.outputs.values()):
+                if endpoint.node == name and endpoint.port not in spec.in_ports + spec.out_ports:
+                    raise GraphError(f"new spec for {name!r} drops I/O-marked port {endpoint.port!r}")
+        if old.typ != spec.typ:
+            del self._by_type[old.typ][name]
+            if not self._by_type[old.typ]:
+                del self._by_type[old.typ]
+            self._by_type.setdefault(spec.typ, {})[name] = None
         self.nodes[name] = spec
 
     def connect(self, src_node: str, src_port: str, dst_node: str, dst_port: str) -> None:
@@ -102,9 +178,9 @@ class ExprHigh:
         self._check_input(dst)
         if dst in self.connections:
             raise GraphError(f"input port {dst} already connected")
-        if src in self.connections.values():
+        if src in self._rev:
             raise GraphError(f"output port {src} already connected")
-        self.connections[dst] = src
+        self._link(src, dst)
 
     def mark_input(self, index: int, node: str, port: str) -> None:
         endpoint = Endpoint(node, port)
@@ -120,7 +196,7 @@ class ExprHigh:
         self._check_output(endpoint)
         if index in self.outputs:
             raise GraphError(f"duplicate external output index {index}")
-        if endpoint in self.connections.values():
+        if endpoint in self._rev:
             raise GraphError(f"external output {endpoint} is already connected")
         self.outputs[index] = endpoint
 
@@ -146,20 +222,58 @@ class ExprHigh:
 
     def sinks_of(self, node: str, port: str) -> list[Endpoint]:
         """Endpoints driven by output ``node.port`` (at most one by invariant)."""
-        src = Endpoint(node, port)
-        return [dst for dst, s in self.connections.items() if s == src]
+        dst = self._rev.get(Endpoint(node, port))
+        return [dst] if dst is not None else []
+
+    def sink_of(self, node: str, port: str) -> Endpoint | None:
+        """The endpoint driven by output ``node.port``, or None when dangling."""
+        return self._rev.get(Endpoint(node, port))
 
     def successors(self, node: str) -> Iterator[tuple[str, Endpoint, Endpoint]]:
         """Yield ``(succ_name, src_endpoint, dst_endpoint)`` for each edge out."""
-        for dst, src in self.connections.items():
-            if src.node == node:
-                yield dst.node, src, dst
+        for dst in self._out_edges.get(node, ()):
+            yield dst.node, self.connections[dst], dst
 
     def predecessors(self, node: str) -> Iterator[tuple[str, Endpoint, Endpoint]]:
         """Yield ``(pred_name, src_endpoint, dst_endpoint)`` for each edge in."""
-        for dst, src in self.connections.items():
-            if dst.node == node:
-                yield src.node, src, dst
+        for dst in self._in_edges.get(node, ()):
+            src = self.connections[dst]
+            yield src.node, src, dst
+
+    def out_edges(self, node: str) -> Iterator[tuple[Endpoint, Endpoint]]:
+        """Yield ``(src, dst)`` for each connection leaving *node*."""
+        for dst in self._out_edges.get(node, ()):
+            yield self.connections[dst], dst
+
+    def in_edges(self, node: str) -> Iterator[tuple[Endpoint, Endpoint]]:
+        """Yield ``(src, dst)`` for each connection entering *node*."""
+        for dst in self._in_edges.get(node, ()):
+            yield self.connections[dst], dst
+
+    def adjacent_nodes(self, node: str) -> Iterator[str]:
+        """Yield each distinct neighbour of *node* (either direction) once."""
+        seen = {node}
+        for dst in self._out_edges.get(node, ()):
+            if dst.node not in seen:
+                seen.add(dst.node)
+                yield dst.node
+        for dst in self._in_edges.get(node, ()):
+            src = self.connections[dst].node
+            if src not in seen:
+                seen.add(src)
+                yield src
+
+    def nodes_of_type(self, typ: str) -> list[str]:
+        """Node names with component type *typ*, in insertion order."""
+        return list(self._by_type.get(typ, ()))
+
+    def sorted_connections(self) -> list[tuple[Endpoint, Endpoint]]:
+        """``(dst, src)`` pairs in the canonical (lexicographic) edge order.
+
+        This is the one edge ordering shared by the printer, the lowering
+        translation and the cache fingerprints.
+        """
+        return sorted(self.connections.items(), key=lambda kv: (str(kv[0]), str(kv[1])))
 
     def unconnected_inputs(self) -> list[Endpoint]:
         result = []
@@ -172,13 +286,12 @@ class ExprHigh:
         return result
 
     def unconnected_outputs(self) -> list[Endpoint]:
-        connected = set(self.connections.values())
         external = set(self.outputs.values())
         result = []
         for name, spec in self.nodes.items():
             for port in spec.out_ports:
                 endpoint = Endpoint(name, port)
-                if endpoint not in connected and endpoint not in external:
+                if endpoint not in self._rev and endpoint not in external:
                     result.append(endpoint)
         return result
 
@@ -195,41 +308,74 @@ class ExprHigh:
     # -- mutation used by the rewriting engine ------------------------------
 
     def remove_node(self, name: str) -> NodeSpec:
-        """Remove a node and every connection or I/O marking that touches it."""
-        spec = self.nodes.pop(name, None)
+        """Remove a node and every connection or I/O marking that touches it.
+
+        Atomic: an unknown name raises before any state is touched.  Edges
+        are unlinked incrementally through the indexes (O(degree)) rather
+        than by rebuilding the connection map.
+        """
+        spec = self.nodes.get(name)
         if spec is None:
             raise GraphError(f"unknown node {name!r}")
-        self.connections = {
-            dst: src
-            for dst, src in self.connections.items()
-            if dst.node != name and src.node != name
-        }
-        self.inputs = {i: e for i, e in self.inputs.items() if e.node != name}
-        self.outputs = {i: e for i, e in self.outputs.items() if e.node != name}
+        # Merge the two edge lists so a self-loop is unlinked exactly once.
+        for dst in list({**self._out_edges[name], **self._in_edges[name]}):
+            self._unlink(dst)
+        del self.nodes[name]
+        del self._by_type[spec.typ][name]
+        if not self._by_type[spec.typ]:
+            del self._by_type[spec.typ]
+        del self._out_edges[name]
+        del self._in_edges[name]
+        for index in [i for i, e in self.inputs.items() if e.node == name]:
+            del self.inputs[index]
+        for index in [i for i, e in self.outputs.items() if e.node == name]:
+            del self.outputs[index]
         return spec
 
     def disconnect(self, dst_node: str, dst_port: str) -> Endpoint:
         """Remove the connection driving ``dst_node.dst_port``; return its source."""
         dst = Endpoint(dst_node, dst_port)
-        src = self.connections.pop(dst, None)
-        if src is None:
+        if dst not in self.connections:
             raise GraphError(f"input port {dst} is not connected")
-        return src
+        return self._unlink(dst)
 
     def rename_node(self, old: str, new: str) -> None:
+        """Rename a node, rewriting every endpoint that mentions it.
+
+        Atomic: both name checks run before any state changes, so a failed
+        rename leaves the graph untouched.  Only the O(degree) edges incident
+        to the node are re-keyed; the rest of the connection map is not
+        rebuilt.
+        """
         if new in self.nodes:
             raise GraphError(f"node name {new!r} already in use")
-        spec = self.nodes.pop(old, None)
+        spec = self.nodes.get(old)
         if spec is None:
             raise GraphError(f"unknown node {old!r}")
-        self.nodes[new] = spec
 
         def fix(endpoint: Endpoint) -> Endpoint:
             return Endpoint(new, endpoint.port) if endpoint.node == old else endpoint
 
-        self.connections = {fix(dst): fix(src) for dst, src in self.connections.items()}
-        self.inputs = {i: fix(e) for i, e in self.inputs.items()}
-        self.outputs = {i: fix(e) for i, e in self.outputs.items()}
+        pairs = [
+            (dst, self.connections[dst])
+            for dst in {**self._out_edges[old], **self._in_edges[old]}
+        ]
+        for dst, _ in pairs:
+            self._unlink(dst)
+        del self.nodes[old]
+        self.nodes[new] = spec
+        del self._by_type[spec.typ][old]
+        self._by_type[spec.typ][new] = None
+        self._out_edges[new] = self._out_edges.pop(old)  # both empty now
+        self._in_edges[new] = self._in_edges.pop(old)
+        for dst, src in pairs:
+            self._link(fix(src), fix(dst))
+        for index, endpoint in self.inputs.items():
+            if endpoint.node == old:
+                self.inputs[index] = fix(endpoint)
+        for index, endpoint in self.outputs.items():
+            if endpoint.node == old:
+                self.outputs[index] = fix(endpoint)
 
     def fresh_name(self, prefix: str) -> str:
         if prefix not in self.nodes:
@@ -245,6 +391,10 @@ class ExprHigh:
         clone.connections = dict(self.connections)
         clone.inputs = dict(self.inputs)
         clone.outputs = dict(self.outputs)
+        clone._rev = dict(self._rev)
+        clone._out_edges = {name: dict(edges) for name, edges in self._out_edges.items()}
+        clone._in_edges = {name: dict(edges) for name, edges in self._in_edges.items()}
+        clone._by_type = {typ: dict(names) for typ, names in self._by_type.items()}
         return clone
 
     # -- translation to / from ExprLow --------------------------------------
@@ -280,7 +430,7 @@ class ExprHigh:
 
         connections = [
             (InternalPort(src.node, src.port), InternalPort(dst.node, dst.port))
-            for dst, src in sorted(self.connections.items(), key=lambda kv: (str(kv[0]), str(kv[1])))
+            for dst, src in self.sorted_connections()
         ]
         return exprlow.build(bases, connections)
 

@@ -36,7 +36,7 @@ def print_dot(graph: ExprHigh, name: str = "G") -> str:
     for index in sorted(graph.outputs):
         lines.append(f'  "_out{index}" [type = "Output", index = "{index}"];')
 
-    for dst, src in sorted(graph.connections.items(), key=lambda kv: (str(kv[0]), str(kv[1]))):
+    for dst, src in graph.sorted_connections():
         lines.append(
             f'  "{src.node}" -> "{dst.node}" [from = "{src.port}", to = "{dst.port}"];'
         )

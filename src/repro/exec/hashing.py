@@ -54,7 +54,7 @@ def graph_fingerprint(graph: ExprHigh) -> str:
         f"{name}|{spec.typ}|{spec.in_ports!r}|{spec.out_ports!r}|{spec.params!r}"
         for name, spec in sorted(graph.nodes.items())
     ]
-    connections = sorted(f"{dst}<-{src}" for dst, src in graph.connections.items())
+    connections = [f"{dst}<-{src}" for dst, src in graph.sorted_connections()]
     inputs = [f"{index}:{endpoint}" for index, endpoint in sorted(graph.inputs.items())]
     outputs = [f"{index}:{endpoint}" for index, endpoint in sorted(graph.outputs.items())]
     return fingerprint(

@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import networkx as nx
-
 from ..core.exprhigh import Endpoint, ExprHigh
 
 Edge = tuple[Endpoint, Endpoint]
@@ -38,18 +36,14 @@ def place_buffers(graph: ExprHigh, tags: int | None = None) -> BufferPlacement:
     *tags* widens tagged-region channels; pass the loop's tag count for
     transformed circuits and ``None`` for in-order ones.
     """
-    digraph = nx.MultiDiGraph()
-    digraph.add_nodes_from(graph.nodes)
-    for dst, src in graph.connections.items():
-        digraph.add_edge(src.node, dst.node, key=(src, dst))
-
     capacities: dict[Edge, int] = {}
     extra = 0
 
-    back_edges = _back_edges(digraph)
-    tagged_nodes = {
-        name for name, spec in graph.nodes.items() if spec.param("tagged") or spec.typ == "Merge"
-    }
+    back_edges = _back_edges(graph)
+    tagged_nodes = set(graph.nodes_of_type("Merge"))
+    tagged_nodes.update(
+        name for name, spec in graph.nodes.items() if spec.param("tagged")
+    )
 
     for dst, src in graph.connections.items():
         edge = (src, dst)
@@ -76,8 +70,13 @@ def place_buffers(graph: ExprHigh, tags: int | None = None) -> BufferPlacement:
     return BufferPlacement(capacities=capacities, extra_slots=extra)
 
 
-def _back_edges(digraph: nx.MultiDiGraph) -> set[tuple[str, str]]:
-    """Edges that close a cycle, found via DFS over a deterministic order."""
+def _back_edges(graph: ExprHigh) -> set[tuple[str, str]]:
+    """Edges that close a cycle, found via DFS over a deterministic order.
+
+    Walks the graph's per-node successor index directly; distinct successor
+    names in sorted order give the same traversal the old materialised
+    digraph produced.
+    """
     back: set[tuple[str, str]] = set()
     seen: set[str] = set()
     stack: set[str] = set()
@@ -85,14 +84,14 @@ def _back_edges(digraph: nx.MultiDiGraph) -> set[tuple[str, str]]:
     def visit(node: str) -> None:
         seen.add(node)
         stack.add(node)
-        for succ in sorted(digraph.successors(node)):
+        for succ in sorted({succ for succ, _, _ in graph.successors(node)}):
             if succ in stack:
                 back.add((node, succ))
             elif succ not in seen:
                 visit(succ)
         stack.discard(node)
 
-    for node in sorted(digraph.nodes):
+    for node in sorted(graph.nodes):
         if node not in seen:
             visit(node)
     return back

@@ -24,7 +24,6 @@ def transform_out_of_order(graph: ExprHigh, mark: LoopMark) -> ExprHigh:
     """Apply the DF-OoO transformation in place of the marked loop."""
     result = graph.copy()
     state_count = len(mark.mux_nodes)
-    loop = result.nodes  # shorthand
 
     # 1. Remove the Init and the fork tree distributing its token to Muxes.
     _remove_wire_tree(result, mark.init_node)
@@ -84,7 +83,7 @@ def transform_out_of_order(graph: ExprHigh, mark: LoopMark) -> ExprHigh:
         if name in boundary:
             continue
         if spec.typ in ("Operator", "Pure", "Join", "Split", "Branch", "Store"):
-            result.nodes[name] = spec.with_params(tagged=True)
+            result.replace_spec(name, spec.with_params(tagged=True))
 
     result.validate()
     return result

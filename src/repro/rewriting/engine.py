@@ -6,6 +6,16 @@ lift the result back, repeat.  Every application is logged; rewrites whose
 refinement obligation has been discharged are tagged ``verified`` in the
 log, so a pipeline's output carries the same guarantee structure as the
 paper's (a verified core rewrite within a partially-unverified pipeline).
+
+``apply_exhaustively`` runs a *dirty-region worklist*: once a rewrite has
+been scanned against the whole graph without matching, it is only
+re-matched against anchors in or near the nodes a subsequent application
+touched.  Because any new match must involve a changed node (and the
+matcher enumerates anchors in the same sorted order either way), the
+worklist applies exactly the same rewrite sequence as the historical
+whole-graph scan — it just skips the provably matchless work.  A final
+full scan confirms the fixpoint before returning; ``use_worklist=False``
+selects the original scan-everything loop.
 """
 
 from __future__ import annotations
@@ -18,8 +28,17 @@ from ..core.exprhigh import ExprHigh
 from ..errors import RefinementError, RewriteError
 from ..refinement.checker import check_rewrite_obligation
 from .apply import Application, apply_rewrite
-from .matcher import find_matches, first_match
+from .matcher import MatchStats, find_matches, first_match, match_plan
 from .rewrite import Match, Rewrite
+
+
+@dataclass
+class RewriteStats:
+    """Per-rewrite counters within one engine's lifetime."""
+
+    applied: int = 0
+    matches_tried: int = 0  # candidate bindings attempted by the matcher
+    match_seconds: float = 0.0
 
 
 @dataclass
@@ -27,9 +46,17 @@ class EngineStats:
     """Counters describing a rewriting run (cf. section 6.3)."""
 
     rewrites_applied: int = 0
-    matches_tried: int = 0
+    matches_tried: int = 0  # total candidate bindings attempted
     seconds: float = 0.0
-    per_rewrite: dict[str, int] = field(default_factory=dict)
+    per_rewrite: dict[str, RewriteStats] = field(default_factory=dict)
+    full_scans: int = 0  # whole-graph match scans during fixpoints
+    worklist_scans: int = 0  # dirty-region-restricted match scans
+
+    def for_rewrite(self, name: str) -> RewriteStats:
+        entry = self.per_rewrite.get(name)
+        if entry is None:
+            entry = self.per_rewrite[name] = RewriteStats()
+        return entry
 
 
 class RewriteEngine:
@@ -79,20 +106,38 @@ class RewriteEngine:
 
     # -- application ----------------------------------------------------------
 
-    def apply_once(self, graph: ExprHigh, rewrite: Rewrite) -> ExprHigh | None:
-        """Apply *rewrite* at its first match; None when it does not match."""
+    def apply_once(
+        self,
+        graph: ExprHigh,
+        rewrite: Rewrite,
+        anchors: Iterable[str] | None = None,
+    ) -> ExprHigh | None:
+        """Apply *rewrite* at its first match; None when it does not match.
+
+        *anchors*, when given, restricts the match search to occurrences
+        anchored at those host nodes (the worklist's dirty region).
+        """
         start = perf_counter()
+        entry = self.stats.for_rewrite(rewrite.name)
         try:
             if self.check_obligations and rewrite.verified and rewrite.obligation is not None:
                 self.verify_rewrite(rewrite)
-            match = first_match(graph, rewrite)
-            self.stats.matches_tried += 1
+            mstats = MatchStats()
+            match_start = perf_counter()
+            match = first_match(graph, rewrite, anchors=anchors, stats=mstats)
+            entry.match_seconds += perf_counter() - match_start
+            entry.matches_tried += mstats.candidates
+            self.stats.matches_tried += mstats.candidates
+            if anchors is None:
+                self.stats.full_scans += 1
+            else:
+                self.stats.worklist_scans += 1
             if match is None:
                 return None
             new_graph, application = apply_rewrite(graph, rewrite, match)
             self.log.append(application)
             self.stats.rewrites_applied += 1
-            self.stats.per_rewrite[rewrite.name] = self.stats.per_rewrite.get(rewrite.name, 0) + 1
+            entry.applied += 1
             return new_graph
         finally:
             self.stats.seconds += perf_counter() - start
@@ -106,7 +151,7 @@ class RewriteEngine:
             new_graph, application = apply_rewrite(graph, rewrite, match)
             self.log.append(application)
             self.stats.rewrites_applied += 1
-            self.stats.per_rewrite[rewrite.name] = self.stats.per_rewrite.get(rewrite.name, 0) + 1
+            self.stats.for_rewrite(rewrite.name).applied += 1
             return new_graph
         finally:
             self.stats.seconds += perf_counter() - start
@@ -116,14 +161,74 @@ class RewriteEngine:
         graph: ExprHigh,
         rewrites: Sequence[Rewrite],
         max_steps: int = 10_000,
+        use_worklist: bool = True,
     ) -> ExprHigh:
         """Apply the given rewrites to fixpoint, first-match-first order.
 
         This is the "exhaustively apply the applicable rewrites in that
         phase" strategy of section 3.1.  Raises :class:`RewriteError` when
         *max_steps* applications do not reach a fixpoint (a diverging rule
-        set).
+        set).  With *use_worklist* (the default) matching after the first
+        full scan is restricted to dirty regions; the applied sequence and
+        the result are identical to the whole-graph scan.
         """
+        if not use_worklist:
+            return self._apply_exhaustively_scan(graph, rewrites, max_steps)
+
+        # One BFS radius covers every rewrite: a match involves nodes within
+        # pattern-diameter hops of its anchor, plus one hop of boundary
+        # context, so pattern-size + 1 hops of the changed nodes is enough
+        # to reach every anchor whose matchability could have changed.
+        radius = max((len(r.lhs.nodes) for r in rewrites), default=1) + 1
+        # None: no cleanliness knowledge, scan everything.  A set: every
+        # possible match is anchored inside it (empty = provably matchless).
+        # Disconnected patterns always rescan — a far-away change can
+        # complete a match anchored at an untouched node.
+        track = [match_plan(r).connected for r in rewrites]
+        dirty: list[set[str] | None] = [None] * len(rewrites)
+        steps = 0
+        confirming = False  # True while running the final full-scan sweep
+        while True:
+            for index, rewrite in enumerate(rewrites):
+                anchors = dirty[index]
+                if anchors is not None and not anchors:
+                    continue  # provably matchless since the last scan
+                new_graph = self.apply_once(graph, rewrite, anchors=anchors)
+                if new_graph is None:
+                    if track[index]:
+                        dirty[index] = set()
+                    continue
+                graph = new_graph
+                steps += 1
+                if steps >= max_steps:
+                    raise RewriteError(
+                        f"no fixpoint after {max_steps} rewrite applications; "
+                        f"rule set {[r.name for r in rewrites]} may diverge"
+                    )
+                application = self.log[-1]
+                region = self._dirty_region(graph, application.new_nodes, radius)
+                for j in range(len(rewrites)):
+                    if dirty[j] is not None:
+                        alive = {a for a in dirty[j] if a in graph.nodes}
+                        dirty[j] = alive | region
+                confirming = False
+                break  # restart from the highest-priority rewrite
+            else:
+                # A full sweep without an application: every rewrite is
+                # matchless.  Confirm once with unrestricted scans (defence
+                # in depth for the dirty-region bookkeeping), then return.
+                if confirming or all(d is None for d in dirty):
+                    return graph
+                dirty = [None] * len(rewrites)
+                confirming = True
+
+    def _apply_exhaustively_scan(
+        self,
+        graph: ExprHigh,
+        rewrites: Sequence[Rewrite],
+        max_steps: int,
+    ) -> ExprHigh:
+        """The pre-worklist strategy: re-scan the whole graph every step."""
         for _ in range(max_steps):
             for rewrite in rewrites:
                 new_graph = self.apply_once(graph, rewrite)
@@ -136,6 +241,28 @@ class RewriteEngine:
             f"no fixpoint after {max_steps} rewrite applications; "
             f"rule set {[r.name for r in rewrites]} may diverge"
         )
+
+    @staticmethod
+    def _dirty_region(graph: ExprHigh, seeds: Iterable[str], radius: int) -> set[str]:
+        """Nodes within *radius* hops of *seeds* (which are all dirty).
+
+        Every crossing edge of an application re-attaches to a replacement
+        node, so the replacement's ``new_nodes`` seed the BFS: any node
+        whose neighbourhood changed is adjacent to one of them.
+        """
+        region = {name for name in seeds if name in graph.nodes}
+        frontier = set(region)
+        for _ in range(radius):
+            if not frontier:
+                break
+            grown = set()
+            for node in frontier:
+                for neighbour in graph.adjacent_nodes(node):
+                    if neighbour not in region:
+                        region.add(neighbour)
+                        grown.add(neighbour)
+            frontier = grown
+        return region
 
     def matches(self, graph: ExprHigh, rewrite: Rewrite) -> Iterable[Match]:
         return find_matches(graph, rewrite)

@@ -15,30 +15,135 @@ Patterns are *closed*: every pattern node port is either connected inside
 the pattern or marked as interface I/O, so a successful match guarantees the
 matched host region touches the rest of the graph only through the
 interface.  That is what makes removal and replacement sound.
+
+Candidate enumeration is *anchored* on the host graph's indexes: the first
+pattern node (and the first node of any disconnected pattern component)
+draws its candidates from the component-type index, and every subsequent
+pattern node derives its (at most one, since ports are single-use)
+candidate from the host adjacency of an already-mapped neighbour.  The
+per-pattern matching order and anchoring plan are computed once per
+:class:`Rewrite` and cached on it.  Enumeration order is unchanged from the
+historical scan — matches are still yielded in sorted-host-name order — so
+``first_match`` picks the same occurrence the full scan would.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
 from ..errors import MatchError
 from .rewrite import Match, Rewrite, Var
 
 
-def find_matches(graph: ExprHigh, rewrite: Rewrite) -> Iterator[Match]:
-    """Yield every match of *rewrite*'s lhs in *graph*, deterministically."""
+@dataclass
+class MatchStats:
+    """Counters filled in by one matcher invocation."""
+
+    candidates: int = 0  # candidate bindings attempted (spec comparisons)
+
+
+@dataclass(frozen=True)
+class _Anchor:
+    """How to derive host candidates for one ordered pattern node.
+
+    ``via`` is None for a fresh anchor (candidates come from the type
+    index); otherwise it names an already-mapped pattern node and the edge
+    direction/ports linking it to this node, from which the unique host
+    candidate is read off the adjacency indexes.
+    """
+
+    via: str | None = None
+    forward: bool = True  # True: via.src_port -> self.dst_port edge
+    via_port: str = ""
+    own_port: str = ""
+
+
+@dataclass
+class _MatchPlan:
+    """The cached per-rewrite matching strategy."""
+
+    order: list[str]
+    anchors: list[_Anchor]
+    specs: list[NodeSpec]
+    connected: bool = True  # False when the pattern has >1 component
+    stale_guard: tuple = field(default_factory=tuple)
+
+
+def match_plan(rewrite: Rewrite) -> _MatchPlan:
+    """The (cached) matching order and anchoring plan for *rewrite*.
+
+    The plan is invalidated when the pattern's node set changes; rewrites
+    are treated as immutable after construction everywhere else.
+    """
     pattern = rewrite.lhs
+    guard = (len(pattern.nodes), len(pattern.connections))
+    plan = getattr(rewrite, "_match_plan", None)
+    if plan is not None and plan.stale_guard == guard:
+        return plan
     pattern.validate()  # closed-pattern requirement
-    pattern_nodes = _matching_order(pattern)
-    if not pattern_nodes:
+    order = _matching_order(pattern)
+    if not order:
         raise MatchError(f"rewrite {rewrite.name!r} has an empty pattern")
-    yield from _extend(graph, pattern, pattern_nodes, 0, {}, {})
+    anchors: list[_Anchor] = []
+    connected = True
+    placed: set[str] = set()
+    for name in order:
+        anchor = _anchor_for(pattern, name, placed)
+        if anchor.via is None and placed:
+            connected = False
+        anchors.append(anchor)
+        placed.add(name)
+    plan = _MatchPlan(
+        order=order,
+        anchors=anchors,
+        specs=[pattern.nodes[name] for name in order],
+        connected=connected,
+        stale_guard=guard,
+    )
+    rewrite._match_plan = plan  # type: ignore[attr-defined]
+    return plan
 
 
-def first_match(graph: ExprHigh, rewrite: Rewrite) -> Match | None:
+def _anchor_for(pattern: ExprHigh, name: str, placed: set[str]) -> _Anchor:
+    """The first pattern edge linking *name* to an already-placed node."""
+    for src, dst in pattern.in_edges(name):
+        if src.node in placed:
+            return _Anchor(via=src.node, forward=True, via_port=src.port, own_port=dst.port)
+    for src, dst in pattern.out_edges(name):
+        if dst.node in placed:
+            return _Anchor(via=dst.node, forward=False, via_port=dst.port, own_port=src.port)
+    return _Anchor()
+
+
+def find_matches(
+    graph: ExprHigh,
+    rewrite: Rewrite,
+    anchors: Iterable[str] | None = None,
+    stats: MatchStats | None = None,
+) -> Iterator[Match]:
+    """Yield every match of *rewrite*'s lhs in *graph*, deterministically.
+
+    *anchors*, when given, restricts the host nodes considered for the
+    first pattern node — the dirty-region hook used by the rewrite engine's
+    worklist fixpoint.  *stats* collects candidate-binding counts.
+    """
+    plan = match_plan(rewrite)
+    if stats is None:
+        stats = MatchStats()
+    anchor_set = None if anchors is None else set(anchors)
+    yield from _extend(graph, rewrite.lhs, plan, 0, {}, {}, anchor_set, stats)
+
+
+def first_match(
+    graph: ExprHigh,
+    rewrite: Rewrite,
+    anchors: Iterable[str] | None = None,
+    stats: MatchStats | None = None,
+) -> Match | None:
     """The first match in deterministic order, or None."""
-    return next(find_matches(graph, rewrite), None)
+    return next(find_matches(graph, rewrite, anchors=anchors, stats=stats), None)
 
 
 def _matching_order(pattern: ExprHigh) -> list[str]:
@@ -72,30 +177,62 @@ def _matching_order(pattern: ExprHigh) -> list[str]:
     return order
 
 
+def _candidates(
+    graph: ExprHigh,
+    plan: _MatchPlan,
+    depth: int,
+    node_map: dict[str, str],
+    anchor_set: set[str] | None,
+) -> list[str]:
+    """Host candidates for the pattern node at *depth*, in sorted order."""
+    anchor = plan.anchors[depth]
+    if anchor.via is None:
+        names = graph.nodes_of_type(plan.specs[depth].typ)
+        if depth == 0 and anchor_set is not None:
+            names = [name for name in names if name in anchor_set]
+        return sorted(names)
+    host_via = node_map[anchor.via]
+    if anchor.forward:
+        # Pattern edge via.via_port -> this.own_port: the host candidate is
+        # whatever the mapped node's output feeds (single-use ports make
+        # this unique).
+        dst = graph.sink_of(host_via, anchor.via_port)
+        if dst is None or dst.port != anchor.own_port:
+            return []
+        return [dst.node]
+    src = graph.source_of(host_via, anchor.via_port)
+    if src is None or src.port != anchor.own_port:
+        return []
+    return [src.node]
+
+
 def _extend(
     graph: ExprHigh,
     pattern: ExprHigh,
-    order: list[str],
+    plan: _MatchPlan,
     depth: int,
     node_map: dict[str, str],
     params: dict[str, object],
+    anchor_set: set[str] | None,
+    stats: MatchStats,
 ) -> Iterator[Match]:
-    if depth == len(order):
+    if depth == len(plan.order):
         match = _finalize(graph, pattern, node_map, params)
         if match is not None:
             yield match
         return
-    pattern_name = order[depth]
-    pattern_spec = pattern.nodes[pattern_name]
-    for host_name in sorted(graph.nodes):
+    pattern_name = plan.order[depth]
+    pattern_spec = plan.specs[depth]
+    for host_name in _candidates(graph, plan, depth, node_map, anchor_set):
         if host_name in node_map.values():
             continue
+        stats.candidates += 1
         bound = _spec_matches(pattern_spec, graph.nodes[host_name], params)
         if bound is None:
             continue
         node_map[pattern_name] = host_name
         if _connections_consistent(graph, pattern, node_map):
-            yield from _extend(graph, pattern, order, depth + 1, node_map, bound)
+            yield from _extend(graph, pattern, plan, depth + 1, node_map, bound, anchor_set, stats)
         del node_map[pattern_name]
 
 
@@ -165,28 +302,30 @@ def _finalize(
     outputs: dict[int, Endpoint] = {}
     for index, endpoint in pattern.outputs.items():
         host = Endpoint(node_map[endpoint.node], endpoint.port)
-        sinks = graph.sinks_of(host.node, host.port)
-        if any(sink.node in matched_hosts for sink in sinks):
+        sink = graph.sink_of(host.node, host.port)
+        if sink is not None and sink.node in matched_hosts:
             return None  # boundary output feeds back into the region
         outputs[index] = host
 
     # Host connections touching the region must all be accounted for: either
     # a pattern-internal connection or a crossing at an interface port.
+    # Only the matched hosts' incident edges can touch the region, so the
+    # check walks the per-node edge lists instead of every graph edge.
     interface_ports = set(inputs.values()) | set(outputs.values())
     internal = {
         (Endpoint(node_map[src.node], src.port), Endpoint(node_map[dst.node], dst.port))
         for dst, src in pattern.connections.items()
     }
-    for dst, src in graph.connections.items():
-        touches_dst = dst.node in matched_hosts
-        touches_src = src.node in matched_hosts
-        if touches_dst and touches_src:
-            if (src, dst) not in internal:
-                return None  # extra edge inside the region not in the pattern
-        elif touches_dst and dst not in interface_ports:
-            return None
-        elif touches_src and src not in interface_ports:
-            return None
+    for host_name in matched_hosts:
+        for src, dst in graph.in_edges(host_name):
+            if src.node in matched_hosts:
+                if (src, dst) not in internal:
+                    return None  # extra edge inside the region not in the pattern
+            elif dst not in interface_ports:
+                return None
+        for src, dst in graph.out_edges(host_name):
+            if dst.node not in matched_hosts and src not in interface_ports:
+                return None
 
     return Match(
         nodes=dict(node_map),

@@ -86,6 +86,7 @@ class GraphitiPipeline:
     check_obligations: bool = False
     check_types: bool = False
     cache: object | None = None  # a repro.exec result cache for obligation discharges
+    use_worklist: bool = True  # dirty-region fixpoints; False forces whole-graph scans
     engine: RewriteEngine = field(init=False)
 
     def __post_init__(self) -> None:
@@ -109,7 +110,9 @@ class GraphitiPipeline:
 
         # Phase 1: combine steering.
         working = self.engine.apply_exhaustively(
-            working, [combine.mux_combine(), combine.branch_combine()]
+            working,
+            [combine.mux_combine(), combine.branch_combine()],
+            use_worklist=self.use_worklist,
         )
         # Phase 2: eliminate leftovers.  Identity-wire removal exposes new
         # Split/Join adjacencies, so the two interleave to a fixpoint.
@@ -120,7 +123,9 @@ class GraphitiPipeline:
         ]
         while True:
             applied_before = self.engine.stats.rewrites_applied
-            working = self.engine.apply_exhaustively(working, cleanup)
+            working = self.engine.apply_exhaustively(
+                working, cleanup, use_worklist=self.use_worklist
+            )
             nodes_before = len(working.nodes)
             working = remove_identity_wires(working)
             if (
@@ -182,8 +187,8 @@ class GraphitiPipeline:
         """
         pure_nodes = [
             name
-            for name, spec in graph.nodes.items()
-            if spec.typ == "Pure" and spec.param("tagged") is True
+            for name in graph.nodes_of_type("Pure")
+            if graph.nodes[name].param("tagged") is True
         ]
         if len(pure_nodes) != 1:
             raise RewriteError(f"expected one tagged Pure body, found {pure_nodes}")
@@ -238,7 +243,7 @@ def _tagged_spec(spec: NodeSpec) -> NodeSpec:
 
 
 def _single_node(graph: ExprHigh, typ: str) -> str:
-    nodes = [name for name, spec in graph.nodes.items() if spec.typ == typ]
+    nodes = graph.nodes_of_type(typ)
     if len(nodes) != 1:
         raise RewriteError(f"expected exactly one {typ} after normalization, found {nodes}")
     return nodes[0]
@@ -252,9 +257,9 @@ def remove_identity_wires(graph: ExprHigh) -> ExprHigh:
     hygiene pass, the analogue of Dynamatic's wire cleanups.
     """
     result = graph.copy()
-    for name in list(result.nodes):
+    for name in list(result.nodes_of_type("Pure")):
         spec = result.nodes.get(name)
-        if spec is None or spec.typ != "Pure" or spec.param("fn") != "id":
+        if spec is None or spec.param("fn") != "id":
             continue
         if spec.param("tagged") is True:
             continue

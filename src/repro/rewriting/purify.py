@@ -195,9 +195,13 @@ def purify_rewrite(graph: ExprHigh, region: Region, env) -> tuple[Rewrite, Match
     for name in region.nodes:
         lhs.add_node(name, graph.nodes[name])
     region_set = set(region.nodes)
-    for dst, src in graph.connections.items():
-        if dst.node in region_set and src.node in region_set:
-            lhs.connect(src.node, src.port, dst.node, dst.port)
+    # Each internal edge enters exactly one region node, so walking every
+    # region node's incoming-edge index covers each edge exactly once
+    # without scanning the whole host connection map.
+    for name in region.nodes:
+        for src, dst in graph.in_edges(name):
+            if src.node in region_set:
+                lhs.connect(src.node, src.port, dst.node, dst.port)
     lhs.mark_input(0, region.entry.node, region.entry.port)
     lhs.mark_output(0, region.data_exit.node, region.data_exit.port)
     lhs.mark_output(1, region.cond_exit.node, region.cond_exit.port)

@@ -209,10 +209,11 @@ class CycleSimulator:
         }
         successors: dict[str, set[str]] = {name: set() for name in self.graph.nodes}
         indegree: dict[str, int] = {name: 0 for name in self.graph.nodes}
-        for dst, src in self.graph.connections.items():
-            if src.node in comb and dst.node != src.node and dst.node not in successors[src.node]:
-                successors[src.node].add(dst.node)
-                indegree[dst.node] += 1
+        for name in comb:
+            for succ, _, _ in self.graph.successors(name):
+                if succ != name and succ not in successors[name]:
+                    successors[name].add(succ)
+                    indegree[succ] += 1
         import heapq
 
         ready = [name for name, degree in indegree.items() if degree == 0]
@@ -593,9 +594,8 @@ class CycleSimulator:
         return 1
 
     def _collector_state(self) -> dict | None:
-        for node, spec in self.graph.nodes.items():
-            if spec.typ == "Collector":
-                return self.node_state[node]
+        for node in self.graph.nodes_of_type("Collector"):
+            return self.node_state[node]
         return None
 
     def _fire_collector(self, name, spec, state, cycle) -> int:

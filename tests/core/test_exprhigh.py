@@ -112,6 +112,73 @@ class TestMutation:
         assert src == Endpoint("f", "out0")
         assert g.source_of("m", "in0") is None
 
+    def test_replace_spec_swaps_params_in_place(self):
+        g = fork_mod_graph()
+        g.replace_spec("m", g.nodes["m"].with_params(tagged=True))
+        assert g.nodes["m"].param("tagged") is True
+        assert g.source_of("m", "in0") == Endpoint("f", "out0")
+        assert g.nodes_of_type("Operator") == ["m"]
+
+    def test_replace_spec_rejects_dropping_connected_port(self):
+        g = fork_mod_graph()
+        narrower = NodeSpec.make("Operator", ["in1"], ["out0"], {"op": "mod"})
+        with pytest.raises(GraphError):
+            g.replace_spec("m", narrower)
+        assert g.nodes["m"].in_ports == ("in0", "in1")
+
+
+def _snapshot(g):
+    return (
+        dict(g.nodes),
+        dict(g.connections),
+        dict(g.inputs),
+        dict(g.outputs),
+        {typ: list(names) for typ, names in g._by_type.items()},
+        {n: list(e) for n, e in g._out_edges.items()},
+        {n: list(e) for n, e in g._in_edges.items()},
+        dict(g._rev),
+    )
+
+
+class TestAtomicity:
+    """Failed mutations must leave the graph and all indexes untouched."""
+
+    def test_failed_rename_leaves_graph_unchanged(self):
+        g = fork_mod_graph()
+        before = _snapshot(g)
+        with pytest.raises(GraphError):
+            g.rename_node("f", "m")  # target name already in use
+        with pytest.raises(GraphError):
+            g.rename_node("ghost", "anything")  # unknown source
+        assert _snapshot(g) == before
+
+    def test_failed_remove_leaves_graph_unchanged(self):
+        g = fork_mod_graph()
+        before = _snapshot(g)
+        with pytest.raises(GraphError):
+            g.remove_node("ghost")
+        assert _snapshot(g) == before
+
+    def test_failed_replace_spec_leaves_graph_unchanged(self):
+        g = fork_mod_graph()
+        before = _snapshot(g)
+        with pytest.raises(GraphError):
+            g.replace_spec("m", NodeSpec.make("Operator", [], [], {}))
+        with pytest.raises(GraphError):
+            g.replace_spec("ghost", fork(2))
+        assert _snapshot(g) == before
+
+    def test_successful_rename_keeps_indexes_consistent(self):
+        g = fork_mod_graph()
+        g.rename_node("f", "fork0")
+        rebuilt = ExprHigh(
+            nodes=dict(g.nodes),
+            connections=dict(g.connections),
+            inputs=dict(g.inputs),
+            outputs=dict(g.outputs),
+        )
+        assert _snapshot(g)[4:] == _snapshot(rebuilt)[4:]
+
 
 class TestLowerLift:
     def test_lower_produces_expected_size(self):

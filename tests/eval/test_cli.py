@@ -130,3 +130,36 @@ class TestBench:
         out = capsys.readouterr().out
         for flow in ("DF-IO", "DF-OoO", "GRAPHITI", "Vericert"):
             assert flow in out
+
+
+class TestExecFlagValidation:
+    """Bad executor flags exit with code 2 before any work is dispatched."""
+
+    def test_jobs_zero_rejected(self, capsys):
+        assert main(["bench", "matvec", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_negative_rejected(self, capsys):
+        assert main(["report", "--jobs", "-3"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_cache_dir_with_missing_parent_rejected(self, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "cache"
+        assert main(["verify", "--cache-dir", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "--cache-dir parent directory" in err
+        assert str(missing.parent) in err
+
+    def test_cache_dir_with_existing_parent_accepted(self, tmp_path, capsys, monkeypatch):
+        # The cache dir itself need not exist — only its parent must.
+        import repro.eval.runner as runner
+        from repro.benchmarks import matvec
+
+        original = runner.run_flow
+        monkeypatch.setattr(
+            runner,
+            "run_flow",
+            lambda name, flow, program=None: original(name, flow, matvec(6)),
+        )
+        code = main(["bench", "matvec", "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0

@@ -40,7 +40,27 @@ class TestApplyOnce:
         assert result is not None
         assert engine.stats.rewrites_applied == 1
         assert engine.log[0].rewrite == "pure-compose"
-        assert engine.stats.per_rewrite == {"pure-compose": 1}
+        assert engine.stats.per_rewrite["pure-compose"].applied == 1
+
+    def test_matches_tried_counts_candidate_bindings(self):
+        engine = RewriteEngine()
+        g = pure_chain(3)  # three Pure nodes: anchor tries each of them
+        engine.apply_once(g, pure_compose())
+        entry = engine.stats.per_rewrite["pure-compose"]
+        # The first anchor candidate (p0 in sorted order) already extends to
+        # a full match, so exactly two bindings are attempted: p0 and its
+        # adjacency-derived partner p1.
+        assert entry.matches_tried == 2
+        assert engine.stats.matches_tried == 2
+        assert entry.match_seconds >= 0.0
+
+    def test_no_match_still_counts_candidates(self):
+        engine = RewriteEngine()
+        g = graph_of({"s": sink()}, [], {0: "s.in0"}, {})
+        assert engine.apply_once(g, split_join_elim()) is None
+        entry = engine.stats.per_rewrite["split-join-elim"]
+        assert entry.applied == 0
+        assert entry.matches_tried == 0  # no Split in the graph: type index is empty
 
 
 class TestExhaustive:
@@ -103,6 +123,36 @@ class TestExhaustive:
         engine.apply_exhaustively(pure_chain(3), [pure_compose()])
         assert engine.stats.seconds >= 0.0
         assert engine.stats.matches_tried >= 2
+
+    def test_worklist_matches_full_scan_output(self):
+        from repro.exec.hashing import graph_fingerprint
+
+        worklist = RewriteEngine().apply_exhaustively(
+            pure_chain(6), [fork_sink_elim(), pure_compose()]
+        )
+        scan = RewriteEngine().apply_exhaustively(
+            pure_chain(6), [fork_sink_elim(), pure_compose()], use_worklist=False
+        )
+        assert graph_fingerprint(worklist) == graph_fingerprint(scan)
+
+    def test_worklist_restricts_rescans(self):
+        # split-join-elim fails its first full scan (no Split in a pure
+        # chain) and is then only re-matched against the dirty region each
+        # time pure-compose fires.
+        engine = RewriteEngine()
+        engine.apply_exhaustively(pure_chain(8), [split_join_elim(), pure_compose()])
+        assert engine.stats.worklist_scans > 0
+        scan_engine = RewriteEngine()
+        scan_engine.apply_exhaustively(
+            pure_chain(8), [split_join_elim(), pure_compose()], use_worklist=False
+        )
+        assert engine.stats.full_scans < scan_engine.stats.full_scans
+
+    def test_escape_hatch_never_uses_worklist(self):
+        engine = RewriteEngine()
+        engine.apply_exhaustively(pure_chain(5), [pure_compose()], use_worklist=False)
+        assert engine.stats.worklist_scans == 0
+        assert engine.stats.full_scans > 0
 
 
 class TestVerifiedFraction:
