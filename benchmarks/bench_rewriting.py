@@ -158,13 +158,81 @@ def collect_measurements(repeats: int = 5) -> dict:
     return results
 
 
-def main() -> None:
+def measure_overhead(repeats: int = 5) -> dict:
+    """Cost of the observability instrumentation on the rewrite fixpoint.
+
+    Three configurations of the same workload (the worklist fixpoint on the
+    largest graphs), interleaved round-robin and reported best-of:
+
+    * ``stubbed`` — ``obs.span``/``count``/``gauge`` replaced by no-ops,
+      approximating the pre-instrumentation engine;
+    * ``nosink`` — the shipped default: real obs calls, no sink attached,
+      so every span is the shared no-op span;
+    * ``sink`` — an ``InMemorySink`` attached, full span trees recorded.
+
+    The contract (and the CI guard) is on ``nosink_overhead``: tracing that
+    nobody turned on must stay within a few percent of the stubbed run.
+    """
+    from time import perf_counter
+
+    from repro import obs
+    from repro.obs.core import _NOOP_SPAN
+    from repro.rewriting.engine import RewriteEngine
+
+    env = default_environment()
+    workload = []
+    for name in _LARGEST:
+        compiled = compile_program(load_benchmark(name), env)
+        workload.append((compiled.kernels[0].graph, _phase_rules()))
+
+    def fixpoint() -> None:
+        engine = RewriteEngine()
+        for graph, rules in workload:
+            engine.apply_exhaustively(graph.copy(), rules, use_worklist=True)
+
+    def timed(fn) -> float:
+        start = perf_counter()
+        fn()
+        return perf_counter() - start
+
+    def run_stubbed() -> float:
+        originals = (obs.span, obs.count, obs.gauge)
+        obs.span = lambda name, **attrs: _NOOP_SPAN
+        obs.count = lambda name, n=1: None
+        obs.gauge = lambda name, value: None
+        try:
+            return timed(fixpoint)
+        finally:
+            obs.span, obs.count, obs.gauge = originals
+
+    def run_with_sink() -> float:
+        tracer = obs.Tracer()
+        tracer.attach(obs.InMemorySink())
+        with obs.use_tracer(tracer):
+            return timed(fixpoint)
+
+    fixpoint()  # warm caches (match plans, imports) outside the timings
+    best = {"stubbed": float("inf"), "nosink": float("inf"), "sink": float("inf")}
+    for _ in range(repeats):
+        best["stubbed"] = min(best["stubbed"], run_stubbed())
+        best["nosink"] = min(best["nosink"], timed(fixpoint))
+        best["sink"] = min(best["sink"], run_with_sink())
+
+    return {
+        "workload": list(_LARGEST),
+        "repeats": repeats,
+        "stubbed_seconds": round(best["stubbed"], 6),
+        "nosink_seconds": round(best["nosink"], 6),
+        "sink_seconds": round(best["sink"], 6),
+        "nosink_overhead": round(best["nosink"] / best["stubbed"] - 1.0, 4),
+        "sink_overhead": round(best["sink"] / best["stubbed"] - 1.0, 4),
+    }
+
+
+def _append_history(entry: dict) -> None:
     import json
     from pathlib import Path
 
-    from repro._version import __version__
-
-    entry = {"tool_version": __version__, "benchmarks": collect_measurements()}
     out = Path(__file__).with_name("BENCH_rewriting.json")
     history = json.loads(out.read_text()) if out.exists() else []
     history.append(entry)
@@ -172,5 +240,47 @@ def main() -> None:
     print(json.dumps(entry, indent=2))
 
 
+def main(argv=None) -> int:
+    import argparse
+
+    from repro._version import __version__
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--overhead-guard",
+        action="store_true",
+        help="measure observability overhead instead of the microbenchmarks; "
+        "exit 1 when the no-sink overhead exceeds the threshold",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="best-of repeats")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="maximum tolerated no-sink overhead fraction (default: 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.overhead_guard:
+        overhead = measure_overhead(repeats=args.repeats)
+        _append_history({"tool_version": __version__, "overhead": overhead})
+        if overhead["nosink_overhead"] > args.threshold:
+            print(
+                f"FAIL: no-sink observability overhead {overhead['nosink_overhead']:.1%} "
+                f"exceeds the {args.threshold:.0%} budget"
+            )
+            return 1
+        print(
+            f"OK: no-sink overhead {overhead['nosink_overhead']:.1%} "
+            f"(sink attached: {overhead['sink_overhead']:.1%})"
+        )
+        return 0
+
+    _append_history(
+        {"tool_version": __version__, "benchmarks": collect_measurements(repeats=args.repeats)}
+    )
+    return 0
+
+
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

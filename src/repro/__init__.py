@@ -48,7 +48,6 @@ from .core import (
 )
 from .dot import parse_dot, print_dot
 from .errors import GraphitiError
-from .eval.runner import run_benchmark as _run_benchmark
 from .refinement import (
     check_graph_refinement,
     check_refinement,
@@ -71,7 +70,7 @@ def run_benchmark(name, program=None):
         DeprecationWarning,
         stacklevel=2,
     )
-    return _run_benchmark(name, program)
+    return Session(use_cache=False).bench(name, program)
 
 
 __all__ = [

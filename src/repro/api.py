@@ -12,6 +12,7 @@ is reachable through one object::
     session.verify()                          # discharge every obligation
     session.bench("matvec")                   # one benchmark, four flows
     print(session.report())                   # Tables 2-3 + Figure 8
+    print(session.metrics().summary())        # one unified MetricsSnapshot
 
 A Session owns:
 
@@ -24,15 +25,26 @@ A Session owns:
   units — (benchmark × flow) runs, obligation discharges, weak-simulation
   checks — over a process pool, with deterministic result ordering (output
   is byte-identical to a serial run) and serial fallback on worker failure;
-* the :class:`~repro.exec.metrics.ExecutorMetrics` describing what actually
-  ran versus what the cache answered.
+* the unified statistics surface: :meth:`Session.metrics` returns one
+  :class:`~repro.obs.MetricsSnapshot` rolling up the executor accounting,
+  the rewriting-engine counters accumulated across every ``transform``,
+  and the observability tracer's counters/gauges.  The pre-v1.3 attribute
+  forms (``session.metrics.executed`` …) still resolve but emit a
+  :class:`DeprecationWarning`.
+
+Every public method runs under a :mod:`repro.obs` span (``transform``,
+``verify``, ``bench``, ``report``), so attaching a sink — or passing
+``--trace``/``--profile`` on the CLI — captures the whole hierarchy down
+to per-rewrite matching and pool-worker subtrees.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
+from . import obs
 from .components import default_environment
 from .core.environment import Environment
 from .core.exprhigh import ExprHigh
@@ -40,8 +52,52 @@ from .exec.cache import NullCache, ResultCache, default_cache_dir
 from .exec.executor import Executor, WorkUnit
 from .exec.hashing import eval_unit_key, obligation_fingerprint, weak_sim_key
 from .exec.metrics import ExecutorMetrics
+from .obs import MetricsSnapshot
+from .rewriting.engine import EngineStats
 from .rewriting.pipeline import GraphitiPipeline, TransformResult
 from .rewriting.rules import VERIFY_FACTORY_SPECS, build_rewrite
+
+
+class _MetricsFacade:
+    """``session.metrics`` — callable for the snapshot, attribute-compatible.
+
+    Calling it (``session.metrics()``) is the documented entry point and
+    returns a fresh :class:`MetricsSnapshot`.  The pre-v1.3 attribute
+    accesses (``session.metrics.executed``, ``.hits``, ``.summary()`` …)
+    keep resolving against the underlying :class:`ExecutorMetrics` so old
+    code and notebooks run, but each access emits a
+    :class:`DeprecationWarning`.
+    """
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: "Session"):
+        self._session = session
+
+    def __call__(self) -> MetricsSnapshot:
+        return self._session._build_snapshot()
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        target = self._session._metrics
+        try:
+            value = getattr(target, name)
+        except AttributeError:
+            raise AttributeError(
+                f"'Session.metrics' has no attribute {name!r}; "
+                "call session.metrics() for the unified MetricsSnapshot"
+            ) from None
+        warnings.warn(
+            f"session.metrics.{name} is deprecated; call session.metrics() and "
+            f"read .{name} off the returned MetricsSnapshot",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Session.metrics facade; call it: {self._session._build_snapshot().summary()}>"
 
 
 class Session:
@@ -78,9 +134,30 @@ class Session:
             self.cache = ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
         else:
             self.cache = NullCache()
-        self.metrics = ExecutorMetrics()
-        self.executor = Executor(jobs=jobs, cache=self.cache, metrics=self.metrics)
+        self._metrics = ExecutorMetrics()
+        self._engine_stats = EngineStats()
+        self.executor = Executor(jobs=jobs, cache=self.cache, metrics=self._metrics)
         self.check_obligations = check_obligations
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def metrics(self) -> _MetricsFacade:
+        """The unified stats surface: call it — ``session.metrics()``.
+
+        Attribute access on the facade (the old ``ExecutorMetrics`` shape)
+        is deprecated and warns; see :class:`_MetricsFacade`.
+        """
+        return _MetricsFacade(self)
+
+    def _build_snapshot(self) -> MetricsSnapshot:
+        tracer = obs.get_tracer()
+        return MetricsSnapshot(
+            executor=self._metrics.to_dict(),
+            rewriting=self._engine_stats.to_dict(),
+            counters=dict(tracer.counters),
+            gauges=dict(tracer.gauges),
+        )
 
     # -- transformation ------------------------------------------------------
 
@@ -89,7 +166,13 @@ class Session:
         pipeline = GraphitiPipeline(
             self.env, check_obligations=self.check_obligations, cache=self.cache
         )
-        return pipeline.transform_kernel(graph, mark)
+        with obs.span("transform", kernel=getattr(mark, "kernel", "?")):
+            try:
+                return pipeline.transform_kernel(graph, mark)
+            finally:
+                # Whatever happened — success, refusal, or an exception —
+                # the engine's counters roll up into session.metrics().
+                self._engine_stats.merge(pipeline.engine.stats)
 
     # -- verification --------------------------------------------------------
 
@@ -115,7 +198,8 @@ class Session:
                     cache_key=key,
                 )
             )
-        return self.executor.run(units)
+        with obs.span("verify", obligations=len(units)):
+            return self.executor.run(units)
 
     def check_refinements(
         self,
@@ -148,7 +232,8 @@ class Session:
                     cache_key=key,
                 )
             )
-        return self.executor.run(units)
+        with obs.span("check-refinements", pairs=len(units)):
+            return self.executor.run(units)
 
     # -- evaluation ----------------------------------------------------------
 
@@ -166,36 +251,37 @@ class Session:
         from .hls.frontend import compile_program
 
         names = list(names)
-        units = []
-        for name in names:
-            program = (programs or {}).get(name)
-            if program is None:
-                from .benchmarks import load_benchmark
+        with obs.span("bench", benchmarks=len(names)):
+            units = []
+            for name in names:
+                program = (programs or {}).get(name)
+                if program is None:
+                    from .benchmarks import load_benchmark
 
-                program = load_benchmark(name)
-            # Compile once per benchmark, in-process, purely to derive the
-            # content-addressed keys; workers recompile deterministically.
-            key_env = default_environment()
-            compiled = compile_program(program, key_env)
-            for flow in FLOWS:
-                units.append(
-                    WorkUnit(
-                        uid=f"{name}:{flow}",
-                        fn="repro.exec.workers:eval_flow",
-                        payload={"name": name, "flow": flow, "program": program},
-                        cache_key=eval_unit_key(flow, program, compiled, key_env),
+                    program = load_benchmark(name)
+                # Compile once per benchmark, in-process, purely to derive the
+                # content-addressed keys; workers recompile deterministically.
+                key_env = default_environment()
+                compiled = compile_program(program, key_env)
+                for flow in FLOWS:
+                    units.append(
+                        WorkUnit(
+                            uid=f"{name}:{flow}",
+                            fn="repro.exec.workers:eval_flow",
+                            payload={"name": name, "flow": flow, "program": program},
+                            cache_key=eval_unit_key(flow, program, compiled, key_env),
+                        )
                     )
-                )
-        raw = self.executor.run(units)
-        results: dict[str, BenchmarkResult] = {}
-        cursor = 0
-        for name in names:
-            result = BenchmarkResult(name)
-            for flow in FLOWS:
-                result.flows[flow] = FlowResult.from_dict(raw[cursor])
-                cursor += 1
-            results[name] = result
-        return results
+            raw = self.executor.run(units)
+            results: dict[str, BenchmarkResult] = {}
+            cursor = 0
+            for name in names:
+                result = BenchmarkResult(name)
+                for flow in FLOWS:
+                    result.flows[flow] = FlowResult.from_dict(raw[cursor])
+                    cursor += 1
+                results[name] = result
+            return results
 
     def report(
         self,
@@ -206,5 +292,6 @@ class Session:
         from .eval.paper_data import BENCHMARKS
         from .eval.report import full_report
 
-        results = self.bench_many(list(names) if names else list(BENCHMARKS), programs)
-        return full_report(results)
+        with obs.span("report"):
+            results = self.bench_many(list(names) if names else list(BENCHMARKS), programs)
+            return full_report(results)

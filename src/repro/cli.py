@@ -15,28 +15,71 @@ reproduction::
 on the marked loop, and writes the rewritten dot graph (or reports the
 refusal, e.g. for effectful loop bodies).
 
-``verify``, ``bench`` and ``report`` all go through the
-:class:`repro.api.Session` facade and accept the executor flags:
-``--jobs N`` fans independent work units (benchmark × flow runs, rewrite
-obligations) over a process pool; ``--cache-dir`` points the
-content-addressed result cache somewhere specific; ``--no-cache`` disables
-it.  Output is deterministic: a parallel or warm-cache run prints the same
-bytes as a cold serial one.
+Every subcommand goes through the :class:`repro.api.Session` facade and
+accepts the executor flags: ``--jobs N`` fans independent work units
+(benchmark × flow runs, rewrite obligations) over a process pool;
+``--cache-dir`` points the content-addressed result cache somewhere
+specific; ``--no-cache`` disables it.  Output is deterministic: a parallel
+or warm-cache run prints the same bytes as a cold serial one.
+
+Two observability flags (see :mod:`repro.obs`) are accepted everywhere:
+``--trace FILE`` streams every closed span tree as JSON lines to *FILE*
+(one span per line: ``id``, ``parent``, ``name``, ``seconds``,
+``self_seconds``, ``attrs``), and ``--profile`` prints the span tree with
+cumulative/self times to stderr after the command finishes.  Spans
+recorded inside pool workers are re-parented into the parent process's
+tree and marked ``reparented``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
 
+def _session(args: argparse.Namespace, **kwargs):
+    from .api import Session
+
+    return Session(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False),
+        **kwargs,
+    )
+
+
+@contextlib.contextmanager
+def _observe(args: argparse.Namespace):
+    """Attach the ``--trace``/``--profile`` sinks around one command."""
+    from . import obs
+    from .obs import InMemorySink, JsonlSink, render_tree
+
+    tracer = obs.get_tracer()
+    jsonl = None
+    memory = None
+    if getattr(args, "trace", None):
+        jsonl = tracer.attach(JsonlSink(args.trace))
+    if getattr(args, "profile", False):
+        memory = tracer.attach(InMemorySink())
+    try:
+        yield
+    finally:
+        if jsonl is not None:
+            tracer.detach(jsonl)
+            jsonl.close()
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if memory is not None:
+            tracer.detach(memory)
+            if memory.spans:
+                print(render_tree(memory.spans), file=sys.stderr)
+
+
 def _cmd_transform(args: argparse.Namespace) -> int:
-    from .components import default_environment
     from .dot import parse_dot, print_dot
     from .errors import GraphitiError
     from .hls.frontend import LoopMark
-    from .rewriting.pipeline import GraphitiPipeline
 
     graph = parse_dot(Path(args.input).read_text())
     try:
@@ -54,9 +97,9 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     except GraphitiError as exc:
         print(f"invalid loop mark: {exc}", file=sys.stderr)
         return 2
-    env = default_environment()
-    pipeline = GraphitiPipeline(env, check_obligations=args.check)
-    result = pipeline.transform_kernel(graph, mark)
+    session = _session(args, check_obligations=args.check)
+    with _observe(args):
+        result = session.transform(graph, mark)
     if not result.transformed:
         print(f"refused: {result.refusal}", file=sys.stderr)
         return 2
@@ -66,23 +109,16 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     else:
         print(output)
     print(result.summary(), file=sys.stderr)
+    print(session.metrics().summary(), file=sys.stderr)
     return 0
-
-
-def _session(args: argparse.Namespace):
-    from .api import Session
-
-    return Session(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-    )
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     session = _session(args)
     failures = 0
-    for outcome in session.verify():
+    with _observe(args):
+        outcomes = session.verify()
+    for outcome in outcomes:
         if outcome["holds"]:
             status = "verified"
         elif outcome["verified_flag"]:
@@ -91,7 +127,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         else:
             status = f"REFUTED ({outcome['detail']})"
         print(f"{outcome['rewrite']:20s} {status}  [{outcome['seconds']:.2f}s]")
-    print(session.metrics.summary(), file=sys.stderr)
+    print(session.metrics().summary(), file=sys.stderr)
     if failures:
         print(f"{failures} verified-marked rewrites failed", file=sys.stderr)
         return 1
@@ -102,7 +138,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     session = _session(args)
     try:
-        result = session.bench(args.name)
+        with _observe(args):
+            result = session.bench(args.name)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -114,7 +151,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{fr.execution_time:>11.0f} {fr.area.luts:>6d} {fr.area.ffs:>6d} "
             f"{fr.area.dsps:>4d} {fr.correct}"
         )
-    print(session.metrics.summary(), file=sys.stderr)
+    print(session.metrics().summary(), file=sys.stderr)
     return 0
 
 
@@ -125,11 +162,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"running {', '.join(names)} (jobs={args.jobs})...", file=sys.stderr)
     session = _session(args)
     try:
-        print(session.report(names))
+        with _observe(args):
+            report = session.report(names)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    print(session.metrics.summary(), file=sys.stderr)
+    print(report)
+    print(session.metrics().summary(), file=sys.stderr)
     return 0
 
 
@@ -146,6 +185,14 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write every span tree as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the span tree with self/cumulative times to stderr",
     )
 
 
@@ -165,6 +212,7 @@ def main(argv: list[str] | None = None) -> int:
     transform.add_argument("--collector", help="collector pseudo-node, if present")
     transform.add_argument("--tags", type=int, default=4, help="tag budget")
     transform.add_argument("--check", action="store_true", help="discharge obligations before applying")
+    _add_exec_flags(transform)
     transform.set_defaults(fn=_cmd_transform)
 
     verify = sub.add_parser("verify", help="discharge every rewrite obligation")
@@ -191,6 +239,15 @@ def main(argv: list[str] | None = None) -> int:
         if not parent.is_dir():
             print(
                 f"error: --cache-dir parent directory {parent} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        parent = Path(trace).expanduser().parent
+        if not parent.is_dir():
+            print(
+                f"error: --trace parent directory {parent} does not exist",
                 file=sys.stderr,
             )
             return 2

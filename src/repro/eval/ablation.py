@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from ..benchmarks import matvec
 from ..hls.ir import Kernel, Program
-from .runner import BenchmarkResult, run_benchmark
+from .runner import BenchmarkResult
 
 
 @dataclass
@@ -48,9 +48,12 @@ def retag(program: Program, tags: int) -> Program:
 
 def tag_sweep(tag_counts=(2, 4, 8, 16, 32), n: int = 16) -> list[TagSweepPoint]:
     """Sweep matvec's tag budget; returns one point per count."""
+    from ..api import Session
+
+    session = Session(use_cache=False)
     points = []
     for tags in tag_counts:
-        result = run_benchmark("matvec", retag(matvec(n), tags))
+        result = session.bench("matvec", retag(matvec(n), tags))
         points.append(
             TagSweepPoint(
                 tags=tags,

@@ -6,12 +6,14 @@ from typing import Iterable, Mapping
 
 from . import paper_data
 from .report import clock_table, cycle_table, exec_time_table
-from .runner import BenchmarkResult, run_benchmark
+from .runner import BenchmarkResult
 
 
 def collect(benchmarks: Iterable[str] = paper_data.BENCHMARKS) -> dict[str, BenchmarkResult]:
     """Run the listed benchmarks through all four flows."""
-    return {name: run_benchmark(name) for name in benchmarks}
+    from ..api import Session
+
+    return Session(use_cache=False).bench_many(list(benchmarks))
 
 
 def render(results: Mapping[str, BenchmarkResult]) -> str:

@@ -17,6 +17,13 @@ content-addressed cache key.  :meth:`Executor.run` evaluates a batch:
 
 Worker functions must return a JSON-serialisable value other than ``None``
 (``None`` is the cache-miss sentinel).
+
+Observability: when the global tracer has a sink attached, every unit gets
+a ``unit:<uid>`` span whose ``mode`` attribute records how it was answered
+(``cache`` / ``serial`` / ``pool``, plus ``retried``).  Serial units nest
+their callee spans naturally; pool workers record into a private tracer
+and ship the subtree back inside the outcome dict, which the parent grafts
+under its open span (see :meth:`repro.obs.Tracer.graft`).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Sequence
 
+from .. import obs
 from ..errors import GraphitiError
 from .cache import NullCache
 from .metrics import ExecutorMetrics, UnitMetric
@@ -63,11 +71,28 @@ def resolve_worker(spec: str) -> Callable[..., Any]:
     return fn
 
 
-def _call_unit(fn_spec: str, payload: dict) -> dict:
-    """Pool entry point: run one unit, returning its in-worker wall time."""
+def _call_unit(fn_spec: str, payload: dict, uid: str = "", trace: bool = False) -> dict:
+    """Pool entry point: run one unit, returning its in-worker wall time.
+
+    With *trace* the worker records spans into a private tracer and ships
+    the serialised subtree back under ``"spans"`` so the parent can graft
+    it into its own trace (durations are in-worker wall times).
+    """
+    if not trace:
+        start = perf_counter()
+        value = resolve_worker(fn_spec)(**payload)
+        return {"seconds": perf_counter() - start, "value": value}
+    tracer = obs.Tracer()
+    sink = tracer.attach(obs.InMemorySink())
     start = perf_counter()
-    value = resolve_worker(fn_spec)(**payload)
-    return {"seconds": perf_counter() - start, "value": value}
+    with obs.use_tracer(tracer):
+        with tracer.span(f"unit:{uid}", mode="pool"):
+            value = resolve_worker(fn_spec)(**payload)
+    return {
+        "seconds": perf_counter() - start,
+        "value": value,
+        "spans": [root.to_dict() for root in sink.spans],
+    }
 
 
 class Executor:
@@ -81,22 +106,24 @@ class Executor:
     def run(self, units: Sequence[WorkUnit]) -> list[Any]:
         """Evaluate every unit; results are indexed like *units*."""
         units = list(units)
-        results: list[Any] = [None] * len(units)
-        pending: list[int] = []
-        for index, unit in enumerate(units):
-            hit = self._lookup(unit)
-            if hit is not None:
-                results[index] = hit[0]
+        with obs.span("exec:run", units=len(units), jobs=self.jobs) as batch_span:
+            results: list[Any] = [None] * len(units)
+            pending: list[int] = []
+            for index, unit in enumerate(units):
+                hit = self._lookup(unit)
+                if hit is not None:
+                    results[index] = hit[0]
+                else:
+                    pending.append(index)
+            batch_span.set(cached=len(units) - len(pending))
+            if not pending:
+                return results
+            if self.jobs == 1 or len(pending) == 1:
+                for index in pending:
+                    results[index] = self._run_serial(units[index])
             else:
-                pending.append(index)
-        if not pending:
+                self._run_pool(units, pending, results)
             return results
-        if self.jobs == 1 or len(pending) == 1:
-            for index in pending:
-                results[index] = self._run_serial(units[index])
-        else:
-            self._run_pool(units, pending, results)
-        return results
 
     # -- cache --------------------------------------------------------------
 
@@ -106,9 +133,17 @@ class Executor:
         start = perf_counter()
         payload = self.cache.get(unit.cache_key)
         if payload is None:
+            obs.count("executor.cache_misses")
             return None
+        seconds = perf_counter() - start
+        obs.count("executor.cache_hits")
+        tracer = obs.get_tracer()
+        if tracer.active:
+            tracer.graft(
+                {"name": f"unit:{unit.uid}", "seconds": seconds}, mode="cache"
+            )
         self.metrics.record(
-            UnitMetric(uid=unit.uid, seconds=perf_counter() - start, cached=True, mode="cache")
+            UnitMetric(uid=unit.uid, seconds=seconds, cached=True, mode="cache")
         )
         return (payload,)
 
@@ -119,17 +154,20 @@ class Executor:
     # -- serial path ---------------------------------------------------------
 
     def _run_serial(self, unit: WorkUnit, retried: bool = False) -> Any:
-        start = perf_counter()
-        value = resolve_worker(unit.fn)(**unit.payload)
-        self.metrics.record(
-            UnitMetric(
-                uid=unit.uid,
-                seconds=perf_counter() - start,
-                cached=False,
-                mode="serial",
-                retried=retried,
+        mode = "serial-retry" if retried else "serial"
+        obs.count(f"executor.{mode}")
+        with obs.span(f"unit:{unit.uid}", mode=mode, retried=retried):
+            start = perf_counter()
+            value = resolve_worker(unit.fn)(**unit.payload)
+            self.metrics.record(
+                UnitMetric(
+                    uid=unit.uid,
+                    seconds=perf_counter() - start,
+                    cached=False,
+                    mode="serial",
+                    retried=retried,
+                )
             )
-        )
         self._store(unit, value)
         return value
 
@@ -138,6 +176,8 @@ class Executor:
     def _run_pool(self, units: list[WorkUnit], pending: list[int], results: list[Any]) -> None:
         completed: set[int] = set()
         fallback: list[int] = []
+        tracer = obs.get_tracer()
+        trace = tracer.active
         try:
             context = multiprocessing.get_context(
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else None
@@ -146,7 +186,13 @@ class Executor:
                 max_workers=min(self.jobs, len(pending)), mp_context=context
             ) as pool:
                 futures = {
-                    pool.submit(_call_unit, units[index].fn, units[index].payload): index
+                    pool.submit(
+                        _call_unit,
+                        units[index].fn,
+                        units[index].payload,
+                        uid=units[index].uid,
+                        trace=trace,
+                    ): index
                     for index in pending
                 }
                 remaining = set(futures)
@@ -167,6 +213,9 @@ class Executor:
                             continue
                         results[index] = outcome["value"]
                         completed.add(index)
+                        obs.count("executor.pool")
+                        for data in outcome.get("spans", ()):
+                            tracer.graft(data, uid=units[index].uid)
                         self.metrics.record(
                             UnitMetric(
                                 uid=units[index].uid,

@@ -5,10 +5,16 @@ whether it was served from cache, computed in a pool worker, computed
 serially, or retried after a worker failure.  The aggregate
 :class:`ExecutorMetrics` is what tests assert on (e.g. "a warm rerun
 performs zero recomputation" is ``metrics.executed == 0``).
+
+Recording is thread-safe: pool-completion handling can land on a different
+thread than the parent's serial path (``concurrent.futures`` invokes done
+callbacks on worker-management threads), so :meth:`ExecutorMetrics.record`
+takes a lock and the aggregates read a consistent snapshot.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -26,40 +32,51 @@ class UnitMetric:
 @dataclass
 class ExecutorMetrics:
     units: list[UnitMetric] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, metric: UnitMetric) -> None:
-        self.units.append(metric)
+        with self._lock:
+            self.units.append(metric)
+
+    def snapshot(self) -> list[UnitMetric]:
+        """A consistent copy of the recorded units."""
+        with self._lock:
+            return list(self.units)
 
     # -- aggregates ---------------------------------------------------------
 
     @property
     def hits(self) -> int:
-        return sum(1 for unit in self.units if unit.cached)
+        return sum(1 for unit in self.snapshot() if unit.cached)
 
     @property
     def executed(self) -> int:
         """Units actually recomputed (anything not served from cache)."""
-        return sum(1 for unit in self.units if not unit.cached)
+        return sum(1 for unit in self.snapshot() if not unit.cached)
 
     @property
     def retries(self) -> int:
-        return sum(1 for unit in self.units if unit.retried)
+        return sum(1 for unit in self.snapshot() if unit.retried)
 
     @property
     def total_seconds(self) -> float:
-        return sum(unit.seconds for unit in self.units)
+        return sum(unit.seconds for unit in self.snapshot())
 
     def to_dict(self) -> dict:
+        units = self.snapshot()
         return {
-            "units": len(self.units),
-            "hits": self.hits,
-            "executed": self.executed,
-            "retries": self.retries,
-            "total_seconds": self.total_seconds,
+            "units": len(units),
+            "hits": sum(1 for unit in units if unit.cached),
+            "executed": sum(1 for unit in units if not unit.cached),
+            "retries": sum(1 for unit in units if unit.retried),
+            "total_seconds": sum(unit.seconds for unit in units),
         }
 
     def summary(self) -> str:
+        data = self.to_dict()
         return (
-            f"{len(self.units)} units: {self.hits} cached, {self.executed} executed"
-            f" ({self.retries} retried), {self.total_seconds:.2f}s work"
+            f"{data['units']} units: {data['hits']} cached, {data['executed']} executed"
+            f" ({data['retries']} retried), {data['total_seconds']:.2f}s work"
         )

@@ -14,6 +14,13 @@ three unit kinds mirror the serial entry points they wrap:
 
 Environments are rebuilt inside the worker (they hold closures and are not
 picklable); graphs and IR programs pickle directly.
+
+Workers are instrumented like the serial entry points: each opens a span
+(``flow:…``, ``verify:…``, ``weak-sim``) on whatever tracer is active in
+its process.  In-process (serial) execution nests those spans under the
+executor's unit span directly; in a pool worker the executor installs a
+private recording tracer around the call and grafts the resulting subtree
+back into the parent trace (see :func:`repro.exec.executor._call_unit`).
 """
 
 from __future__ import annotations
@@ -21,12 +28,17 @@ from __future__ import annotations
 import importlib
 from time import perf_counter
 
+from .. import obs
+
 
 def eval_flow(*, name: str, flow: str, program=None) -> dict:
     """Run one benchmark under one flow; returns ``FlowResult.to_dict()``."""
     from ..eval.runner import run_flow
 
-    return run_flow(name, flow, program=program).to_dict()
+    with obs.span(f"flow:{flow}", benchmark=name) as sp:
+        result = run_flow(name, flow, program=program)
+        sp.set(cycles=result.cycles, correct=result.correct)
+    return result.to_dict()
 
 
 def discharge_rewrite(*, module: str, factory: str, kwargs: dict | None = None) -> dict:
@@ -41,11 +53,13 @@ def discharge_rewrite(*, module: str, factory: str, kwargs: dict | None = None) 
     rewrite = getattr(importlib.import_module(module), factory)(**(kwargs or {}))
     engine = RewriteEngine()
     start = perf_counter()
-    try:
-        engine.verify_rewrite(rewrite)
-        holds, detail = True, ""
-    except RefinementError as exc:
-        holds, detail = False, str(exc)
+    with obs.span(f"verify:{rewrite.name}") as sp:
+        try:
+            engine.verify_rewrite(rewrite)
+            holds, detail = True, ""
+        except RefinementError as exc:
+            holds, detail = False, str(exc)
+        sp.set(holds=holds)
     return {
         "rewrite": rewrite.name,
         "verified_flag": bool(rewrite.verified),

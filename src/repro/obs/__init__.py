@@ -1,0 +1,51 @@
+"""``repro.obs`` — the unified observability subsystem.
+
+Hierarchical tracing, typed counters and profiling hooks shared by the
+transform, verify and bench paths (see ``docs/api.md``, "Observability").
+Zero dependencies, near-zero cost when idle: without an attached sink,
+:func:`span` hands back a shared no-op context manager.
+
+Typical use::
+
+    from repro import obs
+
+    sink = obs.get_tracer().attach(obs.InMemorySink())
+    with obs.span("transform", kernel="gcd"):
+        with obs.span("phase:purify") as sp:
+            ...
+            sp.set(steps=12)
+    print(obs.render_tree(sink.spans))
+
+The CLI exposes the same machinery as ``--trace FILE`` (JSONL export via
+:class:`JsonlSink`) and ``--profile`` (span tree via :func:`render_tree`);
+:meth:`repro.api.Session.metrics` rolls the counters into one
+:class:`MetricsSnapshot`.
+"""
+
+from .core import (
+    Span,
+    Tracer,
+    count,
+    gauge,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+from .metrics import MetricsSnapshot
+from .sinks import InMemorySink, JsonlSink, render_tree
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "count",
+    "gauge",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_tracer",
+    "MetricsSnapshot",
+    "InMemorySink",
+    "JsonlSink",
+    "render_tree",
+]

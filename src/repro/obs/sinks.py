@@ -1,0 +1,121 @@
+"""Span sinks: in-memory capture, JSONL export, human-readable trees.
+
+A sink is anything with ``emit(span)``; tracers call it once per closed
+*root* span with the whole subtree attached.  Three are provided:
+
+* :class:`InMemorySink` — keeps the span objects (tests, ``--profile``);
+* :class:`JsonlSink` — appends one JSON line per span, parent-linked by
+  id, to a file (the CLI's ``--trace FILE``);
+* :func:`render_tree` — formats captured roots as an indented tree with
+  cumulative and self times (the CLI's ``--profile`` output).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import Span
+
+
+class InMemorySink:
+    """Collects emitted root spans in order; the test/profile sink."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+    def emit(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+class JsonlSink:
+    """Writes one JSON object per span (depth-first) to a file.
+
+    Each line carries ``id``, ``parent`` (None for roots), ``name``,
+    ``seconds``, ``self_seconds`` and ``attrs``; ids are unique within the
+    sink and parents always appear before their children, so a stream
+    consumer can rebuild every tree single-pass.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file = self.path.open("w", encoding="utf-8")
+        self._next_id = 0
+
+    def emit(self, span: Span) -> None:
+        self._write(span, parent=None)
+        self._file.flush()
+
+    def _write(self, span: Span, parent: int | None) -> None:
+        span_id = self._next_id
+        self._next_id += 1
+        record = {
+            "id": span_id,
+            "parent": parent,
+            "name": span.name,
+            "seconds": round(span.seconds, 9),
+            "self_seconds": round(span.self_seconds, 9),
+            "attrs": span.attrs,
+        }
+        self._file.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        for child in span.children:
+            self._write(child, parent=span_id)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def render_tree(spans: list[Span], *, min_seconds: float = 0.0) -> str:
+    """Format root spans as an indented tree with cumulative/self times.
+
+    Sibling spans of the same name are *not* merged — the tree shows the
+    actual execution structure.  Spans faster than *min_seconds* are
+    pruned (their time still shows up in the parent's cumulative figure).
+    """
+    lines: list[str] = []
+    width = max(
+        (2 * depth + len(span.name) for root in spans for span, depth in _walk_depth(root)),
+        default=0,
+    )
+    width = max(width, len("span"))
+    lines.append(f"{'span':<{width}}  {'total':>10}  {'self':>10}  attrs")
+    for root in spans:
+        for span, depth in _walk_depth(root):
+            if depth and span.seconds < min_seconds:
+                continue
+            label = f"{'  ' * depth}{span.name}"
+            attrs = _format_attrs(span.attrs)
+            lines.append(
+                f"{label:<{width}}  {_fmt(span.seconds):>10}  {_fmt(span.self_seconds):>10}  {attrs}"
+            )
+    return "\n".join(lines)
+
+
+def _walk_depth(span: Span, depth: int = 0):
+    yield span, depth
+    for child in span.children:
+        yield from _walk_depth(child, depth + 1)
+
+
+def _fmt(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{key}={value}" for key, value in attrs.items()]
+    return " ".join(parts)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from .. import obs
 from ..core.environment import Environment
 from ..core.exprhigh import ExprHigh
 from ..core.module import Module, Value
@@ -60,7 +61,15 @@ class RefinementReport:
 
 def check_refinement(impl: Module, spec: Module, stimuli: Stimuli) -> RefinementReport:
     """Check ``impl ⊑ spec``; raises :class:`RefinementError` on failure."""
-    result: SimulationResult = find_weak_simulation(impl, spec, stimuli)
+    with obs.span("refine:weak-sim") as sp:
+        result: SimulationResult = find_weak_simulation(impl, spec, stimuli)
+        sp.set(holds=result.holds)
+        if result.certificate is not None:
+            sp.set(
+                impl_states=result.certificate.impl_states,
+                spec_states=result.certificate.spec_states,
+            )
+    obs.count("refinement.weak_sim_checks")
     return RefinementReport(result.raise_on_failure())
 
 
@@ -120,7 +129,15 @@ def check_rewrite_obligation(
     lhs_module = denote(lhs.lower(), env.with_capacity(spec_capacity))
     if stimuli is None:
         stimuli = uniform_stimuli(rhs_module, values)
-    result = find_weak_simulation(rhs_module, lhs_module, stimuli)
+    with obs.span("refine:weak-sim", obligation=True) as sp:
+        result = find_weak_simulation(rhs_module, lhs_module, stimuli)
+        sp.set(holds=result.holds)
+        if result.certificate is not None:
+            sp.set(
+                impl_states=result.certificate.impl_states,
+                spec_states=result.certificate.spec_states,
+            )
+    obs.count("refinement.weak_sim_checks")
     if not result.holds:
         raise RefinementError(
             f"rewrite obligation rhs ⊑ lhs failed: {result.violation}",

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Iterable, Sequence
 
+from .. import obs
 from ..core.exprhigh import ExprHigh
 from ..errors import RefinementError, RewriteError
 from ..refinement.checker import check_rewrite_obligation
@@ -39,6 +40,18 @@ class RewriteStats:
     applied: int = 0
     matches_tried: int = 0  # candidate bindings attempted by the matcher
     match_seconds: float = 0.0
+
+    def merge(self, other: "RewriteStats") -> None:
+        self.applied += other.applied
+        self.matches_tried += other.matches_tried
+        self.match_seconds += other.match_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "applied": self.applied,
+            "matches_tried": self.matches_tried,
+            "match_seconds": self.match_seconds,
+        }
 
 
 @dataclass
@@ -57,6 +70,28 @@ class EngineStats:
         if entry is None:
             entry = self.per_rewrite[name] = RewriteStats()
         return entry
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold *other* into this accumulator (session-level aggregation)."""
+        self.rewrites_applied += other.rewrites_applied
+        self.matches_tried += other.matches_tried
+        self.seconds += other.seconds
+        self.full_scans += other.full_scans
+        self.worklist_scans += other.worklist_scans
+        for name, entry in other.per_rewrite.items():
+            self.for_rewrite(name).merge(entry)
+
+    def to_dict(self) -> dict:
+        return {
+            "rewrites_applied": self.rewrites_applied,
+            "matches_tried": self.matches_tried,
+            "seconds": self.seconds,
+            "full_scans": self.full_scans,
+            "worklist_scans": self.worklist_scans,
+            "per_rewrite": {
+                name: entry.to_dict() for name, entry in sorted(self.per_rewrite.items())
+            },
+        }
 
 
 class RewriteEngine:
@@ -87,20 +122,24 @@ class RewriteEngine:
             raise RefinementError(
                 f"rewrite {rewrite.name!r} has no obligation instances to check"
             )
-        instances = list(rewrite.obligation())
-        key = None
-        if self.cache is not None:
-            from ..exec.hashing import obligation_fingerprint
+        with obs.span(f"obligation:{rewrite.name}") as sp:
+            instances = list(rewrite.obligation())
+            sp.set(instances=len(instances))
+            key = None
+            if self.cache is not None:
+                from ..exec.hashing import obligation_fingerprint
 
-            key = obligation_fingerprint(rewrite.name, instances)
-            entry = self.cache.get(key)
-            if isinstance(entry, dict) and entry.get("holds"):
-                self._discharged.add(rewrite.name)
-                return True
-        for lhs, rhs, env, stimuli in instances:
-            check_rewrite_obligation(lhs, rhs, env, stimuli)
-        if key is not None:
-            self.cache.put(key, {"holds": True, "rewrite": rewrite.name})
+                key = obligation_fingerprint(rewrite.name, instances)
+                entry = self.cache.get(key)
+                if isinstance(entry, dict) and entry.get("holds"):
+                    obs.count("engine.obligation_cache_hits")
+                    sp.set(cached=True)
+                    self._discharged.add(rewrite.name)
+                    return True
+            for lhs, rhs, env, stimuli in instances:
+                check_rewrite_obligation(lhs, rhs, env, stimuli)
+            if key is not None:
+                self.cache.put(key, {"holds": True, "rewrite": rewrite.name})
         self._discharged.add(rewrite.name)
         return True
 
@@ -119,42 +158,50 @@ class RewriteEngine:
         """
         start = perf_counter()
         entry = self.stats.for_rewrite(rewrite.name)
-        try:
-            if self.check_obligations and rewrite.verified and rewrite.obligation is not None:
-                self.verify_rewrite(rewrite)
-            mstats = MatchStats()
-            match_start = perf_counter()
-            match = first_match(graph, rewrite, anchors=anchors, stats=mstats)
-            entry.match_seconds += perf_counter() - match_start
-            entry.matches_tried += mstats.candidates
-            self.stats.matches_tried += mstats.candidates
-            if anchors is None:
-                self.stats.full_scans += 1
-            else:
-                self.stats.worklist_scans += 1
-            if match is None:
-                return None
-            new_graph, application = apply_rewrite(graph, rewrite, match)
-            self.log.append(application)
-            self.stats.rewrites_applied += 1
-            entry.applied += 1
-            return new_graph
-        finally:
-            self.stats.seconds += perf_counter() - start
+        with obs.span(
+            f"rewrite:{rewrite.name}",
+            scope="full" if anchors is None else "worklist",
+        ) as sp:
+            try:
+                if self.check_obligations and rewrite.verified and rewrite.obligation is not None:
+                    self.verify_rewrite(rewrite)
+                mstats = MatchStats()
+                match_start = perf_counter()
+                with obs.span("match"):
+                    match = first_match(graph, rewrite, anchors=anchors, stats=mstats)
+                entry.match_seconds += perf_counter() - match_start
+                entry.matches_tried += mstats.candidates
+                self.stats.matches_tried += mstats.candidates
+                sp.set(matches_tried=mstats.candidates, applied=match is not None)
+                if anchors is None:
+                    self.stats.full_scans += 1
+                else:
+                    self.stats.worklist_scans += 1
+                if match is None:
+                    return None
+                with obs.span("apply"):
+                    new_graph, application = apply_rewrite(graph, rewrite, match)
+                self.log.append(application)
+                self.stats.rewrites_applied += 1
+                entry.applied += 1
+                return new_graph
+            finally:
+                self.stats.seconds += perf_counter() - start
 
     def apply_at(self, graph: ExprHigh, rewrite: Rewrite, match: Match) -> ExprHigh:
         """Apply *rewrite* at a specific, externally chosen match."""
         start = perf_counter()
-        try:
-            if self.check_obligations and rewrite.verified and rewrite.obligation is not None:
-                self.verify_rewrite(rewrite)
-            new_graph, application = apply_rewrite(graph, rewrite, match)
-            self.log.append(application)
-            self.stats.rewrites_applied += 1
-            self.stats.for_rewrite(rewrite.name).applied += 1
-            return new_graph
-        finally:
-            self.stats.seconds += perf_counter() - start
+        with obs.span(f"rewrite:{rewrite.name}", scope="at", applied=True):
+            try:
+                if self.check_obligations and rewrite.verified and rewrite.obligation is not None:
+                    self.verify_rewrite(rewrite)
+                new_graph, application = apply_rewrite(graph, rewrite, match)
+                self.log.append(application)
+                self.stats.rewrites_applied += 1
+                self.stats.for_rewrite(rewrite.name).applied += 1
+                return new_graph
+            finally:
+                self.stats.seconds += perf_counter() - start
 
     def apply_exhaustively(
         self,

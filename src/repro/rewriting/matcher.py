@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from .. import obs
 from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
 from ..errors import MatchError
 from .rewrite import Match, Rewrite, Var
@@ -81,7 +82,9 @@ def match_plan(rewrite: Rewrite) -> _MatchPlan:
     guard = (len(pattern.nodes), len(pattern.connections))
     plan = getattr(rewrite, "_match_plan", None)
     if plan is not None and plan.stale_guard == guard:
+        obs.count("matcher.plan_cache_hits")
         return plan
+    obs.count("matcher.plan_cache_misses")
     pattern.validate()  # closed-pattern requirement
     order = _matching_order(pattern)
     if not order:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.environment import Environment
 from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
 from ..errors import RewriteError
@@ -97,6 +98,7 @@ class GraphitiPipeline:
     def transform_kernel(self, graph: ExprHigh, mark) -> TransformResult:
         """Make the marked loop out-of-order; refuse when unsound."""
         if mark.effectful:
+            obs.count("pipeline.refusals")
             return TransformResult(
                 graph=graph,
                 transformed=False,
@@ -105,75 +107,86 @@ class GraphitiPipeline:
                     "permute the memory write order (the bicg case)"
                 ),
             )
-        working = graph.copy()
-        start_count = self.engine.stats.rewrites_applied
+        with obs.span("pipeline:transform", kernel=mark.kernel, nodes=len(graph.nodes)) as root:
+            working = graph.copy()
+            start_count = self.engine.stats.rewrites_applied
 
-        # Phase 1: combine steering.
-        working = self.engine.apply_exhaustively(
-            working,
-            [combine.mux_combine(), combine.branch_combine()],
-            use_worklist=self.use_worklist,
-        )
-        # Phase 2: eliminate leftovers.  Identity-wire removal exposes new
-        # Split/Join adjacencies, so the two interleave to a fixpoint.
-        cleanup = [
-            reduction.split_join_elim(),
-            reduction.fork_sink_elim(),
-            reduction.pure_id_elim(),
-        ]
-        while True:
-            applied_before = self.engine.stats.rewrites_applied
-            working = self.engine.apply_exhaustively(
-                working, cleanup, use_worklist=self.use_worklist
+            # Phase 1: combine steering.
+            with obs.span("phase:normalize"):
+                working = self.engine.apply_exhaustively(
+                    working,
+                    [combine.mux_combine(), combine.branch_combine()],
+                    use_worklist=self.use_worklist,
+                )
+            # Phase 2: eliminate leftovers.  Identity-wire removal exposes new
+            # Split/Join adjacencies, so the two interleave to a fixpoint.
+            cleanup = [
+                reduction.split_join_elim(),
+                reduction.fork_sink_elim(),
+                reduction.pure_id_elim(),
+            ]
+            with obs.span("phase:eliminate"):
+                while True:
+                    applied_before = self.engine.stats.rewrites_applied
+                    working = self.engine.apply_exhaustively(
+                        working, cleanup, use_worklist=self.use_worklist
+                    )
+                    nodes_before = len(working.nodes)
+                    working = remove_identity_wires(working)
+                    if (
+                        self.engine.stats.rewrites_applied == applied_before
+                        and len(working.nodes) == nodes_before
+                    ):
+                        break
+
+            # Phase 3: purify the loop body.
+            with obs.span("phase:purify") as purify_span:
+                mux = _single_node(working, "Mux")
+                branch = _single_node(working, "Branch")
+                init_node = _single_node(working, "Init")
+                cond_fork_src = working.source_of(init_node, "in0")
+                if cond_fork_src is None:
+                    raise RewriteError("loop Init is not fed by a condition fork")
+                cond_fork = cond_fork_src.node
+                try:
+                    region = discover_region(working, mux, branch, cond_fork)
+                    rewrite, match, steps = purify_rewrite(working, region, self.env)
+                except PurityError as exc:
+                    obs.count("pipeline.refusals")
+                    purify_span.set(refused=True)
+                    return TransformResult(graph=graph, transformed=False, refusal=str(exc))
+                purify_span.set(composition_steps=steps)
+                saved_body = rewrite.lhs  # the region subgraph, kept for phase 5
+                working = self.engine.apply_at(working, rewrite, match)
+
+            # Phase 4: the main out-of-order rewrite.
+            with obs.span("phase:reorder"):
+                ooo = loop_rewrite.ooo_loop(tags=mark.tags)
+                transformed = self.engine.apply_once(working, ooo)
+                if transformed is None:
+                    raise RewriteError("normalized loop did not match the ooo-loop pattern")
+                working = transformed
+
+            # Phase 5: expand the Pure body back into tagged components.
+            with obs.span("phase:expand"):
+                working = self._expand_body(working, saved_body)
+
+            if self.check_types:
+                from ..core.typecheck import typecheck
+
+                typecheck(working)
+
+            applied = self.engine.stats.rewrites_applied - start_count
+            verified = sum(1 for a in self.engine.log if a.verified)
+            obs.count("pipeline.transforms")
+            root.set(rewrites_applied=applied)
+            return TransformResult(
+                graph=working,
+                transformed=True,
+                rewrites_applied=applied,
+                composition_steps=steps,
+                verified_applications=verified,
             )
-            nodes_before = len(working.nodes)
-            working = remove_identity_wires(working)
-            if (
-                self.engine.stats.rewrites_applied == applied_before
-                and len(working.nodes) == nodes_before
-            ):
-                break
-
-        # Phase 3: purify the loop body.
-        mux = _single_node(working, "Mux")
-        branch = _single_node(working, "Branch")
-        init_node = _single_node(working, "Init")
-        cond_fork_src = working.source_of(init_node, "in0")
-        if cond_fork_src is None:
-            raise RewriteError("loop Init is not fed by a condition fork")
-        cond_fork = cond_fork_src.node
-        try:
-            region = discover_region(working, mux, branch, cond_fork)
-            rewrite, match, steps = purify_rewrite(working, region, self.env)
-        except PurityError as exc:
-            return TransformResult(graph=graph, transformed=False, refusal=str(exc))
-        saved_body = rewrite.lhs  # the region subgraph, kept for phase 5
-        working = self.engine.apply_at(working, rewrite, match)
-
-        # Phase 4: the main out-of-order rewrite.
-        ooo = loop_rewrite.ooo_loop(tags=mark.tags)
-        transformed = self.engine.apply_once(working, ooo)
-        if transformed is None:
-            raise RewriteError("normalized loop did not match the ooo-loop pattern")
-        working = transformed
-
-        # Phase 5: expand the Pure body back into tagged components.
-        working = self._expand_body(working, saved_body)
-
-        if self.check_types:
-            from ..core.typecheck import typecheck
-
-            typecheck(working)
-
-        applied = self.engine.stats.rewrites_applied - start_count
-        verified = sum(1 for a in self.engine.log if a.verified)
-        return TransformResult(
-            graph=working,
-            transformed=True,
-            rewrites_applied=applied,
-            composition_steps=steps,
-            verified_applications=verified,
-        )
 
     # -- phase 5 ---------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..components import EFFECTFUL_TYPES, split
 from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
 from ..errors import RewriteError
@@ -136,9 +137,11 @@ def compose_region(graph: ExprHigh, region: Region, env) -> tuple[str, int]:
     combined = algebra.comp("dup", algebra.par(data_term, cond_term))
     # A modest e-graph budget: loop bodies with wide fan-out compose into
     # large terms, and matching cost grows quadratically with e-graph size.
-    simplified, rule_log = egraph.simplify_with_log(
-        combined, iterations=6, node_limit=3_000
-    )
+    with obs.span("purify:oracle", region_nodes=len(region.nodes)) as sp:
+        simplified, rule_log = egraph.simplify_with_log(
+            combined, iterations=6, node_limit=3_000
+        )
+        sp.set(compositions=steps, oracle_rules=len(rule_log))
     algebra.ensure(env, simplified)
     # The oracle's rule applications count as rewrite steps too — they are
     # exactly the Split/Join algebra rewrites the paper replays from egg.

@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from .. import obs
 from ..core.environment import Environment
 from ..core.exprhigh import Endpoint, ExprHigh
 from ..errors import DeadlockError, SimulationError
@@ -160,6 +161,17 @@ class CycleSimulator:
     # -- main loop ----------------------------------------------------------------
 
     def run(self) -> SimStats:
+        """Run the step loop to completion (all outer results collected)."""
+        with obs.span(
+            "sim:run", kernel=self.kernel.name, nodes=len(self.graph.nodes)
+        ) as sp:
+            stats = self._run_loop()
+            sp.set(cycles=stats.cycles, tokens_fired=stats.tokens_fired)
+        obs.count("sim.runs")
+        obs.count("sim.cycles", stats.cycles)
+        return stats
+
+    def _run_loop(self) -> SimStats:
         expected_results = len(self.outer_points)
         idle = 0
         cycle = 0

@@ -132,6 +132,56 @@ class TestBench:
             assert flow in out
 
 
+class TestObservabilityFlags:
+    def _transform_args(self, loop_dot, tmp_path, extra):
+        path, mark = loop_dot
+        return [
+            "transform",
+            str(path),
+            "-o",
+            str(tmp_path / "out.dot"),
+            "--mux",
+            mark.mux_nodes[0],
+            "--mux",
+            mark.mux_nodes[1],
+            "--branch",
+            mark.branch_nodes[0],
+            "--branch",
+            mark.branch_nodes[1],
+            "--init",
+            mark.init_node,
+            "--cond-fork",
+            mark.cond_fork,
+            "--tags",
+            "2",
+            "--no-cache",
+            *extra,
+        ]
+
+    def test_profile_prints_span_tree(self, loop_dot, tmp_path, capsys):
+        code = main(self._transform_args(loop_dot, tmp_path, ["--profile"]))
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "transform" in err and "phase:purify" in err
+        assert "total" in err and "self" in err  # the tree header
+        assert "units" in err  # the metrics summary line
+
+    def test_trace_writes_parseable_jsonl(self, loop_dot, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(self._transform_args(loop_dot, tmp_path, ["--trace", str(trace)]))
+        assert code == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(r["name"] == "pipeline:transform" for r in records)
+        ids = {r["id"] for r in records}
+        assert all(r["parent"] in ids for r in records if r["parent"] is not None)
+
+    def test_trace_with_missing_parent_rejected(self, capsys):
+        assert main(["verify", "--trace", "/no/such/dir/trace.jsonl"]) == 2
+        assert "--trace parent directory" in capsys.readouterr().err
+
+
 class TestExecFlagValidation:
     """Bad executor flags exit with code 2 before any work is dispatched."""
 

@@ -61,13 +61,13 @@ class TestSessionCaching:
         programs = {"matvec": matvec(5)}
         cold = Session(jobs=1, cache_dir=tmp_path)
         first = cold.report(["matvec"], programs)
-        assert cold.metrics.executed == len(FLOWS)
+        assert cold.metrics().executed == len(FLOWS)
 
         warm = Session(jobs=1, cache_dir=tmp_path)
         second = warm.report(["matvec"], {"matvec": matvec(5)})
         assert second == first
-        assert warm.metrics.executed == 0
-        assert warm.metrics.hits == len(FLOWS)
+        assert warm.metrics().executed == 0
+        assert warm.metrics().hits == len(FLOWS)
 
     def test_program_edit_invalidates_cache(self, tmp_path):
         Session(cache_dir=tmp_path).bench("matvec", program=matvec(5))
@@ -75,17 +75,17 @@ class TestSessionCaching:
         edited.arrays["x"][0] += 1.0
         session = Session(cache_dir=tmp_path)
         session.bench("matvec", program=edited)
-        assert session.metrics.executed == len(FLOWS)
+        assert session.metrics().executed == len(FLOWS)
 
     def test_verify_is_cached(self, tmp_path):
         specs = [("repro.rewriting.rules.combine", "mux_combine", {})]
         cold = Session(cache_dir=tmp_path)
         first = cold.verify(specs)
-        assert cold.metrics.executed == 1 and first[0]["holds"]
+        assert cold.metrics().executed == 1 and first[0]["holds"]
 
         warm = Session(cache_dir=tmp_path)
         second = warm.verify(specs)
-        assert warm.metrics.executed == 0 and warm.metrics.hits == 1
+        assert warm.metrics().executed == 0 and warm.metrics().hits == 1
         assert second == first
 
     def test_check_refinements_fans_out_and_caches(self, tmp_path):
@@ -99,7 +99,7 @@ class TestSessionCaching:
         assert outcome["holds"]
         warm = Session(default_environment(capacity=1), cache_dir=tmp_path)
         [again] = warm.check_refinements([(graph, graph.copy())])
-        assert warm.metrics.executed == 0 and again == outcome
+        assert warm.metrics().executed == 0 and again == outcome
 
 
 class TestSessionTransform:
@@ -226,6 +226,44 @@ class TestResultProtocol:
     def test_non_result_rejected(self):
         with pytest.raises(GraphitiError):
             summarize(object())
+
+
+class TestUnifiedMetrics:
+    def test_snapshot_sections_and_protocol(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.bench("matvec", program=matvec(4))
+        snapshot = session.metrics()
+        data = as_dict(snapshot)
+        assert data["kind"] == "MetricsSnapshot"
+        assert set(data) >= {"kind", "executor", "rewriting", "counters", "gauges"}
+        assert snapshot.units == len(FLOWS)
+        assert "units" in summarize(snapshot)
+
+    def test_transform_counts_roll_into_snapshot(self):
+        program = gcd_program()
+        ck = compile_program(program, default_environment()).kernels[0]
+        session = Session(use_cache=False)
+        result = session.transform(ck.graph, ck.mark)
+        snapshot = session.metrics()
+        assert snapshot.rewrites_applied == result.rewrites_applied
+        assert snapshot.per_rewrite  # per-rewrite breakdown is populated
+        assert sum(r["applied"] for r in snapshot.per_rewrite.values()) == (
+            snapshot.rewrites_applied
+        )
+
+    def test_old_attribute_access_warns_but_works(self, tmp_path):
+        session = Session(cache_dir=tmp_path)
+        session.bench("matvec", program=matvec(4))
+        with pytest.warns(DeprecationWarning, match="session.metrics"):
+            executed = session.metrics.executed
+        assert executed == session.metrics().executed
+        with pytest.warns(DeprecationWarning):
+            assert "units" in session.metrics.summary()
+
+    def test_unknown_attribute_raises_without_warning(self):
+        session = Session(use_cache=False)
+        with pytest.raises(AttributeError, match="MetricsSnapshot"):
+            session.metrics.no_such_stat
 
 
 class TestDeprecatedShim:

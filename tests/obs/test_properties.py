@@ -1,0 +1,115 @@
+"""Property tests for span-tree invariants (hypothesis)."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import InMemorySink, JsonlSink, Span, Tracer
+
+# A tree shape is a list of children, each itself a tree shape.
+tree_shapes = st.recursive(
+    st.just([]),
+    lambda children: st.lists(children, max_size=4),
+    max_leaves=12,
+)
+
+
+def record_tree(shape, tracer, name="root") -> None:
+    """Open and close a span per tree-shape node, depth-first."""
+    with tracer.span(name):
+        for index, child in enumerate(shape):
+            record_tree(child, tracer, name=f"{name}.{index}")
+
+
+def shape_size(shape) -> int:
+    return 1 + sum(shape_size(child) for child in shape)
+
+
+@given(tree_shapes)
+@settings(max_examples=50, deadline=None)
+def test_every_span_closed_and_shape_preserved(shape):
+    tracer = Tracer()
+    sink = tracer.attach(InMemorySink())
+    record_tree(shape, tracer)
+    [root] = sink.spans
+    spans = list(root.walk())
+    assert len(spans) == shape_size(shape)
+    for span in spans:
+        assert span.closed
+        assert span.seconds >= 0.0
+
+
+@given(tree_shapes)
+@settings(max_examples=50, deadline=None)
+def test_parent_time_bounds_children(shape):
+    """A parent's cumulative time ≥ the sum of its children's (same clock)."""
+    tracer = Tracer()
+    sink = tracer.attach(InMemorySink())
+    record_tree(shape, tracer)
+    [root] = sink.spans
+    for span in root.walk():
+        child_total = sum(child.seconds for child in span.children)
+        assert span.seconds >= child_total - 1e-12
+        assert abs(span.self_seconds - (span.seconds - child_total)) < 1e-12
+
+
+@given(tree_shapes)
+@settings(max_examples=50, deadline=None)
+def test_serialisation_roundtrip_preserves_structure(shape):
+    tracer = Tracer()
+    sink = tracer.attach(InMemorySink())
+    record_tree(shape, tracer)
+    [root] = sink.spans
+    rebuilt = Span.from_dict(root.to_dict())
+    originals = list(root.walk())
+    copies = list(rebuilt.walk())
+    assert [s.name for s in copies] == [s.name for s in originals]
+    for original, copy in zip(originals, copies):
+        assert copy.closed
+        assert abs(copy.seconds - original.seconds) < 1e-12
+
+
+@given(tree_shapes)
+@settings(max_examples=50, deadline=None)
+def test_grafted_worker_tree_is_reparented_intact(shape):
+    """Simulate the pool round trip: record in a worker tracer, graft here."""
+    worker = Tracer()
+    worker_sink = worker.attach(InMemorySink())
+    record_tree(shape, worker, name="unit")
+    [worker_root] = worker_sink.spans
+    shipped = worker_root.to_dict()  # what rides back with the result
+
+    parent = Tracer()
+    parent_sink = parent.attach(InMemorySink())
+    with parent.span("exec:run"):
+        grafted = parent.graft(shipped, uid="unit")
+    [root] = parent_sink.spans
+    assert root.children == [grafted]
+    assert grafted.attrs["reparented"] is True
+    # The subtree survives the hop: same names, same durations.
+    assert [s.name for s in grafted.walk()] == [s.name for s in worker_root.walk()]
+    for shipped_span, original in zip(grafted.walk(), worker_root.walk()):
+        assert abs(shipped_span.seconds - original.seconds) < 1e-12
+    # Only the grafted root is marked; descendants keep their own attrs.
+    for descendant in list(grafted.walk())[1:]:
+        assert "reparented" not in descendant.attrs
+
+
+@given(shape=tree_shapes)
+@settings(max_examples=25, deadline=None)
+def test_jsonl_ids_unique_and_parents_first(shape, tmp_path_factory):
+    path = tmp_path_factory.mktemp("jsonl") / "trace.jsonl"
+    tracer = Tracer()
+    with JsonlSink(path) as sink:
+        tracer.attach(sink)
+        record_tree(shape, tracer)
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(records) == shape_size(shape)
+    seen = set()
+    for record in records:
+        assert record["id"] not in seen
+        if record["parent"] is not None:
+            assert record["parent"] in seen  # parents always precede children
+        seen.add(record["id"])
