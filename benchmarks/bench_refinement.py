@@ -1,0 +1,179 @@
+"""Certified refinement checking: fresh search vs certificate recheck.
+
+Run standalone (``python benchmarks/bench_refinement.py``) to measure, for
+the bundled heavyweight rewrite obligations,
+
+* the full weak-simulation **search** (solve the game from scratch),
+* the certificate **recheck** path (deserialise the stored certificate and
+  replay every simulation diagram in one O(relation) pass), and
+* the **parallel batch** through ``Session.check_obligations`` — a cold run
+  that populates the certificate cache, then a warm run that rechecks,
+
+and append an entry to ``benchmarks/BENCH_refinement.json``.
+
+``--guard --min-speedup 3`` is the CI mode: it exits 1 unless the recheck
+path on the loop-rewrite obligation is at least the given factor faster
+than a fresh search.
+"""
+
+_OBLIGATIONS = [
+    ("repro.rewriting.rules.combine", "mux_combine", {}),
+    ("repro.rewriting.rules.loop_rewrite", "ooo_loop", {"tags": 2}),
+]
+
+#: The acceptance guard runs on this factory's obligations specifically.
+_GUARD_FACTORY = "ooo_loop"
+
+
+def _best_of(repeats, fn):
+    from time import perf_counter
+
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = perf_counter()
+        value = fn()
+        best = min(best, perf_counter() - start)
+    return best, value
+
+
+def collect_measurements(repeats: int = 3) -> dict:
+    """Time search vs recheck per bundled obligation instance.
+
+    Both sides pay graph denotation (the recheck path re-denotes the
+    modules exactly as a cache hit inside ``check_rewrite_obligation``
+    would), so the ratio reflects what a warm ``Session.check_obligations``
+    run actually saves.
+    """
+    import json
+
+    from repro.refinement.checker import (
+        check_rewrite_obligation,
+        recheck_obligation_certificate,
+    )
+    from repro.refinement.simulation import SimulationCertificate
+    from repro.rewriting.rules import build_rewrite
+
+    results = {}
+    for module, factory, kwargs in _OBLIGATIONS:
+        rewrite = build_rewrite(module, factory, kwargs)
+        for index, (lhs, rhs, env, stimuli) in enumerate(rewrite.obligation()):
+            search_seconds, report = _best_of(
+                repeats, lambda: check_rewrite_obligation(lhs, rhs, env, stimuli)
+            )
+            certificate = report.certificate
+            serialise_seconds, payload = _best_of(1, certificate.to_dict)
+
+            def recheck():
+                restored = SimulationCertificate.from_dict(payload)
+                return recheck_obligation_certificate(lhs, rhs, env, restored, stimuli)
+
+            recheck_seconds, rechecked = _best_of(repeats, recheck)
+            assert rechecked.mode == "recheck"
+            assert rechecked.certificate.content_hash() == certificate.content_hash()
+            results[f"{factory}[{index}]"] = {
+                "relation_size": len(certificate.relation),
+                "impl_states": certificate.impl_states,
+                "spec_states": certificate.spec_states,
+                "certificate_bytes": len(json.dumps(payload)),
+                "search_seconds": round(search_seconds, 6),
+                "serialise_seconds": round(serialise_seconds, 6),
+                "recheck_seconds": round(recheck_seconds, 6),
+                "speedup": round(search_seconds / recheck_seconds, 2),
+            }
+    return results
+
+
+def measure_batch(jobs: int = 2) -> dict:
+    """Cold-then-warm ``Session.check_obligations`` over the executor pool."""
+    import tempfile
+    from time import perf_counter
+
+    from repro.api import Session
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        timings = {}
+        for phase in ("cold", "warm"):
+            session = Session(jobs=jobs, cache_dir=cache_dir)
+            start = perf_counter()
+            outcomes = session.check_obligations(_OBLIGATIONS)
+            timings[phase] = perf_counter() - start
+            assert all(outcome["holds"] for outcome in outcomes)
+            timings[f"{phase}_modes"] = [outcome["mode"] for outcome in outcomes]
+    return {
+        "jobs": jobs,
+        "obligations": [factory for _, factory, _ in _OBLIGATIONS],
+        "cold_seconds": round(timings["cold"], 6),
+        "warm_seconds": round(timings["warm"], 6),
+        "cold_modes": timings["cold_modes"],
+        "warm_modes": timings["warm_modes"],
+        "speedup": round(timings["cold"] / timings["warm"], 2),
+    }
+
+
+def _append_history(entry: dict) -> None:
+    import json
+    from pathlib import Path
+
+    out = Path(__file__).with_name("BENCH_refinement.json")
+    history = json.loads(out.read_text()) if out.exists() else []
+    history.append(entry)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro._version import __version__
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="exit 1 unless recheck beats search by --min-speedup on the "
+        "loop-rewrite obligations",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="required search/recheck ratio in guard mode (default: 3.0)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="pool width for the batch measurement"
+    )
+    args = parser.parse_args(argv)
+
+    measurements = collect_measurements(repeats=args.repeats)
+    batch = measure_batch(jobs=args.jobs)
+    _append_history(
+        {"tool_version": __version__, "obligations": measurements, "batch": batch}
+    )
+
+    if args.guard:
+        guarded = {
+            name: row
+            for name, row in measurements.items()
+            if name.startswith(_GUARD_FACTORY)
+        }
+        failed = {
+            name: row["speedup"]
+            for name, row in guarded.items()
+            if row["speedup"] < args.min_speedup
+        }
+        if failed:
+            print(
+                f"FAIL: recheck speedup below {args.min_speedup:g}x on {failed}"
+            )
+            return 1
+        print(
+            "OK: recheck speedups "
+            + ", ".join(f"{name} {row['speedup']:g}x" for name, row in guarded.items())
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

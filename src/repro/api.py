@@ -10,6 +10,7 @@ is reachable through one object::
     session = Session(jobs=4)                 # parallel, cached
     session.transform(graph, mark)            # the five-phase OoO pipeline
     session.verify()                          # discharge every obligation
+    session.check_obligations()               # certified: recheck stored certificates
     session.bench("matvec")                   # one benchmark, four flows
     print(session.report())                   # Tables 2-3 + Figure 8
     print(session.metrics().summary())        # one unified MetricsSnapshot
@@ -137,7 +138,7 @@ class Session:
         self._metrics = ExecutorMetrics()
         self._engine_stats = EngineStats()
         self.executor = Executor(jobs=jobs, cache=self.cache, metrics=self._metrics)
-        self.check_obligations = check_obligations
+        self._check_obligations = check_obligations
 
     # -- metrics -------------------------------------------------------------
 
@@ -164,7 +165,7 @@ class Session:
     def transform(self, graph: ExprHigh, mark) -> TransformResult:
         """Run the five-phase out-of-order pipeline on a marked loop."""
         pipeline = GraphitiPipeline(
-            self.env, check_obligations=self.check_obligations, cache=self.cache
+            self.env, check_obligations=self._check_obligations, cache=self.cache
         )
         with obs.span("transform", kernel=getattr(mark, "kernel", "?")):
             try:
@@ -199,6 +200,45 @@ class Session:
                 )
             )
         with obs.span("verify", obligations=len(units)):
+            return self.executor.run(units)
+
+    def check_obligations(
+        self,
+        specs: Sequence[tuple[str, str, dict]] | None = None,
+    ) -> list[dict]:
+        """Discharge rewrite obligations through the certificate fast path.
+
+        Like :meth:`verify`, independent obligations fan out over the
+        executor pool — but instead of caching bare verdicts, each
+        obligation persists its :class:`~repro.refinement.simulation.\
+SimulationCertificate` in the content-addressed result cache, and a warm
+        run *re-validates* the stored relation in one O(relation) pass
+        rather than re-solving the simulation game (see
+        :func:`repro.refinement.recheck_certificate`).  Re-validation is a
+        real check: a stale or tampered certificate falls back to a full
+        search, never to a trusted verdict.
+
+        Returns one dict per spec, in spec order: ``rewrite``, ``holds``,
+        ``verified_flag``, ``mode`` (``"search"`` / ``"recheck"`` /
+        ``"mixed"``), ``instances``, ``certificate_hashes``, ``detail`` and
+        ``seconds``.
+        """
+        specs = list(specs if specs is not None else VERIFY_FACTORY_SPECS)
+        cache_dir = str(self.cache.root) if isinstance(self.cache, ResultCache) else None
+        units = [
+            WorkUnit(
+                uid=f"obligation:{factory}",
+                fn="repro.exec.workers:check_obligation_certified",
+                payload={
+                    "module": module,
+                    "factory": factory,
+                    "kwargs": kwargs,
+                    "cache_dir": cache_dir,
+                },
+            )
+            for module, factory, kwargs in specs
+        ]
+        with obs.span("check-obligations", obligations=len(units)):
             return self.executor.run(units)
 
     def check_refinements(

@@ -8,6 +8,9 @@ reproduction::
     python -m repro.cli transform circuit.dot --mux mux_a --mux mux_b \
         --branch br_a --branch br_b --init init0 --cond-fork cf0 --tags 8
     python -m repro.cli verify            # discharge every rewrite obligation
+    python -m repro.cli refine            # certified: recheck stored certificates
+    python -m repro.cli refine --dump-certs certs/   # export certificate files
+    python -m repro.cli refine --load-certs certs/   # independently re-validate
     python -m repro.cli bench matvec      # one benchmark, all four flows
     python -m repro.cli report            # the full Tables 2-3 + Figure 8 run
 
@@ -135,6 +138,139 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _refine_specs(args: argparse.Namespace):
+    """Resolve ``--rule`` filters against the verified-rewrite registry."""
+    from .rewriting.rules import VERIFY_FACTORY_SPECS
+
+    specs = list(VERIFY_FACTORY_SPECS)
+    if args.rule:
+        wanted = set(args.rule)
+        specs = [spec for spec in specs if spec[1] in wanted]
+        unknown = wanted - {factory for _, factory, _ in specs}
+        if unknown:
+            known = sorted({factory for _, factory, _ in VERIFY_FACTORY_SPECS})
+            raise SystemExit(
+                f"error: unknown rule(s) {sorted(unknown)}; known: {known}"
+            )
+    return specs
+
+
+def _refine_dump(args: argparse.Namespace) -> int:
+    """Discharge obligations serially, writing one certificate file each."""
+    import json
+
+    from .errors import RefinementError
+    from .refinement.checker import check_rewrite_obligation
+    from .rewriting.rules import build_rewrite
+
+    out_dir = Path(args.dump_certs).expanduser()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    session = _session(args)
+    failures = written = 0
+    with _observe(args):
+        for module, factory, kwargs in _refine_specs(args):
+            rewrite = build_rewrite(module, factory, kwargs)
+            if rewrite.obligation is None:
+                continue
+            for index, (lhs, rhs, env, stimuli) in enumerate(rewrite.obligation()):
+                try:
+                    report = check_rewrite_obligation(
+                        lhs, rhs, env, stimuli, cache=session.cache
+                    )
+                except RefinementError as exc:
+                    print(f"{rewrite.name}[{index}] FAILED: {exc}", file=sys.stderr)
+                    failures += 1
+                    continue
+                path = out_dir / f"{factory}-{index}.json"
+                path.write_text(json.dumps({
+                    "kind": "ObligationCertificate",
+                    "rewrite": rewrite.name,
+                    "module": module,
+                    "factory": factory,
+                    "kwargs": kwargs,
+                    "instance": index,
+                    "mode": report.mode,
+                    "certificate": report.certificate.to_dict(),
+                }))
+                written += 1
+                print(f"{rewrite.name}[{index}] {report.summary()} -> {path}")
+    print(f"{written} certificates written to {out_dir}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _refine_load(args: argparse.Namespace) -> int:
+    """Re-validate dumped certificate files against fresh obligations."""
+    import json
+
+    from .errors import GraphitiError
+    from .refinement.checker import recheck_obligation_certificate
+    from .refinement.simulation import SimulationCertificate
+    from .rewriting.rules import build_rewrite
+
+    cert_dir = Path(args.load_certs).expanduser()
+    files = sorted(cert_dir.glob("*.json"))
+    if not files:
+        print(f"error: no certificate files in {cert_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    with _observe(args):
+        for path in files:
+            try:
+                data = json.loads(path.read_text())
+                rewrite = build_rewrite(
+                    data["module"], data["factory"], data.get("kwargs") or {}
+                )
+                instances = list(rewrite.obligation() or [])
+                lhs, rhs, env, stimuli = instances[int(data["instance"])]
+                certificate = SimulationCertificate.from_dict(data["certificate"])
+                report = recheck_obligation_certificate(
+                    lhs, rhs, env, certificate, stimuli
+                )
+            except (GraphitiError, KeyError, IndexError, ValueError) as exc:
+                print(f"{path.name:30s} FAILED: {exc}")
+                failures += 1
+                continue
+            print(f"{path.name:30s} {report.summary()}")
+    if failures:
+        print(f"{failures} certificates failed re-validation", file=sys.stderr)
+        return 1
+    print(f"all {len(files)} certificates re-validated", file=sys.stderr)
+    return 0
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    if args.dump_certs and args.load_certs:
+        print("error: --dump-certs and --load-certs are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.dump_certs:
+        return _refine_dump(args)
+    if args.load_certs:
+        return _refine_load(args)
+    session = _session(args)
+    specs = _refine_specs(args)
+    failures = 0
+    with _observe(args):
+        outcomes = session.check_obligations(specs)
+    for outcome in outcomes:
+        if outcome["holds"]:
+            status = (
+                f"holds [{outcome['mode']}] "
+                f"({outcome['instances']} instance"
+                f"{'s' if outcome['instances'] != 1 else ''})"
+            )
+        elif outcome["verified_flag"]:
+            status = f"FAILED ({outcome['detail']})"
+            failures += 1
+        else:
+            status = f"REFUTED ({outcome['detail']})"
+        print(f"{outcome['rewrite']:20s} {status}  [{outcome['seconds']:.2f}s]")
+    print(session.metrics().summary(), file=sys.stderr)
+    if failures:
+        print(f"{failures} verified-marked rewrites failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     session = _session(args)
     try:
@@ -218,6 +354,25 @@ def main(argv: list[str] | None = None) -> int:
     verify = sub.add_parser("verify", help="discharge every rewrite obligation")
     _add_exec_flags(verify)
     verify.set_defaults(fn=_cmd_verify)
+
+    refine = sub.add_parser(
+        "refine",
+        help="certified obligation checking with persistent simulation certificates",
+    )
+    refine.add_argument(
+        "--rule", action="append", metavar="FACTORY",
+        help="restrict to these rewrite factories (repeatable; default: all)",
+    )
+    refine.add_argument(
+        "--dump-certs", default=None, metavar="DIR",
+        help="write one certificate JSON file per obligation instance to DIR",
+    )
+    refine.add_argument(
+        "--load-certs", default=None, metavar="DIR",
+        help="re-validate certificate files from DIR against fresh obligations",
+    )
+    _add_exec_flags(refine)
+    refine.set_defaults(fn=_cmd_refine)
 
     bench = sub.add_parser("bench", help="run one benchmark through all four flows")
     bench.add_argument("name", help="bicg | gemm | gsum-many | gsum-single | matvec | mvt")

@@ -46,6 +46,11 @@ class RewriteError(GraphitiError):
     """A rewrite could not be applied to the located subgraph."""
 
 
+class CertificateError(GraphitiError):
+    """A serialised simulation certificate was malformed, of the wrong
+    format version, or failed its content-hash integrity check."""
+
+
 class RefinementError(GraphitiError):
     """A refinement obligation failed (counterexample found)."""
 

@@ -126,6 +126,34 @@ def obligation_fingerprint(name: str, instances: Sequence[tuple]) -> str:
     return fingerprint(*parts)
 
 
+def certificate_key(
+    impl: ExprHigh,
+    spec: ExprHigh,
+    env: Environment,
+    stimuli: Mapping | None,
+    spec_capacity: int | None = None,
+) -> str:
+    """Cache key for a persisted simulation certificate.
+
+    Distinct from :func:`weak_sim_key` (which addresses a check's *verdict*
+    dict) because the payload shape differs: this key addresses the
+    serialised :class:`~repro.refinement.simulation.SimulationCertificate`
+    itself, which the reader re-validates rather than trusts.  Covers both
+    graphs, the environment signature, the stimuli, the spec capacity and
+    the tool version — any drift in what the certificate is evidence *for*
+    misses the cache and forces a fresh search.
+    """
+    return fingerprint(
+        "sim-certificate",
+        TOOL_VERSION,
+        graph_fingerprint(impl),
+        graph_fingerprint(spec),
+        env.signature(),
+        stimuli_fingerprint(stimuli),
+        repr(spec_capacity),
+    )
+
+
 def weak_sim_key(
     impl: ExprHigh,
     spec: ExprHigh,

@@ -9,6 +9,9 @@ three unit kinds mirror the serial entry points they wrap:
   (:func:`repro.eval.runner.run_flow`);
 * :func:`discharge_rewrite` — one rewrite's refinement-obligation
   discharge (:meth:`repro.rewriting.engine.RewriteEngine.verify_rewrite`);
+* :func:`check_obligation_certified` — the same discharge through the
+  persistent-certificate fast path: stored certificates are re-validated
+  (O(relation)) instead of re-searching, with per-instance provenance;
 * :func:`check_graph_pair` — one weak-simulation check between two
   ExprHigh graphs (:func:`repro.refinement.checker.check_rewrite_obligation`).
 
@@ -64,6 +67,68 @@ def discharge_rewrite(*, module: str, factory: str, kwargs: dict | None = None) 
         "rewrite": rewrite.name,
         "verified_flag": bool(rewrite.verified),
         "holds": holds,
+        "detail": detail,
+        "seconds": perf_counter() - start,
+    }
+
+
+def check_obligation_certified(
+    *,
+    module: str,
+    factory: str,
+    kwargs: dict | None = None,
+    cache_dir: str | None = None,
+) -> dict:
+    """Discharge one rewrite's obligation through the certificate fast path.
+
+    Unlike :func:`discharge_rewrite` (which caches only the verdict), every
+    instance goes through
+    :func:`repro.refinement.checker.check_rewrite_obligation` with a
+    :class:`~repro.exec.cache.ResultCache` opened at *cache_dir*: a stored
+    certificate is re-validated in one pass over its relation, and only on
+    a miss (or a failed re-validation) is the simulation game solved from
+    scratch.  The outcome dict records the per-instance provenance, so the
+    caller can see whether the batch was searched, rechecked, or mixed.
+    """
+    from ..errors import RefinementError
+    from ..refinement.checker import check_rewrite_obligation
+
+    rewrite = getattr(importlib.import_module(module), factory)(**(kwargs or {}))
+    if cache_dir:
+        from pathlib import Path
+
+        from .cache import ResultCache
+
+        cache = ResultCache(Path(cache_dir))
+    else:
+        cache = None
+    start = perf_counter()
+    modes: list[str] = []
+    hashes: list[str] = []
+    holds, detail = True, ""
+    with obs.span(f"obligation:{rewrite.name}", certified=True) as sp:
+        if rewrite.obligation is None:
+            holds, detail = False, f"rewrite {rewrite.name!r} has no obligation instances"
+        else:
+            for lhs, rhs, env, stimuli in rewrite.obligation():
+                try:
+                    report = check_rewrite_obligation(lhs, rhs, env, stimuli, cache=cache)
+                except RefinementError as exc:
+                    holds, detail = False, str(exc)
+                    break
+                modes.append(report.mode)
+                hashes.append(report.certificate.content_hash())
+        sp.set(holds=holds, modes=",".join(modes))
+    mode = "none"
+    if modes:
+        mode = modes[0] if len(set(modes)) == 1 else "mixed"
+    return {
+        "rewrite": rewrite.name,
+        "verified_flag": bool(rewrite.verified),
+        "holds": holds,
+        "mode": mode,
+        "instances": len(modes),
+        "certificate_hashes": hashes,
         "detail": detail,
         "seconds": perf_counter() - start,
     }

@@ -6,10 +6,20 @@ from .checker import (
     check_refinement,
     check_rewrite_obligation,
     io_stimuli,
+    recheck_obligation_certificate,
     refines,
     uniform_stimuli,
 )
-from .simulation import SimulationCertificate, SimulationResult, Violation, find_weak_simulation
+from .simulation import (
+    CERTIFICATE_FORMAT,
+    SimulationCertificate,
+    SimulationResult,
+    Violation,
+    decode_state,
+    encode_state,
+    find_weak_simulation,
+    recheck_certificate,
+)
 from .traces import can_perform, enumerate_traces, trace_inclusion
 
 __all__ = [
@@ -18,12 +28,17 @@ __all__ = [
     "check_refinement",
     "check_rewrite_obligation",
     "io_stimuli",
+    "recheck_obligation_certificate",
     "refines",
     "uniform_stimuli",
+    "CERTIFICATE_FORMAT",
     "SimulationCertificate",
     "SimulationResult",
     "Violation",
+    "decode_state",
+    "encode_state",
     "find_weak_simulation",
+    "recheck_certificate",
     "can_perform",
     "enumerate_traces",
     "trace_inclusion",

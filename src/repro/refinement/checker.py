@@ -9,6 +9,17 @@ of the library uses:
 * :func:`check_rewrite_obligation` — discharge a rewrite's ``rhs ⊑ lhs``
   obligation on a bounded instance, the executable stand-in for the Lean
   proof that theorem 4.6 then propagates to whole graphs.
+
+Since v1.4 obligation checks are *certified*: a successful search's
+:class:`~repro.refinement.simulation.SimulationCertificate` can be stored
+in the content-addressed result cache, and a repeated obligation loads the
+certificate and re-validates it in one O(relation) pass
+(:func:`~repro.refinement.simulation.recheck_certificate`) instead of
+re-solving the game.  Re-validation is a *check*, not trust: a stale,
+corrupted or tampered certificate fails the hash or a simulation diagram
+and the obligation silently falls back to a full search.  The
+:class:`RefinementReport` records which path produced it
+(``mode="search"`` or ``mode="recheck"``).
 """
 
 from __future__ import annotations
@@ -22,17 +33,28 @@ from ..core.exprhigh import ExprHigh
 from ..core.module import Module, Value
 from ..core.ports import IOPort, Port
 from ..core.semantics import denote
-from ..errors import RefinementError
-from .simulation import SimulationCertificate, SimulationResult, find_weak_simulation
+from ..errors import CertificateError, RefinementError
+from .simulation import (
+    SimulationCertificate,
+    SimulationResult,
+    find_weak_simulation,
+    recheck_certificate,
+)
 
 Stimuli = Mapping[Port, Iterable[Value]]
 
 
 @dataclass
 class RefinementReport:
-    """A successful refinement check with its witness and statistics."""
+    """A successful refinement check with its witness and statistics.
+
+    *mode* records the provenance of the verdict: ``"search"`` when the
+    weak-simulation game was solved from scratch, ``"recheck"`` when a
+    persisted certificate was re-validated diagram by diagram.
+    """
 
     certificate: SimulationCertificate
+    mode: str = "search"  # "search" | "recheck"
 
     @property
     def impl_states(self) -> int:
@@ -48,13 +70,16 @@ class RefinementReport:
         return {
             "kind": "RefinementReport",
             "holds": True,  # a report only exists for a successful check
+            "mode": self.mode,
             "impl_states": int(self.impl_states),
             "spec_states": int(self.spec_states),
+            "relation_size": len(self.certificate.relation),
+            "certificate_hash": self.certificate.content_hash(),
         }
 
     def summary(self) -> str:
         return (
-            f"refinement holds ({self.impl_states} impl states, "
+            f"refinement holds [{self.mode}] ({self.impl_states} impl states, "
             f"{self.spec_states} spec states)"
         )
 
@@ -101,6 +126,41 @@ def io_stimuli(values_per_port: Mapping[int, Iterable[Value]]) -> dict[Port, tup
     return {IOPort(index): tuple(values) for index, values in values_per_port.items()}
 
 
+def _recheck_cached_certificate(
+    cache,
+    key: str,
+    impl: Module,
+    spec: Module,
+    stimuli: Stimuli,
+) -> RefinementReport | None:
+    """Load and re-validate a cached certificate; None on any miss/failure.
+
+    Never trusts the stored verdict: the certificate is deserialised (hash
+    checked), then every simulation diagram of its relation is replayed
+    against the freshly denoted modules.  Any failure — cache miss, format
+    drift, hash mismatch, a diagram that no longer holds — reports a miss
+    so the caller runs the full search.
+    """
+    entry = cache.get(key)
+    if entry is None:
+        obs.count("refinement.cert_cache_misses")
+        return None
+    with obs.span("refine:recheck") as sp:
+        try:
+            certificate = SimulationCertificate.from_dict(entry)
+        except CertificateError as exc:
+            sp.set(holds=False, reason=str(exc))
+            obs.count("refinement.cert_recheck_failures")
+            return None
+        result = recheck_certificate(impl, spec, certificate, stimuli)
+        sp.set(holds=result.holds, relation=len(certificate.relation))
+        if not result.holds:
+            obs.count("refinement.cert_recheck_failures")
+            return None
+    obs.count("refinement.cert_cache_hits")
+    return RefinementReport(certificate, mode="recheck")
+
+
 def check_rewrite_obligation(
     lhs: ExprHigh,
     rhs: ExprHigh,
@@ -108,6 +168,7 @@ def check_rewrite_obligation(
     stimuli: Stimuli | None = None,
     values: Iterable[Value] = (0, 1),
     spec_capacity: int | None = 4,
+    cache=None,
 ) -> RefinementReport:
     """Discharge the ``rhs ⊑ lhs`` obligation of a rewrite on a bounded instance.
 
@@ -124,11 +185,27 @@ def check_rewrite_obligation(
     input-refusal counterexample; it must stay bounded because components
     that discard tokens (Sinks) would otherwise give the simulation game
     unboundedly many partially-drained spec states.
+
+    *cache* (a :class:`repro.exec.cache.ResultCache`-shaped object) enables
+    the certificate fast path: a prior successful check's certificate is
+    loaded and re-validated in one pass over its relation; on success the
+    report has ``mode="recheck"``, and on any re-validation failure the
+    full search runs and its fresh certificate replaces the stored one.
     """
     rhs_module = denote(rhs.lower(), env)
     lhs_module = denote(lhs.lower(), env.with_capacity(spec_capacity))
     if stimuli is None:
         stimuli = uniform_stimuli(rhs_module, values)
+
+    key = None
+    if cache is not None:
+        from ..exec.hashing import certificate_key
+
+        key = certificate_key(rhs, lhs, env, stimuli, spec_capacity=spec_capacity)
+        report = _recheck_cached_certificate(cache, key, rhs_module, lhs_module, stimuli)
+        if report is not None:
+            return report
+
     with obs.span("refine:weak-sim", obligation=True) as sp:
         result = find_weak_simulation(rhs_module, lhs_module, stimuli)
         sp.set(holds=result.holds)
@@ -143,7 +220,46 @@ def check_rewrite_obligation(
             f"rewrite obligation rhs ⊑ lhs failed: {result.violation}",
             counterexample=result.violation,
         )
-    return RefinementReport(result.certificate)  # type: ignore[arg-type]
+    certificate = result.certificate
+    assert certificate is not None
+    if cache is not None and key is not None:
+        cache.put(key, certificate.to_dict())
+    return RefinementReport(certificate, mode="search")
+
+
+def recheck_obligation_certificate(
+    lhs: ExprHigh,
+    rhs: ExprHigh,
+    env: Environment,
+    certificate: SimulationCertificate,
+    stimuli: Stimuli | None = None,
+    spec_capacity: int | None = 4,
+) -> RefinementReport:
+    """Re-validate a persisted certificate against a freshly denoted obligation.
+
+    The file-based counterpart of the cache fast path (``repro refine
+    --load-certs``): both graphs are denoted exactly as
+    :func:`check_rewrite_obligation` would denote them, and the
+    certificate's relation is replayed diagram by diagram.  Raises
+    :class:`RefinementError` if the certificate no longer constitutes
+    evidence — because it was tampered with, or because the rewrite's
+    obligation drifted since the certificate was minted.
+    """
+    rhs_module = denote(rhs.lower(), env)
+    lhs_module = denote(lhs.lower(), env.with_capacity(spec_capacity))
+    if stimuli is None:
+        stimuli = uniform_stimuli(rhs_module, (0, 1))
+    with obs.span("refine:recheck", obligation=True) as sp:
+        result = recheck_certificate(rhs_module, lhs_module, certificate, stimuli)
+        sp.set(holds=result.holds, relation=len(certificate.relation))
+    if not result.holds:
+        obs.count("refinement.cert_recheck_failures")
+        raise RefinementError(
+            f"certificate re-validation failed: {result.violation}",
+            counterexample=result.violation,
+        )
+    obs.count("refinement.cert_cache_hits")
+    return RefinementReport(certificate, mode="recheck")
 
 
 def check_rewrite_obligation_traces(

@@ -11,7 +11,9 @@ simulation game restricted to product-reachable pairs:
   internal step) the game records the set of *spec responses* permitted by
   the corresponding diagram;
 * a position is losing if some implementation move has no winning response;
-  losing positions propagate backwards to a fixpoint.
+  losing positions propagate backwards through a worklist (each position
+  knows which predecessor moves depend on it) until no further position
+  falls.
 
 Restricting to product-reachable pairs is sound and complete for deciding
 whether the initial states are simulated, because every witness pair that a
@@ -29,18 +31,144 @@ The three simulation diagrams keep the paper's asymmetry:
 Success yields a :class:`SimulationCertificate` whose relation (the winning
 positions) is a genuine weak simulation containing the initial pairs;
 failure yields a counterexample with the violated diagram.
+
+Certificates are *persistent evidence*: they serialise (``to_dict`` /
+``from_dict``) with a stable content hash, and
+:func:`recheck_certificate` re-validates every simulation diagram of a
+stored relation in a single O(relation) pass — no game solving, no
+exploration of losing positions — so a cached certificate is dramatically
+cheaper to re-establish than a fresh search, while remaining independently
+checkable evidence (a tampered or stale certificate is rejected, never
+trusted).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..core.module import Module, State, Value
-from ..core.ports import Port
-from ..errors import RefinementError, SemanticsError
+from ..core.ports import Port, parse_port
+from ..errors import CertificateError, RefinementError, SemanticsError
 
 Stimuli = Mapping[Port, Iterable[Value]]
+
+#: Bump when the serialised certificate layout changes; older stored
+#: certificates then fail :meth:`SimulationCertificate.from_dict` and the
+#: caller falls back to a fresh search.
+CERTIFICATE_FORMAT = 1
+
+
+# -- state (de)serialisation --------------------------------------------------
+#
+# Module states are arbitrary hashable values built from tuples, frozensets
+# and scalar leaves (the queue/product combinators only ever nest tuples and
+# frozensets).  JSON cannot represent tuples or frozensets natively, and
+# bool/int must not be conflated, so every value is encoded as a small
+# tagged list; decoding is the exact inverse, giving ``decode(encode(s)) ==
+# s`` for every state the semantics can produce.
+
+
+def encode_state(value) -> object:
+    """Encode a module state (or stimulus value) as JSON-serialisable data."""
+    if value is None:
+        return ["z"]
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return ["b", value]
+    if isinstance(value, int):
+        return ["i", value]
+    if isinstance(value, float):
+        return ["f", value]
+    if isinstance(value, str):
+        return ["s", value]
+    if isinstance(value, tuple):
+        return ["t", [encode_state(item) for item in value]]
+    if isinstance(value, frozenset):
+        encoded = [encode_state(item) for item in value]
+        encoded.sort(key=lambda item: json.dumps(item, separators=(",", ":")))
+        return ["fs", encoded]
+    raise CertificateError(
+        f"cannot serialise state component of type {type(value).__name__!r}"
+    )
+
+
+def decode_state(data) -> object:
+    """Invert :func:`encode_state`; raises :class:`CertificateError` on junk."""
+    try:
+        tag = data[0]
+        if tag == "z":
+            return None
+        if tag in ("b", "i", "f", "s"):
+            value = data[1]
+            expected = {"b": bool, "i": int, "f": float, "s": str}[tag]
+            if type(value) is not expected and not (tag == "f" and type(value) is int):
+                raise CertificateError(f"tag {tag!r} carries a {type(value).__name__}")
+            return float(value) if tag == "f" else value
+        if tag == "t":
+            return tuple(decode_state(item) for item in data[1])
+        if tag == "fs":
+            return frozenset(decode_state(item) for item in data[1])
+    except (IndexError, TypeError, KeyError) as exc:
+        raise CertificateError(f"malformed encoded state {data!r}") from exc
+    raise CertificateError(f"unknown state tag in {data!r}")
+
+
+def _canonical(data: object) -> str:
+    return json.dumps(data, separators=(",", ":"), sort_keys=True)
+
+
+def _hash_encoded(
+    impl_table: list,
+    spec_table: list,
+    relation_rows: list,
+    stimuli_rows: list,
+    impl_states: int,
+    spec_states: int,
+) -> str:
+    """SHA-256 over already-encoded certificate content.
+
+    Shared by :meth:`SimulationCertificate.content_hash` (which encodes
+    once and memoises) and :meth:`SimulationCertificate.from_dict` (which
+    hashes the stored tables/rows directly, so integrity checking never
+    pays a decode-then-re-encode round trip)."""
+    digest = hashlib.sha256()
+    digest.update(str(CERTIFICATE_FORMAT).encode())
+    digest.update(_canonical(impl_table).encode())
+    digest.update(_canonical(spec_table).encode())
+    digest.update(_canonical(relation_rows).encode())
+    digest.update(_canonical(stimuli_rows).encode())
+    digest.update(f"{int(impl_states)},{int(spec_states)}".encode())
+    return digest.hexdigest()
+
+
+def _encode_stimuli(stimuli: Stimuli) -> list:
+    rows = [
+        [str(port), [encode_state(value) for value in values]]
+        for port, values in stimuli.items()
+    ]
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+def _intern(states) -> tuple[list, dict]:
+    """Encode each distinct state once: ``(sorted_table, state -> index)``."""
+    encoded = [(encode_state(state), state) for state in states]
+    encoded.sort(key=lambda item: _canonical(item[0]))
+    table = [row for row, _ in encoded]
+    index = {state: position for position, (_, state) in enumerate(encoded)}
+    return table, index
+
+
+def _decode_stimuli(rows) -> dict[Port, tuple[Value, ...]]:
+    try:
+        return {
+            parse_port(name): tuple(decode_state(value) for value in values)
+            for name, values in rows
+        }
+    except (TypeError, ValueError) as exc:
+        raise CertificateError(f"malformed stimuli encoding: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -58,20 +186,153 @@ class Violation:
 
 @dataclass
 class SimulationCertificate:
-    """A checked simulation relation between an implementation and a spec."""
+    """A checked simulation relation between an implementation and a spec.
+
+    The certificate is self-contained evidence of ``impl ⊑ spec`` on one
+    bounded instance: the winning relation, the stimulus domain it was
+    decided under, and bookkeeping counts.  It serialises losslessly
+    (``to_dict``/``from_dict``) and carries a stable SHA-256 content hash,
+    so it can be persisted in the content-addressed result cache or dumped
+    to a file and independently re-validated later with
+    :func:`recheck_certificate`.
+    """
 
     relation: frozenset[tuple[State, State]]
     impl_states: int
     spec_states: int
     iterations: int
+    stimuli: dict[Port, tuple[Value, ...]] = field(default_factory=dict)
+    # Memoised canonical encoding and content hash: the relation repeats the
+    # same few hundred distinct states across tens of thousands of pairs, so
+    # the encoding interns each state once into a table and stores the
+    # relation as index pairs — and every consumer (to_dict, the cache
+    # write, provenance hashes in worker results) shares one encoding pass.
+    _encoded: tuple | None = field(
+        default=None, repr=False, compare=False, kw_only=True
+    )
+    _hash: str | None = field(default=None, repr=False, compare=False, kw_only=True)
 
     def related(self, impl_state: State, spec_state: State) -> bool:
         return (impl_state, spec_state) in self.relation
 
+    # -- serialisation -------------------------------------------------------
+
+    def _encoded_parts(self) -> tuple[list, list, list]:
+        """``(impl_table, spec_table, relation_rows)`` — the interned encoding.
+
+        Each distinct state is encoded once into a canonically ordered
+        table; the relation is the list of ``[impl_index, spec_index]``
+        pairs, sorted.  Dramatically smaller (and faster to parse back)
+        than encoding both full states per pair.
+        """
+        if self._encoded is None:
+            impl_table, impl_index = _intern({s for s, _ in self.relation})
+            spec_table, spec_index = _intern({t for _, t in self.relation})
+            rows = sorted([impl_index[s], spec_index[t]] for s, t in self.relation)
+            self._encoded = (impl_table, spec_table, rows)
+        return self._encoded
+
+    def content_hash(self) -> str:
+        """A stable SHA-256 over the certificate's semantic content.
+
+        Covers the state tables and relation rows (canonically ordered),
+        the stimuli, the state counts and the format version — everything
+        ``from_dict`` restores — so equal certificates hash equally
+        regardless of construction order, and any tampering with a
+        serialised certificate is detectable before the diagrams are even
+        re-checked.
+        """
+        if self._hash is None:
+            impl_table, spec_table, rows = self._encoded_parts()
+            self._hash = _hash_encoded(
+                impl_table,
+                spec_table,
+                rows,
+                _encode_stimuli(self.stimuli),
+                self.impl_states,
+                self.spec_states,
+            )
+        return self._hash
+
+    def to_dict(self) -> dict:
+        impl_table, spec_table, rows = self._encoded_parts()
+        return {
+            "kind": "SimulationCertificate",
+            "format": CERTIFICATE_FORMAT,
+            "impl_table": impl_table,
+            "spec_table": spec_table,
+            "relation": rows,
+            "stimuli": _encode_stimuli(self.stimuli),
+            "impl_states": int(self.impl_states),
+            "spec_states": int(self.spec_states),
+            "iterations": int(self.iterations),
+            "hash": self.content_hash(),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"certificate: {len(self.relation)} related pairs "
+            f"({self.impl_states} impl / {self.spec_states} spec states), "
+            f"hash {self.content_hash()[:12]}"
+        )
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SimulationCertificate":
+        """Rebuild a certificate; raises :class:`CertificateError` when the
+        payload is malformed, from a different format version, or fails its
+        embedded content hash (tamper/corruption detection)."""
+        if not isinstance(data, dict):
+            raise CertificateError(f"certificate payload is {type(data).__name__}, not a dict")
+        if data.get("format") != CERTIFICATE_FORMAT:
+            raise CertificateError(
+                f"certificate format {data.get('format')!r} != {CERTIFICATE_FORMAT}"
+            )
+        try:
+            impl_table = list(data["impl_table"])
+            spec_table = list(data["spec_table"])
+            rows = [[int(i), int(j)] for i, j in data["relation"]]
+            stimuli_rows = sorted(data["stimuli"], key=lambda row: row[0])
+            actual = _hash_encoded(
+                impl_table,
+                spec_table,
+                rows,
+                stimuli_rows,
+                data["impl_states"],
+                data["spec_states"],
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise CertificateError(f"malformed certificate payload: {exc}") from exc
+        stored = data.get("hash")
+        if stored != actual:
+            raise CertificateError(
+                f"certificate hash mismatch: stored {str(stored)[:12]}…, "
+                f"content {actual[:12]}… (tampered or corrupted)"
+            )
+        try:
+            impl_states_by_index = [decode_state(row) for row in impl_table]
+            spec_states_by_index = [decode_state(row) for row in spec_table]
+            if any(i < 0 or j < 0 for i, j in rows):
+                raise ValueError("negative state-table index")
+            relation = frozenset(
+                (impl_states_by_index[i], spec_states_by_index[j]) for i, j in rows
+            )
+            certificate = cls(
+                relation=relation,
+                impl_states=int(data["impl_states"]),
+                spec_states=int(data["spec_states"]),
+                iterations=int(data["iterations"]),
+                stimuli=_decode_stimuli(stimuli_rows),
+                _encoded=(impl_table, spec_table, rows),
+                _hash=actual,
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise CertificateError(f"malformed certificate payload: {exc}") from exc
+        return certificate
+
 
 @dataclass
 class SimulationResult:
-    """Outcome of a simulation search."""
+    """Outcome of a simulation search (or a certificate recheck)."""
 
     holds: bool
     certificate: SimulationCertificate | None = None
@@ -89,7 +350,102 @@ class _Move:
 
     kind: str
     detail: str
-    responses: list[int]
+    responses: tuple[int, ...]
+
+
+class _SuccessorCache:
+    """Memoised per-state successor sets for one (impl, spec, stimuli) triple.
+
+    Product states repeat the same impl state against many spec states (and
+    vice versa), so firing transitions once per *state* rather than once per
+    *pair* removes most of the semantic-function calls from both the search
+    and the recheck.  The spec side memoises the internal-step closure and,
+    per (state, port, value), the closed set of input responses.
+    """
+
+    __slots__ = ("impl", "spec", "stimuli", "_impl_moves", "_closures", "_spec_inputs")
+
+    def __init__(self, impl: Module, spec: Module, stimuli: Mapping[Port, tuple]):
+        self.impl = impl
+        self.spec = spec
+        self.stimuli = stimuli
+        self._impl_moves: dict[State, tuple] = {}
+        self._closures: dict[State, tuple[State, ...]] = {}
+        self._spec_inputs: dict[tuple, tuple[State, ...]] = {}
+
+    def closure(self, state: State) -> tuple[State, ...]:
+        cached = self._closures.get(state)
+        if cached is None:
+            cached = tuple(self.spec.tau_closure(state))
+            self._closures[state] = cached
+        return cached
+
+    def impl_moves(self, state: State) -> tuple:
+        """``(inputs, outputs, internals)`` successor sets of an impl state.
+
+        *inputs* is a tuple of ``(port, value, s_next)``, *outputs* of
+        ``(port, value, s_next)``, *internals* of ``s_next``.
+        """
+        cached = self._impl_moves.get(state)
+        if cached is None:
+            inputs = tuple(
+                (port, value, s_next)
+                for port, values in self.stimuli.items()
+                for value in values
+                for s_next in self.impl.inputs[port].fire(state, value)
+            )
+            outputs = tuple(
+                (port, value, s_next)
+                for port, transition in self.impl.outputs.items()
+                for value, s_next in transition.fire(state)
+            )
+            internals = tuple(self.impl.internal_steps(state))
+            cached = (inputs, outputs, internals)
+            self._impl_moves[state] = cached
+        return cached
+
+    def spec_input_responses(self, state: State, port: Port, value: Value) -> tuple[State, ...]:
+        """Spec states reachable by accepting (port, value) then τ-steps."""
+        key = (state, port, value)
+        cached = self._spec_inputs.get(key)
+        if cached is None:
+            cached = tuple(
+                t_next
+                for t_mid in self.spec.inputs[port].fire(state, value)
+                for t_next in self.closure(t_mid)
+            )
+            self._spec_inputs[key] = cached
+        return cached
+
+    def spec_output_responses(self, state: State, port: Port, value: Value):
+        """Spec states reaching an emission of *value* on *port* after τ-steps
+        (internal steps strictly *before* the output — the paper's asymmetry)."""
+        fire = self.spec.outputs[port].fire
+        for t_mid in self.closure(state):
+            for spec_value, t_next in fire(t_mid):
+                if spec_value == value:
+                    yield t_next
+
+
+def _interface_violation(impl: Module, spec: Module) -> Violation | None:
+    if impl.input_ports() != spec.input_ports() or impl.output_ports() != spec.output_ports():
+        detail = (
+            f"impl ports in={sorted(map(str, impl.input_ports()))} "
+            f"out={sorted(map(str, impl.output_ports()))} vs spec "
+            f"in={sorted(map(str, spec.input_ports()))} out={sorted(map(str, spec.output_ports()))}"
+        )
+        return Violation("interface", None, None, detail)
+    return None
+
+
+def _normalise_stimuli(impl: Module, stimuli: Stimuli) -> dict[Port, tuple]:
+    normalised = {port: tuple(values) for port, values in stimuli.items()}
+    missing = impl.input_ports() - set(normalised)
+    if missing:
+        raise RefinementError(
+            f"no stimuli provided for input ports {sorted(map(str, missing))}"
+        )
+    return normalised
 
 
 def find_weak_simulation(
@@ -103,30 +459,22 @@ def find_weak_simulation(
     *stimuli* bounds the environment: for each input port, the finite set of
     values that may ever be offered.  Both modules must expose identical
     input and output port sets.
+
+    The search explores product-reachable pairs with a frontier worklist
+    (successor sets memoised per state, not per pair), then resolves the
+    game by backward worklist propagation: each position counts, per move,
+    how many of its response pairs are still winning; when a position falls,
+    only the moves that actually referenced it are revisited.
     """
-    stimuli = {port: tuple(values) for port, values in stimuli.items()}
-    if impl.input_ports() != spec.input_ports() or impl.output_ports() != spec.output_ports():
-        detail = (
-            f"impl ports in={sorted(map(str, impl.input_ports()))} "
-            f"out={sorted(map(str, impl.output_ports()))} vs spec "
-            f"in={sorted(map(str, spec.input_ports()))} out={sorted(map(str, spec.output_ports()))}"
-        )
-        return SimulationResult(False, violation=Violation("interface", None, None, detail))
-    missing = impl.input_ports() - set(stimuli)
-    if missing:
-        raise RefinementError(f"no stimuli provided for input ports {sorted(map(str, missing))}")
+    interface = _interface_violation(impl, spec)
+    if interface is not None:
+        return SimulationResult(False, violation=interface)
+    stimuli = _normalise_stimuli(impl, stimuli)
+    succ = _SuccessorCache(impl, spec, stimuli)
 
     index_of: dict[tuple[State, State], int] = {}
     pairs: list[tuple[State, State]] = []
     moves: list[list[_Move] | None] = []
-    spec_closures: dict[State, tuple[State, ...]] = {}
-
-    def closure(state: State) -> tuple[State, ...]:
-        cached = spec_closures.get(state)
-        if cached is None:
-            cached = tuple(spec.tau_closure(state))
-            spec_closures[state] = cached
-        return cached
 
     def intern(pair: tuple[State, State]) -> int:
         idx = index_of.get(pair)
@@ -143,69 +491,80 @@ def find_weak_simulation(
 
     # Forward exploration: compute every position's moves and responses.
     frontier = list(initial_indices)
-    explored = 0
     while frontier:
         idx = frontier.pop()
         if moves[idx] is not None:
             continue
         s, t = pairs[idx]
         position_moves: list[_Move] = []
+        inputs, outputs, internals = succ.impl_moves(s)
 
-        for port, values in stimuli.items():
-            impl_in = impl.inputs[port]
-            spec_in = spec.inputs[port]
-            for value in values:
-                for s_next in impl_in.fire(s, value):
-                    responses = [
-                        (s_next, t_next)
-                        for t_mid in spec_in.fire(t, value)
-                        for t_next in closure(t_mid)
-                    ]
-                    position_moves.append(
-                        _Move("input", f"input {port}={value!r}", [intern(p) for p in responses])
-                    )
+        for port, value, s_next in inputs:
+            responses = tuple(
+                intern((s_next, t_next))
+                for t_next in succ.spec_input_responses(t, port, value)
+            )
+            position_moves.append(_Move("input", f"input {port}={value!r}", responses))
 
-        for port, impl_out in impl.outputs.items():
-            spec_out = spec.outputs[port]
-            for value, s_next in impl_out.fire(s):
-                responses = [
-                    (s_next, t_next)
-                    for t_mid in closure(t)
-                    for spec_value, t_next in spec_out.fire(t_mid)
-                    if spec_value == value
-                ]
-                position_moves.append(
-                    _Move("output", f"output {port} emits {value!r}", [intern(p) for p in responses])
-                )
+        for port, value, s_next in outputs:
+            responses = tuple(
+                intern((s_next, t_next))
+                for t_next in succ.spec_output_responses(t, port, value)
+            )
+            position_moves.append(
+                _Move("output", f"output {port} emits {value!r}", responses)
+            )
 
-        for s_next in impl.internal_steps(s):
-            responses = [(s_next, t_next) for t_next in closure(t)]
-            position_moves.append(_Move("internal", "internal step", [intern(p) for p in responses]))
+        for s_next in internals:
+            responses = tuple(intern((s_next, t_next)) for t_next in succ.closure(t))
+            position_moves.append(_Move("internal", "internal step", responses))
 
         moves[idx] = position_moves
-        explored += 1
         for move in position_moves:
-            for succ in move.responses:
-                if moves[succ] is None:
-                    frontier.append(succ)
+            for succ_idx in move.responses:
+                if moves[succ_idx] is None:
+                    frontier.append(succ_idx)
 
-    # Backward propagation of losing positions.
+    # Backward worklist: a position falls when some move runs out of winning
+    # responses; only the dependants of a fallen position are revisited.
+    # Losses only ever originate from a move with an empty response set, so
+    # when no such base case exists every explored pair wins and the reverse
+    # dependency index is never built — the common (refinement-holds) path
+    # pays nothing for the propagation machinery.
     good = [True] * len(pairs)
     reason: list[_Move | None] = [None] * len(pairs)
+    lost: list[int] = []
+    for idx in range(len(pairs)):
+        for move in moves[idx] or ():
+            if not move.responses:
+                good[idx] = False
+                reason[idx] = move
+                lost.append(idx)
+                break
+
     iterations = 0
-    changed = True
-    while changed:
-        changed = False
-        iterations += 1
+    if lost:
+        alive: list[list[int]] = [[] for _ in range(len(pairs))]
+        dependants: dict[int, list[tuple[int, int]]] = {}
         for idx in range(len(pairs)):
-            if not good[idx]:
-                continue
-            for move in moves[idx] or ():
-                if not any(good[succ] for succ in move.responses):
+            counts = []
+            for move_idx, move in enumerate(moves[idx] or ()):
+                counts.append(len(move.responses))
+                for succ_idx in move.responses:
+                    dependants.setdefault(succ_idx, []).append((idx, move_idx))
+            alive[idx] = counts
+        while lost:
+            iterations += 1
+            fallen = lost.pop()
+            for idx, move_idx in dependants.get(fallen, ()):
+                if not good[idx]:
+                    continue
+                counts = alive[idx]
+                counts[move_idx] -= 1
+                if counts[move_idx] == 0:
                     good[idx] = False
-                    reason[idx] = move
-                    changed = True
-                    break
+                    reason[idx] = (moves[idx] or [])[move_idx]
+                    lost.append(idx)
 
     for s0 in impl.init:
         winners = [t0 for t0 in spec.init if good[index_of[(s0, t0)]]]
@@ -219,7 +578,107 @@ def find_weak_simulation(
         impl_states=len({s for s, _ in pairs}),
         spec_states=len({t for _, t in pairs}),
         iterations=iterations,
+        stimuli=dict(stimuli),
     )
+    return SimulationResult(True, certificate=certificate)
+
+
+def recheck_certificate(
+    impl: Module,
+    spec: Module,
+    certificate: SimulationCertificate,
+    stimuli: Stimuli | None = None,
+) -> SimulationResult:
+    """Re-validate a stored certificate in one pass over its relation.
+
+    Checks that the certificate's relation is a genuine weak simulation
+    between *impl* and *spec* containing every initial pair — i.e. it
+    replays all three simulation diagrams for every related pair, but never
+    searches: each diagram check short-circuits at the first spec response
+    that lands back inside the relation.  Cost is O(relation · branching)
+    instead of solving the game over every product-reachable pair, which is
+    what makes persisted certificates a fast path.
+
+    When *stimuli* is given it must equal the certificate's recorded
+    stimulus domain — a certificate only constitutes evidence for the
+    bounded instance it was computed on.
+
+    Returns a successful :class:`SimulationResult` carrying *certificate*
+    itself, or a failing one whose violation pinpoints the first diagram
+    that no longer holds (a tampered relation, or modules that drifted
+    since the certificate was minted).
+    """
+    interface = _interface_violation(impl, spec)
+    if interface is not None:
+        return SimulationResult(False, violation=interface)
+    if stimuli is not None:
+        wanted = _normalise_stimuli(impl, stimuli)
+        if wanted != certificate.stimuli:
+            return SimulationResult(
+                False,
+                violation=Violation(
+                    "interface", None, None,
+                    "certificate was computed under different stimuli",
+                ),
+            )
+    try:
+        cert_stimuli = _normalise_stimuli(impl, certificate.stimuli)
+    except RefinementError:
+        return SimulationResult(
+            False,
+            violation=Violation(
+                "interface", None, None,
+                "certificate stimuli do not cover the implementation's inputs",
+            ),
+        )
+    relation = certificate.relation
+
+    for s0 in impl.init:
+        if not any((s0, t0) in relation for t0 in spec.init):
+            return SimulationResult(
+                False,
+                violation=Violation(
+                    "init", s0, None,
+                    f"initial state {s0!r} has no related spec initial state",
+                ),
+            )
+
+    succ = _SuccessorCache(impl, spec, cert_stimuli)
+    for s, t in relation:
+        inputs, outputs, internals = succ.impl_moves(s)
+        for port, value, s_next in inputs:
+            if not any(
+                (s_next, t_next) in relation
+                for t_next in succ.spec_input_responses(t, port, value)
+            ):
+                return SimulationResult(
+                    False,
+                    violation=Violation(
+                        "input", s, t,
+                        f"input {port}={value!r} has no response inside the relation",
+                    ),
+                )
+        for port, value, s_next in outputs:
+            if not any(
+                (s_next, t_next) in relation
+                for t_next in succ.spec_output_responses(t, port, value)
+            ):
+                return SimulationResult(
+                    False,
+                    violation=Violation(
+                        "output", s, t,
+                        f"output {port} emits {value!r} with no response inside the relation",
+                    ),
+                )
+        for s_next in internals:
+            if not any((s_next, t_next) in relation for t_next in succ.closure(t)):
+                return SimulationResult(
+                    False,
+                    violation=Violation(
+                        "internal", s, t,
+                        "internal step has no response inside the relation",
+                    ),
+                )
     return SimulationResult(True, certificate=certificate)
 
 

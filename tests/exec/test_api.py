@@ -215,7 +215,10 @@ class TestResultProtocol:
         report = check_rewrite_obligation(lhs, rhs, env, stimuli)
         data = as_dict(report)
         assert data["kind"] == "RefinementReport" and data["holds"]
-        assert "refinement holds" in summarize(report)
+        assert data["mode"] == "search"
+        assert data["certificate_hash"] == report.certificate.content_hash()
+        assert data["relation_size"] == len(report.certificate.relation)
+        assert "refinement holds [search]" in summarize(report)
 
     def test_benchmark_result_protocol(self):
         result = Session(use_cache=False).bench("matvec", program=matvec(4))

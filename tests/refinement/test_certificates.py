@@ -1,0 +1,318 @@
+"""Persistent simulation certificates: round-trip, integrity, fallback.
+
+The contract under test (docs/verification.md): a certificate serialises
+losslessly with a stable content hash, ``recheck_certificate`` accepts
+exactly the evidence a search emits, and a corrupted certificate is
+*rejected* — the obligation falls back to a full search and never yields
+a wrong "holds" through the fast path.
+"""
+
+import copy
+
+import pytest
+
+from repro import obs
+from repro.components import buffer, default_environment, fork, pure
+from repro.core import ExprHigh, denote
+from repro.errors import CertificateError, RefinementError
+from repro.exec.cache import ResultCache
+from repro.exec.hashing import certificate_key
+from repro.refinement import (
+    SimulationCertificate,
+    check_rewrite_obligation,
+    decode_state,
+    encode_state,
+    find_weak_simulation,
+    recheck_certificate,
+    uniform_stimuli,
+)
+
+
+@pytest.fixture
+def env():
+    return default_environment(capacity=2)
+
+
+def chain_graph(length=2):
+    g = ExprHigh()
+    for i in range(length):
+        g.add_node(f"b{i}", buffer(slots=1))
+    for i in range(length - 1):
+        g.connect(f"b{i}", "out0", f"b{i+1}", "in0")
+    g.mark_input(0, "b0", "in0")
+    g.mark_output(0, f"b{length-1}", "out0")
+    return g
+
+
+def wide_graph(slots=2):
+    g = ExprHigh()
+    g.add_node("b", buffer(slots=slots))
+    g.mark_input(0, "b", "in0")
+    g.mark_output(0, "b", "out0")
+    return g
+
+
+def searched_certificate(env):
+    """A real certificate: the 2-chain refines the 2-slot buffer."""
+    impl = denote(chain_graph(2).lower(), env)
+    spec = denote(wide_graph(2).lower(), env)
+    stimuli = uniform_stimuli(impl, (0, 1))
+    result = find_weak_simulation(impl, spec, stimuli)
+    assert result.holds
+    return impl, spec, stimuli, result.certificate
+
+
+class TestStateCodec:
+    @pytest.mark.parametrize(
+        "state",
+        [
+            None,
+            True,
+            False,
+            0,
+            -3,
+            2.5,
+            "token",
+            (),
+            ((), ("a", 1)),
+            frozenset({1, 2, 3}),
+            (frozenset({(1, "x"), (2, "y")}), (None, (True,))),
+        ],
+    )
+    def test_roundtrip_identity(self, state):
+        assert decode_state(encode_state(state)) == state
+
+    def test_bool_and_int_not_conflated(self):
+        assert decode_state(encode_state(True)) is True
+        assert decode_state(encode_state(1)) == 1
+        assert encode_state(True) != encode_state(1)
+
+    def test_unencodable_state_rejected(self):
+        with pytest.raises(CertificateError):
+            encode_state(object())
+
+    @pytest.mark.parametrize("junk", [["x", 1], ["t"], [], 7, ["i", "notint"]])
+    def test_junk_rejected(self, junk):
+        with pytest.raises(CertificateError):
+            decode_state(junk)
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self, env):
+        _, _, _, certificate = searched_certificate(env)
+        restored = SimulationCertificate.from_dict(certificate.to_dict())
+        assert restored.relation == certificate.relation
+        assert restored.stimuli == certificate.stimuli
+        assert restored.impl_states == certificate.impl_states
+        assert restored.content_hash() == certificate.content_hash()
+
+    def test_hash_is_stable_across_construction_order(self, env):
+        _, _, _, certificate = searched_certificate(env)
+        reordered = SimulationCertificate(
+            relation=frozenset(sorted(certificate.relation, key=repr, reverse=True)),
+            impl_states=certificate.impl_states,
+            spec_states=certificate.spec_states,
+            iterations=certificate.iterations,
+            stimuli=dict(reversed(list(certificate.stimuli.items()))),
+        )
+        assert reordered.content_hash() == certificate.content_hash()
+
+    def test_payload_is_json_serialisable(self, env):
+        import json
+
+        _, _, _, certificate = searched_certificate(env)
+        payload = json.loads(json.dumps(certificate.to_dict()))
+        restored = SimulationCertificate.from_dict(payload)
+        assert restored.relation == certificate.relation
+
+    def test_semantic_change_changes_hash(self, env):
+        _, _, _, certificate = searched_certificate(env)
+        smaller = SimulationCertificate(
+            relation=frozenset(list(certificate.relation)[1:]),
+            impl_states=certificate.impl_states,
+            spec_states=certificate.spec_states,
+            iterations=certificate.iterations,
+            stimuli=certificate.stimuli,
+        )
+        assert smaller.content_hash() != certificate.content_hash()
+
+
+class TestFromDictRejects:
+    def test_non_dict(self):
+        with pytest.raises(CertificateError):
+            SimulationCertificate.from_dict([1, 2, 3])
+
+    def test_wrong_format_version(self, env):
+        _, _, _, certificate = searched_certificate(env)
+        payload = certificate.to_dict()
+        payload["format"] = 99
+        with pytest.raises(CertificateError):
+            SimulationCertificate.from_dict(payload)
+
+    def test_missing_field(self, env):
+        _, _, _, certificate = searched_certificate(env)
+        payload = certificate.to_dict()
+        del payload["relation"]
+        with pytest.raises(CertificateError):
+            SimulationCertificate.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "tamper",
+        [
+            lambda p: p["relation"].pop(),
+            lambda p: p["relation"].append([0, 0]),
+            lambda p: p["impl_table"].pop(),
+            lambda p: p.__setitem__("impl_states", p["impl_states"] + 1),
+            lambda p: p.__setitem__("stimuli", []),
+            lambda p: p.__setitem__("hash", "0" * 64),
+        ],
+    )
+    def test_tampered_payload_fails_hash(self, env, tamper):
+        _, _, _, certificate = searched_certificate(env)
+        payload = copy.deepcopy(certificate.to_dict())
+        tamper(payload)
+        with pytest.raises(CertificateError, match="hash mismatch"):
+            SimulationCertificate.from_dict(payload)
+
+
+class TestRecheck:
+    def test_recheck_accepts_what_search_emits(self, env):
+        impl, spec, stimuli, certificate = searched_certificate(env)
+        restored = SimulationCertificate.from_dict(certificate.to_dict())
+        result = recheck_certificate(impl, spec, restored, stimuli)
+        assert result.holds
+
+    def test_bogus_pair_fails_a_diagram(self, env):
+        # A hash-consistent corruption: rebuild the certificate with a
+        # *losing* pair added (a chain holding tokens, related to the empty
+        # buffer — which can respond to nothing), so from_dict would accept
+        # it; the diagram replay is what must catch it.
+        impl, spec, stimuli, certificate = searched_certificate(env)
+        t0 = next(iter(spec.init))
+        s_bad = next(
+            s
+            for (s, _t) in certificate.relation
+            if s not in impl.init and (s, t0) not in certificate.relation
+        )
+        doctored = SimulationCertificate(
+            relation=certificate.relation | {(s_bad, t0)},
+            impl_states=certificate.impl_states,
+            spec_states=certificate.spec_states,
+            iterations=certificate.iterations,
+            stimuli=certificate.stimuli,
+        )
+        result = recheck_certificate(impl, spec, doctored, stimuli)
+        assert not result.holds
+
+    def test_missing_init_pair_fails(self, env):
+        impl, spec, stimuli, certificate = searched_certificate(env)
+        init_pairs = {(s0, t0) for s0 in impl.init for t0 in spec.init}
+        stripped = SimulationCertificate(
+            relation=certificate.relation - init_pairs,
+            impl_states=certificate.impl_states,
+            spec_states=certificate.spec_states,
+            iterations=certificate.iterations,
+            stimuli=certificate.stimuli,
+        )
+        result = recheck_certificate(impl, spec, stripped, stimuli)
+        assert not result.holds
+        assert result.violation.kind == "init"
+
+    def test_stimuli_mismatch_refused(self, env):
+        impl, spec, stimuli, certificate = searched_certificate(env)
+        other = {port: (0, 1, 2) for port in stimuli}
+        result = recheck_certificate(impl, spec, certificate, other)
+        assert not result.holds
+
+    def test_wrong_modules_rejected(self, env):
+        impl, spec, stimuli, certificate = searched_certificate(env)
+        other = denote(wide_graph(2).lower(), env)
+        # wide ⊑ chain does not hold, so chain's certificate must not pass
+        # as evidence for it.
+        result = recheck_certificate(other, impl, certificate, None)
+        assert not result.holds
+
+    def test_interface_mismatch_rejected(self, env):
+        impl, spec, stimuli, certificate = searched_certificate(env)
+        forked = ExprHigh()
+        forked.add_node("f", fork(2))
+        forked.mark_input(0, "f", "in0")
+        forked.mark_output(0, "f", "out0")
+        forked.mark_output(1, "f", "out1")
+        other = denote(forked.lower(), env)
+        result = recheck_certificate(other, spec, certificate, None)
+        assert not result.holds
+        assert result.violation.kind == "interface"
+
+
+def obligation_key(lhs, rhs, env):
+    """The key check_rewrite_obligation uses for its default stimuli."""
+    rhs_module = denote(rhs.lower(), env)
+    stimuli = uniform_stimuli(rhs_module, (0, 1))
+    return certificate_key(rhs, lhs, env, stimuli, spec_capacity=4)
+
+
+class TestCacheFallback:
+    """The obligation-level guarantee: corruption costs time, not soundness."""
+
+    def counters(self):
+        return dict(obs.get_tracer().counters)
+
+    def test_cold_search_then_warm_recheck(self, env, tmp_path):
+        cache = ResultCache(tmp_path)
+        lhs, rhs = wide_graph(2), chain_graph(2)
+        cold = check_rewrite_obligation(lhs, rhs, env, cache=cache)
+        assert cold.mode == "search"
+        warm = check_rewrite_obligation(lhs, rhs, env, cache=cache)
+        assert warm.mode == "recheck"
+        assert warm.certificate.content_hash() == cold.certificate.content_hash()
+
+    def test_serialized_tampering_falls_back_to_search(self, env, tmp_path):
+        cache = ResultCache(tmp_path)
+        lhs, rhs = wide_graph(2), chain_graph(2)
+        check_rewrite_obligation(lhs, rhs, env, cache=cache)
+        key = obligation_key(lhs, rhs, env)
+        payload = cache.get(key)
+        payload["relation"] = payload["relation"][1:]  # hash now mismatches
+        cache.put(key, payload)
+        before = self.counters()
+        report = check_rewrite_obligation(lhs, rhs, env, cache=cache)
+        after = self.counters()
+        assert report.mode == "search"  # fell back, did not trust the entry
+        assert after.get("refinement.cert_recheck_failures", 0) > before.get(
+            "refinement.cert_recheck_failures", 0
+        )
+        # ...and the fallback repaired the cache with a fresh certificate.
+        assert check_rewrite_obligation(lhs, rhs, env, cache=cache).mode == "recheck"
+
+    def test_hash_consistent_corruption_never_yields_wrong_holds(self, env, tmp_path):
+        """The strongest tamper case: a certificate for a NON-refinement,
+        re-serialised with a self-consistent hash, planted under the key of
+        the failing obligation.  The recheck must fail a diagram and the
+        obligation must still raise, not report holds."""
+        cache = ResultCache(tmp_path)
+        # wide ⊑ chain genuinely fails...
+        lhs, rhs = chain_graph(2), wide_graph(2)
+        with pytest.raises(RefinementError):
+            check_rewrite_obligation(lhs, rhs, env, cache=cache)
+        # ...now plant valid-looking evidence (the cert of the *converse*,
+        # which serialises with a perfectly consistent hash) under its key.
+        good = check_rewrite_obligation(wide_graph(2), chain_graph(2), env)
+        key = obligation_key(lhs, rhs, env)
+        cache.put(key, good.certificate.to_dict())
+        with pytest.raises(RefinementError):
+            check_rewrite_obligation(lhs, rhs, env, cache=cache)
+
+    def test_pure_mismatch_not_rescued_by_planted_cert(self, env, tmp_path):
+        cache = ResultCache(tmp_path)
+        lhs, rhs = ExprHigh(), ExprHigh()
+        lhs.add_node("p", pure("id"))
+        rhs.add_node("p", pure("incr"))
+        for g in (lhs, rhs):
+            g.mark_input(0, "p", "in0")
+            g.mark_output(0, "p", "out0")
+        good = check_rewrite_obligation(lhs, lhs, env)  # id ⊑ id holds
+        key = obligation_key(lhs, rhs, env)
+        cache.put(key, good.certificate.to_dict())
+        with pytest.raises(RefinementError):
+            check_rewrite_obligation(lhs, rhs, env, cache=cache)

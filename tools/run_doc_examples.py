@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``python`` block in the project's documentation.
+
+The docs are part of the tested surface: a code example that drifts from
+the real API is worse than no example, so CI runs this tool over README.md
+and docs/*.md and fails when any block raises.
+
+Rules:
+
+* only fences whose info string starts with ``python`` run; other
+  languages (``console``, ``text``, dot snippets …) are ignored;
+* a fence tagged ``python no-run`` is extracted but not executed — for
+  illustrative fragments that are deliberately incomplete;
+* all blocks in one file share a namespace, in order, so later examples
+  can build on earlier ones (like a reader following the page top to
+  bottom);
+* ``<repo>/src`` is prepended to ``sys.path``, so examples ``import
+  repro`` exactly as the README tells users to;
+* failures are reported as ``file:line`` of the opening fence, with the
+  traceback pointing at real line numbers inside the markdown file.
+
+Usage::
+
+    python tools/run_doc_examples.py                 # README.md + docs/*.md
+    python tools/run_doc_examples.py docs/api.md     # one file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class Block:
+    """One fenced code block: where it opened, its info string, its source."""
+
+    line: int  # 1-based line number of the opening ``` fence
+    info: str  # the fence info string, e.g. "python" or "python no-run"
+    source: str
+
+    @property
+    def is_python(self) -> bool:
+        return self.info.split()[:1] == ["python"]
+
+    @property
+    def runnable(self) -> bool:
+        return self.is_python and "no-run" not in self.info.split()
+
+
+def extract_blocks(text: str) -> list[Block]:
+    """All fenced code blocks of a markdown document, any language.
+
+    Handles indented fences (inside list items) by stripping the opening
+    fence's indentation from every line of the block.
+    """
+    blocks: list[Block] = []
+    open_line = 0
+    info = ""
+    indent = ""
+    lines: list[str] = []
+    in_block = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not in_block:
+            if stripped.startswith("```"):
+                in_block = True
+                open_line = lineno
+                info = stripped.lstrip("`").strip()
+                indent = line[: len(line) - len(line.lstrip())]
+                lines = []
+        else:
+            if stripped == "```":
+                blocks.append(Block(open_line, info, "\n".join(lines) + "\n"))
+                in_block = False
+            else:
+                lines.append(line[len(indent):] if line.startswith(indent) else line)
+    return blocks
+
+
+def run_file(path: Path, verbose: bool = True) -> tuple[int, int, list[str]]:
+    """Execute a file's runnable blocks; ``(ran, skipped, failures)``."""
+    text = path.read_text()
+    namespace: dict = {"__name__": "__main__", "__file__": str(path)}
+    ran = skipped = 0
+    failures: list[str] = []
+    for block in extract_blocks(text):
+        if not block.is_python:
+            continue
+        if not block.runnable:
+            skipped += 1
+            continue
+        location = f"{path}:{block.line}"
+        # Pad so tracebacks report line numbers within the markdown file
+        # (the code starts on the line after the opening fence).
+        padded = "\n" * block.line + block.source
+        try:
+            code = compile(padded, str(path), "exec")
+            exec(code, namespace)
+        except Exception:
+            failures.append(location)
+            print(f"FAIL {location}", file=sys.stderr)
+            traceback.print_exc()
+        else:
+            ran += 1
+            if verbose:
+                print(f"ok   {location}")
+    return ran, skipped, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="markdown files to execute (default: README.md and docs/*.md)",
+    )
+    parser.add_argument("-q", "--quiet", action="store_true", help="only report failures")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+    total_ran = total_skipped = 0
+    all_failures: list[str] = []
+    for path in paths:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        ran, skipped, failures = run_file(path, verbose=not args.quiet)
+        total_ran += ran
+        total_skipped += skipped
+        all_failures.extend(failures)
+
+    summary = (
+        f"{total_ran} blocks executed from {len(paths)} files"
+        f" ({total_skipped} tagged no-run)"
+    )
+    if all_failures:
+        print(f"{summary}; {len(all_failures)} FAILED: {', '.join(all_failures)}")
+        return 1
+    print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
