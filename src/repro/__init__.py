@@ -26,14 +26,14 @@ pieces, which remain importable::
         default_environment, ExprHigh, denote,        # build + denote graphs
         refines, check_rewrite_obligation,            # refinement checking
         GraphitiPipeline,                             # the OoO pipeline
-        run_benchmark,                                # deprecated: Session.bench
     )
+
+(The deprecated ``repro.run_benchmark`` shim was removed in v1.5 — use
+``Session(...).bench(name)``; see the migration table in ``docs/api.md``.)
 
 See README.md for the architecture overview and examples/ for runnable
 walkthroughs.
 """
-
-import warnings as _warnings
 
 from ._version import __version__
 from .api import Session
@@ -58,21 +58,6 @@ from .refinement import (
 )
 from .rewriting import GraphitiPipeline, Rewrite, RewriteEngine, Var
 
-
-def run_benchmark(name, program=None):
-    """Deprecated thin shim over :meth:`repro.api.Session.bench`.
-
-    Kept so seed-era code and notebooks keep working; new code should use
-    ``Session(...).bench(name)``, which adds caching and parallelism.
-    """
-    _warnings.warn(
-        "repro.run_benchmark is deprecated; use repro.Session(...).bench(name)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return Session(use_cache=False).bench(name, program)
-
-
 __all__ = [
     "Session",
     "default_environment",
@@ -85,7 +70,6 @@ __all__ = [
     "parse_dot",
     "print_dot",
     "GraphitiError",
-    "run_benchmark",
     "check_graph_refinement",
     "check_refinement",
     "check_rewrite_obligation",

@@ -12,6 +12,7 @@ is reachable through one object::
     session.verify()                          # discharge every obligation
     session.check_obligations()               # certified: recheck stored certificates
     session.bench("matvec")                   # one benchmark, four flows
+    session.simulate(ck, stimuli=arrays)      # one kernel, one stimulus
     print(session.report())                   # Tables 2-3 + Figure 8
     print(session.metrics().summary())        # one unified MetricsSnapshot
 
@@ -29,9 +30,9 @@ A Session owns:
 * the unified statistics surface: :meth:`Session.metrics` returns one
   :class:`~repro.obs.MetricsSnapshot` rolling up the executor accounting,
   the rewriting-engine counters accumulated across every ``transform``,
-  and the observability tracer's counters/gauges.  The pre-v1.3 attribute
-  forms (``session.metrics.executed`` …) still resolve but emit a
-  :class:`DeprecationWarning`.
+  and the observability tracer's counters/gauges.  (The pre-v1.3
+  attribute facade — ``session.metrics.executed`` … — was removed in
+  v1.5; see the migration table in ``docs/api.md``.)
 
 Every public method runs under a :mod:`repro.obs` span (``transform``,
 ``verify``, ``bench``, ``report``), so attaching a sink — or passing
@@ -41,7 +42,6 @@ to per-rewrite matching and pool-worker subtrees.
 
 from __future__ import annotations
 
-import warnings
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -57,48 +57,6 @@ from .obs import MetricsSnapshot
 from .rewriting.engine import EngineStats
 from .rewriting.pipeline import GraphitiPipeline, TransformResult
 from .rewriting.rules import VERIFY_FACTORY_SPECS, build_rewrite
-
-
-class _MetricsFacade:
-    """``session.metrics`` — callable for the snapshot, attribute-compatible.
-
-    Calling it (``session.metrics()``) is the documented entry point and
-    returns a fresh :class:`MetricsSnapshot`.  The pre-v1.3 attribute
-    accesses (``session.metrics.executed``, ``.hits``, ``.summary()`` …)
-    keep resolving against the underlying :class:`ExecutorMetrics` so old
-    code and notebooks run, but each access emits a
-    :class:`DeprecationWarning`.
-    """
-
-    __slots__ = ("_session",)
-
-    def __init__(self, session: "Session"):
-        self._session = session
-
-    def __call__(self) -> MetricsSnapshot:
-        return self._session._build_snapshot()
-
-    def __getattr__(self, name: str):
-        if name.startswith("_"):
-            raise AttributeError(name)
-        target = self._session._metrics
-        try:
-            value = getattr(target, name)
-        except AttributeError:
-            raise AttributeError(
-                f"'Session.metrics' has no attribute {name!r}; "
-                "call session.metrics() for the unified MetricsSnapshot"
-            ) from None
-        warnings.warn(
-            f"session.metrics.{name} is deprecated; call session.metrics() and "
-            f"read .{name} off the returned MetricsSnapshot",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return value
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Session.metrics facade; call it: {self._session._build_snapshot().summary()}>"
 
 
 class Session:
@@ -142,16 +100,15 @@ class Session:
 
     # -- metrics -------------------------------------------------------------
 
-    @property
-    def metrics(self) -> _MetricsFacade:
-        """The unified stats surface: call it — ``session.metrics()``.
+    def metrics(self) -> MetricsSnapshot:
+        """The unified stats surface: one :class:`MetricsSnapshot`.
 
-        Attribute access on the facade (the old ``ExecutorMetrics`` shape)
-        is deprecated and warns; see :class:`_MetricsFacade`.
+        Rolls up the executor accounting, the rewriting-engine counters
+        accumulated across every :meth:`transform`, and the observability
+        tracer's counters and gauges.  (Until v1.5 this was a property
+        returning an attribute-compatible facade; the deprecated attribute
+        forms — ``session.metrics.executed`` … — are gone.)
         """
-        return _MetricsFacade(self)
-
-    def _build_snapshot(self) -> MetricsSnapshot:
         tracer = obs.get_tracer()
         return MetricsSnapshot(
             executor=self._metrics.to_dict(),
@@ -277,21 +234,135 @@ SimulationCertificate` in the content-addressed result cache, and a warm
 
     # -- evaluation ----------------------------------------------------------
 
-    def bench(self, name: str, program=None) -> "BenchmarkResult":
+    def simulate(
+        self,
+        graph_or_kernel,
+        *,
+        stimuli,
+        backend: str = "compiled",
+        kernel=None,
+        tags: int | None = None,
+        capacities: Mapping | None = None,
+        latency_of=None,
+        trace=None,
+        max_cycles: int = 5_000_000,
+        deadlock_window: int = 10_000,
+    ):
+        """Cycle-simulate a circuit: the single simulation entry point.
+
+        Parameters
+        ----------
+        graph_or_kernel:
+            Either a :class:`~repro.hls.frontend.CompiledKernel` (carries
+            its own mini-IR kernel) or a bare
+            :class:`~repro.core.exprhigh.ExprHigh` graph, in which case
+            *kernel* must supply the matching
+            :class:`~repro.hls.ir.Kernel`.
+        stimuli:
+            One arrays dict — returns a single
+            :class:`~repro.sim.cycle.SimStats` — or a sequence of
+            stimuli (arrays dicts, or :class:`~repro.sim.compiled.BatchRun`
+            configs / equivalent mappings with per-run ``capacities``) —
+            returns a list of stats, one per stimulus.  Batches on the
+            compiled backend lower the graph once and reuse it across runs.
+        backend:
+            ``"compiled"`` (default) or ``"interp"`` — see
+            :func:`repro.sim.dispatch.simulate_graph`.
+        tags:
+            Widens tagged-region channels when deriving the default buffer
+            placement (pass the transform's tag budget); ignored when
+            *capacities* is given.
+        capacities:
+            Per-edge channel capacities; defaults to
+            :func:`repro.hls.buffers.place_buffers` on the graph.
+        """
+        from .hls.area import latency_of as default_latency_of
+        from .hls.buffers import place_buffers
+        from .sim.compiled import BatchRun, compile_circuit
+        from .sim.dispatch import BACKENDS, simulate_graph
+
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown simulation backend {backend!r}; expected one of {BACKENDS}"
+            )
+        graph = getattr(graph_or_kernel, "graph", graph_or_kernel)
+        kernel = kernel if kernel is not None else getattr(graph_or_kernel, "kernel", None)
+        if kernel is None:
+            raise ValueError(
+                "simulate() needs the mini-IR kernel: pass a CompiledKernel "
+                "or supply kernel= alongside the graph"
+            )
+        latency_of = latency_of or default_latency_of
+        if capacities is None:
+            capacities = place_buffers(graph, tags).capacities
+
+        single = isinstance(stimuli, Mapping)
+        runs: list[BatchRun] = []
+        for entry in [stimuli] if single else list(stimuli):
+            if isinstance(entry, BatchRun):
+                run = entry
+            elif isinstance(entry, Mapping) and "arrays" in entry:
+                run = BatchRun(**entry)
+            else:
+                run = BatchRun(
+                    arrays=entry,
+                    max_cycles=max_cycles,
+                    deadlock_window=deadlock_window,
+                )
+            if run.capacities is None:
+                run = BatchRun(
+                    arrays=run.arrays,
+                    capacities=capacities,
+                    max_cycles=run.max_cycles,
+                    deadlock_window=run.deadlock_window,
+                    trace=run.trace if run.trace is not None else trace,
+                )
+            runs.append(run)
+
+        with obs.span(
+            "simulate", kernel=kernel.name, backend=backend, runs=len(runs)
+        ):
+            if backend == "compiled":
+                circuit = compile_circuit(
+                    graph, self.env, kernel,
+                    capacities=capacities, latency_of=latency_of,
+                )
+                results = circuit.run_batch(runs)
+            else:
+                results = [
+                    simulate_graph(
+                        graph, self.env, kernel, run.arrays,
+                        capacities=run.capacities,
+                        latency_of=latency_of,
+                        backend=backend,
+                        max_cycles=run.max_cycles,
+                        deadlock_window=run.deadlock_window,
+                        trace=run.trace,
+                    )
+                    for run in runs
+                ]
+        return results[0] if single else results
+
+    def bench(self, name: str, program=None, backend: str = "compiled") -> "BenchmarkResult":
         """Run one benchmark through all four flows."""
-        return self.bench_many([name], {name: program} if program is not None else None)[name]
+        return self.bench_many(
+            [name],
+            {name: program} if program is not None else None,
+            backend=backend,
+        )[name]
 
     def bench_many(
         self,
         names: Iterable[str],
         programs: Mapping[str, object] | None = None,
+        backend: str = "compiled",
     ) -> dict[str, "BenchmarkResult"]:
         """Run the (benchmark × flow) matrix as independent work units."""
         from .eval.runner import FLOWS, BenchmarkResult, FlowResult
         from .hls.frontend import compile_program
 
         names = list(names)
-        with obs.span("bench", benchmarks=len(names)):
+        with obs.span("bench", benchmarks=len(names), backend=backend):
             units = []
             for name in names:
                 program = (programs or {}).get(name)
@@ -308,8 +379,15 @@ SimulationCertificate` in the content-addressed result cache, and a warm
                         WorkUnit(
                             uid=f"{name}:{flow}",
                             fn="repro.exec.workers:eval_flow",
-                            payload={"name": name, "flow": flow, "program": program},
-                            cache_key=eval_unit_key(flow, program, compiled, key_env),
+                            payload={
+                                "name": name,
+                                "flow": flow,
+                                "program": program,
+                                "backend": backend,
+                            },
+                            cache_key=eval_unit_key(
+                                flow, program, compiled, key_env, backend
+                            ),
                         )
                     )
             raw = self.executor.run(units)

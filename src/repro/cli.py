@@ -12,6 +12,7 @@ reproduction::
     python -m repro.cli refine --dump-certs certs/   # export certificate files
     python -m repro.cli refine --load-certs certs/   # independently re-validate
     python -m repro.cli bench matvec      # one benchmark, all four flows
+    python -m repro.cli sim matvec --flow DF-OoO --backend compiled
     python -m repro.cli report            # the full Tables 2-3 + Figure 8 run
 
 ``transform`` reads a dot graph, runs the five-phase out-of-order pipeline
@@ -291,6 +292,76 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sim(args: argparse.Namespace) -> int:
+    from .hls.frontend import compile_program
+    from .hls.ooo import transform_out_of_order
+    from .rewriting.pipeline import GraphitiPipeline
+
+    try:
+        from .benchmarks import load_benchmark
+
+        program = load_benchmark(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.stimuli:
+        import numpy as np
+
+        data = np.load(args.stimuli)
+        for key in data.files:
+            if key not in program.arrays:
+                print(
+                    f"error: --stimuli array {key!r} is not an array of "
+                    f"benchmark {args.name!r} (has: {', '.join(sorted(program.arrays))})",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                program.arrays[key][...] = data[key]
+            except ValueError as exc:
+                print(f"error: --stimuli array {key!r}: {exc}", file=sys.stderr)
+                return 2
+    session = _session(args)
+    ck = compile_program(program, session.env).kernels[0]
+    if args.flow == "DF-IO":
+        graph, tags = ck.graph, None
+    elif args.flow == "DF-OoO":
+        graph, tags = transform_out_of_order(ck.graph, ck.mark), ck.mark.tags
+    elif args.flow == "GRAPHITI":
+        outcome = GraphitiPipeline(session.env).transform_kernel(ck.graph, ck.mark)
+        if outcome.transformed:
+            graph, tags = outcome.graph, ck.mark.tags
+        else:
+            print(f"refused: {outcome.refusal}; simulating in-order", file=sys.stderr)
+            graph, tags = ck.graph, None
+    else:
+        print(
+            f"error: --flow must be one of DF-IO, DF-OoO, GRAPHITI (got {args.flow})",
+            file=sys.stderr,
+        )
+        return 2
+    with _observe(args):
+        stats = session.simulate(
+            graph,
+            kernel=ck.kernel,
+            stimuli=program.arrays,
+            backend=args.backend,
+            tags=tags,
+        )
+    print(f"{args.name} [{args.flow}] backend={args.backend}")
+    print(f"cycles            {stats.cycles}")
+    print(f"tokens fired      {stats.tokens_fired}")
+    print(f"results collected {stats.results_collected}")
+    print(f"peak in flight    {stats.peak_in_flight}")
+    hottest = sorted(
+        stats.channel_peaks.items(), key=lambda item: (-item[1], str(item[0][0]))
+    )[:5]
+    for (src, dst), peak in hottest:
+        print(f"  peak {peak:>3d}  {src} -> {dst}")
+    print(session.metrics().summary(), file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .eval.paper_data import BENCHMARKS
 
@@ -379,6 +450,23 @@ def main(argv: list[str] | None = None) -> int:
     _add_exec_flags(bench)
     bench.set_defaults(fn=_cmd_bench)
 
+    sim = sub.add_parser("sim", help="cycle-simulate one benchmark kernel under one flow")
+    sim.add_argument("name", help="bicg | gemm | gsum-many | gsum-single | matvec | mvt")
+    sim.add_argument(
+        "--flow", default="DF-OoO", metavar="FLOW",
+        help="dataflow flow: DF-IO | DF-OoO | GRAPHITI (default: DF-OoO)",
+    )
+    sim.add_argument(
+        "--backend", default="compiled", metavar="NAME",
+        help="simulation backend: compiled | interp (default: compiled)",
+    )
+    sim.add_argument(
+        "--stimuli", default=None, metavar="FILE",
+        help=".npz file whose arrays override the benchmark's input arrays",
+    )
+    _add_exec_flags(sim)
+    sim.set_defaults(fn=_cmd_sim)
+
     report = sub.add_parser("report", help="regenerate Tables 2-3 and Figure 8")
     report.add_argument("benchmarks", nargs="*", help="subset of benchmarks (default: all)")
     _add_exec_flags(report)
@@ -406,6 +494,20 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from .sim.dispatch import BACKENDS
+
+        if backend not in BACKENDS:
+            print(
+                f"error: --backend must be one of {', '.join(BACKENDS)} (got {backend})",
+                file=sys.stderr,
+            )
+            return 2
+    stimuli = getattr(args, "stimuli", None)
+    if stimuli is not None and not Path(stimuli).expanduser().is_file():
+        print(f"error: --stimuli file {stimuli} does not exist", file=sys.stderr)
+        return 2
     return args.fn(args)
 
 

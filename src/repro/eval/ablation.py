@@ -117,7 +117,7 @@ def buffer_ablation(n: int = 12) -> list[BufferAblationPoint]:
     from ..hls.buffers import place_buffers
     from ..hls.frontend import compile_program
     from ..hls.ooo import transform_out_of_order
-    from ..sim.cycle import CycleSimulator
+    from ..sim.dispatch import simulate_graph
 
     points = []
     for flow in ("DF-IO", "DF-OoO"):
@@ -134,10 +134,11 @@ def buffer_ablation(n: int = 12) -> list[BufferAblationPoint]:
             capacities = dict(placement.capacities)
             if sizing == "single":
                 capacities = {edge: max(1, slots - 1) for edge, slots in capacities.items()}
-            simulator = CycleSimulator(
-                graph, env, ck.kernel, program.arrays, capacities, latency_of
+            stats = simulate_graph(
+                graph, env, ck.kernel, program.arrays,
+                capacities=capacities, latency_of=latency_of,
             )
-            cycles[sizing] = simulator.run().cycles
+            cycles[sizing] = stats.cycles
         points.append(
             BufferAblationPoint(
                 flow=flow,

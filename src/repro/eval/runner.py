@@ -28,7 +28,7 @@ from ..hls.ir import Program, run_program
 from ..hls.ooo import transform_out_of_order
 from ..hls.static_sched import schedule_program
 from ..rewriting.pipeline import GraphitiPipeline
-from ..sim.cycle import CycleSimulator
+from ..sim.dispatch import simulate_graph
 
 FLOWS = ("DF-IO", "DF-OoO", "GRAPHITI", "Vericert")
 
@@ -115,7 +115,9 @@ class BenchmarkResult:
         return f"{self.name}: {flows}"
 
 
-def run_benchmark(name: str, program: Program | None = None) -> BenchmarkResult:
+def run_benchmark(
+    name: str, program: Program | None = None, backend: str = "compiled"
+) -> BenchmarkResult:
     """Run *name* through DF-IO, DF-OoO, Graphiti, and Vericert."""
     program = program if program is not None else load_benchmark(name)
     pristine = {key: array.copy() for key, array in program.arrays.items()}
@@ -127,19 +129,27 @@ def run_benchmark(name: str, program: Program | None = None) -> BenchmarkResult:
 
     result = BenchmarkResult(name)
     result.flows["DF-IO"] = _run_dataflow(
-        "DF-IO", compiled, program, pristine, reference, env, transform=None
+        "DF-IO", compiled, program, pristine, reference, env, transform=None,
+        backend=backend,
     )
     result.flows["DF-OoO"] = _run_dataflow(
-        "DF-OoO", compiled, program, pristine, reference, env, transform="ooo"
+        "DF-OoO", compiled, program, pristine, reference, env, transform="ooo",
+        backend=backend,
     )
     result.flows["GRAPHITI"] = _run_dataflow(
-        "GRAPHITI", compiled, program, pristine, reference, env, transform="graphiti"
+        "GRAPHITI", compiled, program, pristine, reference, env, transform="graphiti",
+        backend=backend,
     )
     result.flows["Vericert"] = _run_vericert(program, pristine)
     return result
 
 
-def run_flow(name: str, flow: str, program: Program | None = None) -> FlowResult:
+def run_flow(
+    name: str,
+    flow: str,
+    program: Program | None = None,
+    backend: str = "compiled",
+) -> FlowResult:
     """Run *name* under a single flow — the executor's unit of work.
 
     Compiling per flow (rather than sharing one compiled program across the
@@ -159,6 +169,7 @@ def run_flow(name: str, flow: str, program: Program | None = None) -> FlowResult
     return _run_dataflow(
         flow, compiled, program, pristine, reference, env,
         transform=_DATAFLOW_TRANSFORMS[flow],
+        backend=backend,
     )
 
 
@@ -177,6 +188,7 @@ def _run_dataflow(
     reference,
     env: Environment,
     transform: str | None,
+    backend: str = "compiled",
 ) -> FlowResult:
     _restore_arrays(program, pristine)
 
@@ -203,15 +215,15 @@ def _run_dataflow(
     history: list = []
     for ck, graph, tags in graphs:
         placement = place_buffers(graph, tags)
-        simulator = CycleSimulator(
+        stats = simulate_graph(
             graph,
             env,
             ck.kernel,
             program.arrays,
             capacities=placement.capacities,
             latency_of=latency_of,
+            backend=backend,
         )
-        stats = simulator.run()
         total_cycles += stats.cycles
         history.extend(stats.store_history)
         report = analyze(graph, extra_buffer_slots=placement.extra_slots)
@@ -270,7 +282,9 @@ def _arrays_match(actual: dict, expected: dict) -> bool:
     return True
 
 
-def simulate_flow(program: Program, flow: str, kernel_index: int = 0):
+def simulate_flow(
+    program: Program, flow: str, kernel_index: int = 0, backend: str = "compiled"
+):
     """Simulate one kernel under one dataflow flow, recording a firing trace.
 
     Returns ``(stats, trace, graph)`` — the instrumentation used by the
@@ -298,16 +312,16 @@ def simulate_flow(program: Program, flow: str, kernel_index: int = 0):
     _restore_arrays(program, pristine)
     placement = place_buffers(graph, tags)
     trace = FiringTrace()
-    simulator = CycleSimulator(
+    stats = simulate_graph(
         graph,
         env,
         ck.kernel,
         program.arrays,
         capacities=placement.capacities,
         latency_of=latency_of,
+        backend=backend,
         trace=trace,
     )
-    stats = simulator.run()
     return stats, trace, graph
 
 

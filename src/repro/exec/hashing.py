@@ -89,12 +89,17 @@ def program_fingerprint(program) -> str:
     return fingerprint("program", program.name, repr(program.kernels), ";".join(arrays))
 
 
-def eval_unit_key(flow: str, program, compiled, env: Environment) -> str:
+def eval_unit_key(
+    flow: str, program, compiled, env: Environment, backend: str = "compiled"
+) -> str:
     """Cache key for one (benchmark × flow) evaluation run.
 
     *compiled* is the :class:`~repro.hls.frontend.CompiledProgram`; hashing
     the compiled kernel graphs (not just the IR) means any front-end change
-    that alters the circuits also invalidates the cache.
+    that alters the circuits also invalidates the cache.  The simulation
+    *backend* is part of the key: backends are cycle-identical by contract,
+    but keeping their entries distinct means a differential rerun
+    (``backend="interp"``) never serves the other backend's cached result.
     """
     kernel_parts: list[str] = []
     for ck in compiled.kernels:
@@ -104,6 +109,7 @@ def eval_unit_key(flow: str, program, compiled, env: Environment) -> str:
         "eval",
         TOOL_VERSION,
         flow,
+        backend,
         program_fingerprint(program),
         env.signature(),
         *kernel_parts,

@@ -34,12 +34,12 @@ from time import perf_counter
 from .. import obs
 
 
-def eval_flow(*, name: str, flow: str, program=None) -> dict:
+def eval_flow(*, name: str, flow: str, program=None, backend: str = "compiled") -> dict:
     """Run one benchmark under one flow; returns ``FlowResult.to_dict()``."""
     from ..eval.runner import run_flow
 
-    with obs.span(f"flow:{flow}", benchmark=name) as sp:
-        result = run_flow(name, flow, program=program)
+    with obs.span(f"flow:{flow}", benchmark=name, backend=backend) as sp:
+        result = run_flow(name, flow, program=program, backend=backend)
         sp.set(cycles=result.cycles, correct=result.correct)
     return result.to_dict()
 

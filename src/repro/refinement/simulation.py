@@ -353,78 +353,154 @@ class _Move:
     responses: tuple[int, ...]
 
 
-class _SuccessorCache:
-    """Memoised per-state successor sets for one (impl, spec, stimuli) triple.
+class _GameCache:
+    """Id-indexed successor cache shared by the game search and the recheck.
 
-    Product states repeat the same impl state against many spec states (and
-    vice versa), so firing transitions once per *state* rather than once per
-    *pair* removes most of the semantic-function calls from both the search
-    and the recheck.  The spec side memoises the internal-step closure and,
-    per (state, port, value), the closed set of input responses.
+    Module states are deep nested tuples, and both consumers hash them
+    enormously often: every product position (search) or relation pair
+    (recheck) is a (state, state) pair used as a dict/set key, and the
+    same state recurs across thousands of pairs.  Interning each side's
+    states into dense integer ids — the big tuple is hashed once, when
+    first seen — lets every downstream cache, the game's position table
+    and the recheck's relation-membership set key on small ints, which
+    cuts both the hashing time and the memory retained.  Firing is paid
+    once per unique state: successor sets, τ-closures (walked over the
+    memoised one-step ids) and per-(state, port) spec output emissions
+    are all cached by id.
     """
 
-    __slots__ = ("impl", "spec", "stimuli", "_impl_moves", "_closures", "_spec_inputs")
+    __slots__ = (
+        "impl", "spec", "stimuli", "impl_states", "spec_states",
+        "_impl_ids", "_spec_ids", "_impl_moves", "_internal_succ", "_closures",
+        "_spec_inputs", "_spec_emits", "_spec_outputs",
+    )
 
     def __init__(self, impl: Module, spec: Module, stimuli: Mapping[Port, tuple]):
         self.impl = impl
         self.spec = spec
         self.stimuli = stimuli
-        self._impl_moves: dict[State, tuple] = {}
-        self._closures: dict[State, tuple[State, ...]] = {}
-        self._spec_inputs: dict[tuple, tuple[State, ...]] = {}
+        self.impl_states: list[State] = []
+        self.spec_states: list[State] = []
+        self._impl_ids: dict[State, int] = {}
+        self._spec_ids: dict[State, int] = {}
+        self._impl_moves: dict[int, tuple] = {}
+        self._internal_succ: dict[int, tuple[int, ...]] = {}
+        self._closures: dict[int, tuple[int, ...]] = {}
+        self._spec_inputs: dict[tuple, tuple[int, ...]] = {}
+        self._spec_emits: dict[tuple, tuple] = {}
+        self._spec_outputs: dict[tuple, tuple[int, ...]] = {}
 
-    def closure(self, state: State) -> tuple[State, ...]:
-        cached = self._closures.get(state)
+    def impl_id(self, state: State) -> int:
+        idx = self._impl_ids.get(state)
+        if idx is None:
+            idx = len(self.impl_states)
+            self._impl_ids[state] = idx
+            self.impl_states.append(state)
+        return idx
+
+    def spec_id(self, state: State) -> int:
+        idx = self._spec_ids.get(state)
+        if idx is None:
+            idx = len(self.spec_states)
+            self._spec_ids[state] = idx
+            self.spec_states.append(state)
+        return idx
+
+    def internal_succ(self, tid: int) -> tuple[int, ...]:
+        """Spec ids reachable in exactly one internal step."""
+        cached = self._internal_succ.get(tid)
         if cached is None:
-            cached = tuple(self.spec.tau_closure(state))
-            self._closures[state] = cached
+            spec_id = self.spec_id
+            cached = tuple(spec_id(t) for t in self.spec.internal_steps(self.spec_states[tid]))
+            self._internal_succ[tid] = cached
         return cached
 
-    def impl_moves(self, state: State) -> tuple:
-        """``(inputs, outputs, internals)`` successor sets of an impl state.
+    def closure(self, tid: int) -> tuple[int, ...]:
+        """Spec ids reachable by zero or more internal steps.
 
-        *inputs* is a tuple of ``(port, value, s_next)``, *outputs* of
-        ``(port, value, s_next)``, *internals* of ``s_next``.
+        Walks the memoised one-step successor ids instead of calling
+        ``Module.tau_closure``: overlapping closures re-fire the same
+        states' internal transitions from scratch there, and internal
+        firing dominates the game's profile.
         """
-        cached = self._impl_moves.get(state)
+        cached = self._closures.get(tid)
         if cached is None:
+            internal_succ = self.internal_succ
+            seen = {tid}
+            frontier = [tid]
+            order = [tid]
+            while frontier:
+                current = frontier.pop()
+                for nxt in internal_succ(current):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+                        order.append(nxt)
+            cached = tuple(order)
+            self._closures[tid] = cached
+        return cached
+
+    def impl_moves(self, sid: int) -> tuple:
+        """``(inputs, outputs, internals)`` successor sets of an impl state,
+        with successors given as impl ids."""
+        cached = self._impl_moves.get(sid)
+        if cached is None:
+            state = self.impl_states[sid]
+            impl_id = self.impl_id
             inputs = tuple(
-                (port, value, s_next)
+                (port, value, impl_id(s_next))
                 for port, values in self.stimuli.items()
                 for value in values
                 for s_next in self.impl.inputs[port].fire(state, value)
             )
             outputs = tuple(
-                (port, value, s_next)
+                (port, value, impl_id(s_next))
                 for port, transition in self.impl.outputs.items()
                 for value, s_next in transition.fire(state)
             )
-            internals = tuple(self.impl.internal_steps(state))
+            internals = tuple(impl_id(s_next) for s_next in self.impl.internal_steps(state))
             cached = (inputs, outputs, internals)
-            self._impl_moves[state] = cached
+            self._impl_moves[sid] = cached
         return cached
 
-    def spec_input_responses(self, state: State, port: Port, value: Value) -> tuple[State, ...]:
-        """Spec states reachable by accepting (port, value) then τ-steps."""
-        key = (state, port, value)
+    def spec_input_responses(self, tid: int, port: Port, value: Value) -> tuple[int, ...]:
+        """Spec ids reachable by accepting (port, value) then τ-steps."""
+        key = (tid, port, value)
         cached = self._spec_inputs.get(key)
         if cached is None:
+            spec_id = self.spec_id
+            # dict.fromkeys: the closures of different mid states overlap,
+            # and duplicate responses only inflate the game arena.
             cached = tuple(
-                t_next
-                for t_mid in self.spec.inputs[port].fire(state, value)
-                for t_next in self.closure(t_mid)
+                dict.fromkeys(
+                    t_next
+                    for t_mid in self.spec.inputs[port].fire(self.spec_states[tid], value)
+                    for t_next in self.closure(spec_id(t_mid))
+                )
             )
             self._spec_inputs[key] = cached
         return cached
 
-    def spec_output_responses(self, state: State, port: Port, value: Value):
-        """Spec states reaching an emission of *value* on *port* after τ-steps
+    def spec_output_responses(self, tid: int, port: Port, value: Value) -> tuple[int, ...]:
+        """Spec ids reaching an emission of *value* on *port* after τ-steps
         (internal steps strictly *before* the output — the paper's asymmetry)."""
-        fire = self.spec.outputs[port].fire
-        for t_mid in self.closure(state):
-            for spec_value, t_next in fire(t_mid):
-                if spec_value == value:
-                    yield t_next
+        key = (tid, port, value)
+        cached = self._spec_outputs.get(key)
+        if cached is None:
+            emits = self._spec_emits.get((tid, port))
+            if emits is None:
+                fire = self.spec.outputs[port].fire
+                spec_id = self.spec_id
+                states = self.spec_states
+                emits = tuple(
+                    (spec_value, spec_id(t_next))
+                    for mid in self.closure(tid)
+                    for spec_value, t_next in fire(states[mid])
+                )
+                self._spec_emits[(tid, port)] = emits
+            cached = tuple(dict.fromkeys(t for spec_value, t in emits if spec_value == value))
+            self._spec_outputs[key] = cached
+        return cached
 
 
 def _interface_violation(impl: Module, spec: Module) -> Violation | None:
@@ -470,24 +546,29 @@ def find_weak_simulation(
     if interface is not None:
         return SimulationResult(False, violation=interface)
     stimuli = _normalise_stimuli(impl, stimuli)
-    succ = _SuccessorCache(impl, spec, stimuli)
+    succ = _GameCache(impl, spec, stimuli)
 
-    index_of: dict[tuple[State, State], int] = {}
-    pairs: list[tuple[State, State]] = []
+    # Positions are (impl id, spec id) pairs packed into one int — ids are
+    # dense and bounded by *limit*, so 32 bits per side is ample.
+    index_of: dict[int, int] = {}
+    pairs: list[tuple[int, int]] = []
     moves: list[list[_Move] | None] = []
 
-    def intern(pair: tuple[State, State]) -> int:
-        idx = index_of.get(pair)
+    def intern(sid: int, tid: int) -> int:
+        key = (sid << 32) | tid
+        idx = index_of.get(key)
         if idx is None:
             idx = len(pairs)
             if idx >= limit:
                 raise SemanticsError(f"simulation game exceeded the limit of {limit} positions")
-            index_of[pair] = idx
-            pairs.append(pair)
+            index_of[key] = idx
+            pairs.append((sid, tid))
             moves.append(None)
         return idx
 
-    initial_indices = [intern((s0, t0)) for s0 in impl.init for t0 in spec.init]
+    initial_indices = [
+        intern(succ.impl_id(s0), succ.spec_id(t0)) for s0 in impl.init for t0 in spec.init
+    ]
 
     # Forward exploration: compute every position's moves and responses.
     frontier = list(initial_indices)
@@ -495,28 +576,28 @@ def find_weak_simulation(
         idx = frontier.pop()
         if moves[idx] is not None:
             continue
-        s, t = pairs[idx]
+        sid, tid = pairs[idx]
         position_moves: list[_Move] = []
-        inputs, outputs, internals = succ.impl_moves(s)
+        inputs, outputs, internals = succ.impl_moves(sid)
 
         for port, value, s_next in inputs:
             responses = tuple(
-                intern((s_next, t_next))
-                for t_next in succ.spec_input_responses(t, port, value)
+                intern(s_next, t_next)
+                for t_next in succ.spec_input_responses(tid, port, value)
             )
             position_moves.append(_Move("input", f"input {port}={value!r}", responses))
 
         for port, value, s_next in outputs:
             responses = tuple(
-                intern((s_next, t_next))
-                for t_next in succ.spec_output_responses(t, port, value)
+                intern(s_next, t_next)
+                for t_next in succ.spec_output_responses(tid, port, value)
             )
             position_moves.append(
                 _Move("output", f"output {port} emits {value!r}", responses)
             )
 
         for s_next in internals:
-            responses = tuple(intern((s_next, t_next)) for t_next in succ.closure(t))
+            responses = tuple(intern(s_next, t_next) for t_next in succ.closure(tid))
             position_moves.append(_Move("internal", "internal step", responses))
 
         moves[idx] = position_moves
@@ -567,16 +648,25 @@ def find_weak_simulation(
                     lost.append(idx)
 
     for s0 in impl.init:
-        winners = [t0 for t0 in spec.init if good[index_of[(s0, t0)]]]
+        sid = succ.impl_id(s0)
+        winners = [
+            t0 for t0 in spec.init if good[index_of[(sid << 32) | succ.spec_id(t0)]]
+        ]
         if not winners:
-            violation = _diagnose(pairs, index_of, reason, s0, spec.init)
+            violation = _diagnose(succ, pairs, index_of, reason, s0, spec.init)
             return SimulationResult(False, violation=violation)
 
-    relation = frozenset(pair for idx, pair in enumerate(pairs) if good[idx])
+    impl_states = succ.impl_states
+    spec_states = succ.spec_states
+    relation = frozenset(
+        (impl_states[sid], spec_states[tid])
+        for idx, (sid, tid) in enumerate(pairs)
+        if good[idx]
+    )
     certificate = SimulationCertificate(
         relation=relation,
-        impl_states=len({s for s, _ in pairs}),
-        spec_states=len({t for _, t in pairs}),
+        impl_states=len({sid for sid, _ in pairs}),
+        spec_states=len({tid for _, tid in pairs}),
         iterations=iterations,
         stimuli=dict(stimuli),
     )
@@ -643,39 +733,49 @@ def recheck_certificate(
                 ),
             )
 
-    succ = _SuccessorCache(impl, spec, cert_stimuli)
-    for s, t in relation:
-        inputs, outputs, internals = succ.impl_moves(s)
+    # Intern the relation's states into dense ids once: the diagram checks
+    # below then test membership on packed int pairs instead of re-hashing
+    # deep state tuples per candidate response (the recheck's former hot
+    # loop), and the successor caches key on small ints the same way the
+    # game search does.
+    succ = _GameCache(impl, spec, cert_stimuli)
+    id_pairs = [(succ.impl_id(s), succ.spec_id(t)) for s, t in relation]
+    related = {(sid << 32) | tid for sid, tid in id_pairs}
+    for sid, tid in id_pairs:
+        inputs, outputs, internals = succ.impl_moves(sid)
         for port, value, s_next in inputs:
+            base = s_next << 32
             if not any(
-                (s_next, t_next) in relation
-                for t_next in succ.spec_input_responses(t, port, value)
+                (base | t_next) in related
+                for t_next in succ.spec_input_responses(tid, port, value)
             ):
                 return SimulationResult(
                     False,
                     violation=Violation(
-                        "input", s, t,
+                        "input", succ.impl_states[sid], succ.spec_states[tid],
                         f"input {port}={value!r} has no response inside the relation",
                     ),
                 )
         for port, value, s_next in outputs:
+            base = s_next << 32
             if not any(
-                (s_next, t_next) in relation
-                for t_next in succ.spec_output_responses(t, port, value)
+                (base | t_next) in related
+                for t_next in succ.spec_output_responses(tid, port, value)
             ):
                 return SimulationResult(
                     False,
                     violation=Violation(
-                        "output", s, t,
+                        "output", succ.impl_states[sid], succ.spec_states[tid],
                         f"output {port} emits {value!r} with no response inside the relation",
                     ),
                 )
         for s_next in internals:
-            if not any((s_next, t_next) in relation for t_next in succ.closure(t)):
+            base = s_next << 32
+            if not any((base | t_next) in related for t_next in succ.closure(tid)):
                 return SimulationResult(
                     False,
                     violation=Violation(
-                        "internal", s, t,
+                        "internal", succ.impl_states[sid], succ.spec_states[tid],
                         "internal step has no response inside the relation",
                     ),
                 )
@@ -683,15 +783,23 @@ def recheck_certificate(
 
 
 def _diagnose(
-    pairs: list[tuple[State, State]],
-    index_of: dict[tuple[State, State], int],
+    succ: _GameCache,
+    pairs: list[tuple[int, int]],
+    index_of: dict[int, int],
     reason: list["_Move | None"],
     s0: State,
     spec_inits: frozenset[State],
 ) -> Violation:
+    sid = succ.impl_id(s0)
     for t0 in spec_inits:
-        move = reason[index_of[(s0, t0)]]
+        idx = index_of[(sid << 32) | succ.spec_id(t0)]
+        move = reason[idx]
         if move is not None:
-            s, t = pairs[index_of[(s0, t0)]]
-            return Violation(move.kind, s, t, f"{move.detail} has no winning spec response")
+            pair_sid, pair_tid = pairs[idx]
+            return Violation(
+                move.kind,
+                succ.impl_states[pair_sid],
+                succ.spec_states[pair_tid],
+                f"{move.detail} has no winning spec response",
+            )
     return Violation("init", s0, None, f"initial state {s0!r} is not simulated")

@@ -1,12 +1,26 @@
-"""Cycle-level simulation of elastic circuits (the ModelSim substitute)."""
+"""Cycle-level simulation of elastic circuits (the ModelSim substitute).
 
-from .cycle import Channel, CycleSimulator, SimStats
+Two backends, one dispatch seam: :func:`simulate_graph` routes to either
+the graph-compiled engine (:mod:`repro.sim.compiled`, the default) or the
+per-component interpreter (:mod:`repro.sim.cycle`, the differential
+oracle).
+"""
+
+from .compiled import BatchRun, CompiledCircuit, compile_circuit
+from .cycle import Channel, CycleSimulator, SimStats, evaluation_order
+from .dispatch import BACKENDS, simulate_graph
 from .trace import FiringEvent, FiringTrace, render_timeline
 
 __all__ = [
+    "BACKENDS",
+    "BatchRun",
     "Channel",
+    "CompiledCircuit",
     "CycleSimulator",
     "SimStats",
+    "compile_circuit",
+    "evaluation_order",
+    "simulate_graph",
     "FiringEvent",
     "FiringTrace",
     "render_timeline",

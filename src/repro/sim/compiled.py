@@ -1,0 +1,1049 @@
+"""Graph-compiled cycle simulation: lower once, run many stimuli.
+
+:func:`compile_circuit` lowers an :class:`~repro.core.exprhigh.ExprHigh`
+graph into a :class:`CompiledCircuit`: a flat array of per-node step
+closures laid out in the shared :func:`~repro.sim.cycle.evaluation_order`,
+with every channel, latency, function and parameter lookup resolved at
+compile time.  Channels become preallocated ring buffers, and an
+event-driven active set skips nodes that provably cannot fire — during the
+long latency windows of pipelined floating-point loops most of the circuit
+is quiescent, which is where the interpreted
+:class:`~repro.sim.cycle.CycleSimulator` burns its time re-asking every
+node every cycle.
+
+The compiled engine is *cycle- and value-identical* to the interpreter: it
+replicates the two-phase channel model (staged pushes commit at cycle end;
+combinational ``push_now`` visibility), the pipeline aging and head-of-line
+delivery rules, the tag aligner, and the Driver/Collector bridge, down to
+deadlock windows and error messages.  The interpreter stays as the
+differential-testing oracle behind the same interface (see
+``tests/property/test_sim_backend_equivalence.py``).
+
+:meth:`CompiledCircuit.run` executes one stimulus; :meth:`CompiledCircuit.run_batch`
+executes many stimuli/buffer-placement variants without re-lowering —
+changing only channel capacities between runs is an O(changed-channels)
+retarget, which is exactly the shape of the Table 2 buffer sweep.
+
+Tokens carry Python values (tagged tuples), so the hot arrays are Python
+lists indexed by precomputed ring offsets; numpy enters only through the
+kernels' own array stores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from .. import obs
+from ..core.environment import Environment
+from ..core.exprhigh import Endpoint, ExprHigh
+from ..errors import DeadlockError, SimulationError
+from ..hls.ir import Kernel, eval_expr
+from .cycle import Edge, SimStats, evaluation_order, full_channel_message
+
+__all__ = ["BatchRun", "CompiledCircuit", "compile_circuit"]
+
+#: sentinel "pipeline" for nodes that are never deactivated (Tagger, Driver,
+#: Collector): the run loop keeps any node with a truthy pipeline active.
+_ALWAYS_ACTIVE = (True,)
+
+
+class _Ring:
+    """A channel as a preallocated ring buffer plus a staged overflow list.
+
+    ``buf[head:head+count]`` (mod ``cap``) holds the committed, consumer-
+    visible tokens; ``staged`` holds this cycle's two-phase pushes until the
+    end-of-cycle commit.  Each ring knows the indices of its producer and
+    consumer nodes in the compiled step array so pushes and pops can wake
+    exactly the nodes whose firing conditions may have changed.
+    """
+
+    __slots__ = (
+        "cap",
+        "buf",
+        "head",
+        "count",
+        "staged",
+        "peak",
+        "src",
+        "dst",
+        "producer",
+        "consumer",
+        "rt",
+    )
+
+    def __init__(self, cap: int, src: Endpoint, dst: Endpoint, producer: int, consumer: int, rt):
+        self.cap = cap
+        self.buf: list = [None] * cap
+        self.head = 0
+        self.count = 0
+        self.staged: list = []
+        self.peak = 0
+        self.src = src
+        self.dst = dst
+        self.producer = producer
+        self.consumer = consumer
+        self.rt = rt  # owning CompiledCircuit: shared active set / counters
+
+    def push(self, value) -> None:
+        """Two-phase push: staged now, committed (and consumer woken) at cycle end."""
+        occupancy = self.count + len(self.staged)
+        if occupancy >= self.cap:
+            raise SimulationError(
+                full_channel_message(self.src, self.dst, occupancy, self.cap)
+            )
+        if not self.staged:
+            self.rt._dirty.append(self)
+        self.staged.append(value)
+        occupancy += 1
+        if occupancy > self.peak:
+            self.peak = occupancy
+        self.rt._tokens += 1
+
+    def push_now(self, value) -> None:
+        """Combinational push: committed and consumer-visible within this cycle."""
+        occupancy = self.count + len(self.staged)
+        if occupancy >= self.cap:
+            raise SimulationError(
+                full_channel_message(self.src, self.dst, occupancy, self.cap)
+            )
+        index = self.head + self.count
+        if index >= self.cap:
+            index -= self.cap
+        self.buf[index] = value
+        self.count += 1
+        occupancy += 1
+        if occupancy > self.peak:
+            self.peak = occupancy
+        rt = self.rt
+        rt._tokens += 1
+        rt._active[self.consumer] = 1
+
+    def pop(self):
+        head = self.head
+        value = self.buf[head]
+        self.buf[head] = None
+        head += 1
+        self.head = 0 if head == self.cap else head
+        self.count -= 1
+        rt = self.rt
+        rt._tokens -= 1
+        rt._active[self.producer] = 1
+        return value
+
+    def delete_at(self, position: int):
+        """Remove the committed token at logical *position* (aligner pops)."""
+        if position == 0:
+            return self.pop()
+        cap, buf, head = self.cap, self.buf, self.head
+        index = head + position
+        if index >= cap:
+            index -= cap
+        value = buf[index]
+        last = self.count - 1
+        for offset in range(position, last):
+            i = head + offset
+            if i >= cap:
+                i -= cap
+            j = i + 1
+            if j >= cap:
+                j -= cap
+            buf[i] = buf[j]
+        i = head + last
+        if i >= cap:
+            i -= cap
+        buf[i] = None
+        self.count = last
+        rt = self.rt
+        rt._tokens -= 1
+        rt._active[self.producer] = 1
+        return value
+
+
+def _pop_aligned(channels: list[_Ring]) -> list | None:
+    """Ring-buffer port of the interpreter's tag aligner (same tag choice)."""
+    first = channels[0]
+    if not first.count:
+        return None
+    # Fast path: every head already carries the first channel's head tag.
+    # The full scan would choose exactly that tag at position 0 everywhere,
+    # so this is the identical pop sequence without building tag indices.
+    head_tag = first.buf[first.head][0]
+    aligned = True
+    for channel in channels:
+        if not channel.count:
+            return None
+        if channel.buf[channel.head][0] != head_tag:
+            aligned = False
+    if aligned:
+        return [channel.pop() for channel in channels]
+    tag_sets = []
+    for channel in channels:
+        tags: dict = {}
+        head, cap, buf = channel.head, channel.cap, channel.buf
+        for position in range(channel.count):
+            index = head + position
+            if index >= cap:
+                index -= cap
+            tag = buf[index][0]
+            if tag not in tags:
+                tags[tag] = position
+        tag_sets.append(tags)
+    common = set(tag_sets[0])
+    for tags in tag_sets[1:]:
+        common &= set(tags)
+    if not common:
+        return None
+    first = channels[0]
+    head_tag = first.buf[first.head][0]
+    chosen = head_tag if head_tag in common else min(common, key=lambda t: tag_sets[0][t])
+    values = []
+    for channel, tags in zip(channels, tag_sets):
+        values.append(channel.delete_at(tags[chosen]))
+    return values
+
+
+class _Ctx:
+    """Per-run mutable context shared by every compiled step closure."""
+
+    __slots__ = ("arrays", "stats", "trace", "cycle")
+
+    def __init__(self):
+        self.arrays: dict = {}
+        self.stats = SimStats()
+        self.trace = None
+        self.cycle = 0
+
+
+@dataclass
+class BatchRun:
+    """One configuration for :meth:`CompiledCircuit.run_batch`."""
+
+    arrays: dict
+    capacities: Mapping[Edge, int] | None = None
+    max_cycles: int = 5_000_000
+    deadlock_window: int = 10_000
+    trace: object | None = None
+
+
+class CompiledCircuit:
+    """An ExprHigh graph lowered to flat step arrays, reusable across runs.
+
+    Build with :func:`compile_circuit`.  A circuit holds mutable run state
+    (channel rings, node pipelines), so a single instance must not be run
+    concurrently; reuse across sequential runs is the intended pattern.
+    """
+
+    def __init__(
+        self,
+        graph: ExprHigh,
+        env: Environment,
+        kernel: Kernel,
+        capacities: Mapping[Edge, int] | None = None,
+        latency_of: Callable[[str, dict], int] | None = None,
+    ):
+        self.graph = graph
+        self.env = env
+        self.kernel = kernel
+        self._base_capacities = dict(capacities or {})
+        latency_of = latency_of or (lambda typ, params: 1)
+
+        latencies = {
+            name: max(0, latency_of(spec.typ, spec.param_dict()))
+            for name, spec in graph.nodes.items()
+        }
+        self.order = evaluation_order(graph, latencies.__getitem__)
+        index_of = {name: i for i, name in enumerate(self.order)}
+
+        # Shared run state, captured by rings and step closures.
+        self._active = bytearray(len(self.order))
+        self._dirty: list[_Ring] = []
+        self._tokens = 0
+        self._ctx = _Ctx()
+
+        self._channels: list[_Ring] = []
+        self._in_ch: dict[Endpoint, _Ring] = {}
+        self._out_ch: dict[Endpoint, _Ring] = {}
+        for dst, src in graph.connections.items():
+            ring = _Ring(
+                self._base_capacities.get((src, dst), 1),
+                src,
+                dst,
+                index_of[src.node],
+                index_of[dst.node],
+                self,
+            )
+            self._channels.append(ring)
+            self._in_ch[dst] = ring
+            self._out_ch[src] = ring
+
+        self.outer_points = list(kernel.outer_points())
+        self._expected_results = len(self.outer_points)
+
+        # Collector state is shared with the Driver (sequential_outer gating
+        # reads the first collector's received count, like the interpreter).
+        self._collector_states: dict[str, dict] = {
+            name: {"received": 0} for name in graph.nodes_of_type("Collector")
+        }
+
+        self._steps: list = []
+        self._pipelines: list = []
+        self._resets: list = []
+        for name in self.order:
+            spec = graph.nodes[name]
+            maker = getattr(self, f"_make_{spec.typ.lower()}", None)
+            if maker is None:
+                raise SimulationError(
+                    f"no cycle model for component type {spec.typ!r}"
+                )
+            step, pipeline, reset = maker(name, spec, latencies[name])
+            self._steps.append(step)
+            self._pipelines.append(pipeline)
+            if reset is not None:
+                self._resets.append(reset)
+
+    # -- channel / closure helpers -------------------------------------------
+
+    def _in(self, node: str, port: str) -> _Ring | None:
+        return self._in_ch.get(Endpoint(node, port))
+
+    def _out(self, node: str, port: str) -> _Ring | None:
+        return self._out_ch.get(Endpoint(node, port))
+
+    def _drain_fn(self, pipeline: deque):
+        """Pipeline drain closure: age every entry, deliver the head when all
+        destinations have room — identical to the interpreter's rules."""
+
+        def drain() -> int:
+            if not pipeline:
+                return 0
+            for entry in pipeline:
+                if entry[0] > 0:
+                    entry[0] -= 1
+            first = pipeline[0]
+            if first[0] > 0:
+                return 0
+            outs = first[1]
+            for channel, _ in outs:
+                if channel is not None and channel.count + len(channel.staged) >= channel.cap:
+                    return 0
+            for channel, value in outs:
+                if channel is not None:
+                    channel.push(value)
+            pipeline.popleft()
+            return 1
+
+        return drain
+
+    def _start_fn(self, name: str, latency: int, pipeline: deque):
+        """Firing-start closure: outputs are ``(ring_or_None, value)`` pairs
+        with the port already resolved at compile time."""
+        ctx = self._ctx
+        if latency == 0:
+
+            def start(outs: list) -> None:
+                if ctx.trace is not None:
+                    ctx.trace.record(name, ctx.cycle, 0)
+                for channel, _ in outs:
+                    if channel is not None and channel.count + len(channel.staged) >= channel.cap:
+                        pipeline.append([0, outs])
+                        return
+                for channel, value in outs:
+                    if channel is not None:
+                        channel.push_now(value)
+
+            return start
+
+        remaining = latency - 1
+
+        def start(outs: list) -> None:
+            if ctx.trace is not None:
+                ctx.trace.record(name, ctx.cycle, latency)
+            pipeline.append([remaining, outs])
+
+        return start
+
+    # -- per-component compilers ---------------------------------------------
+    #
+    # Each ``_make_<type>`` returns ``(step, pipeline, reset)``: the firing
+    # closure, the object whose truthiness keeps the node active, and an
+    # optional per-run state reset.  Every closure mirrors the matching
+    # ``CycleSimulator._fire_<type>`` exactly (checks in the same order, pops
+    # and pushes at the same points) so firing counts match cycle for cycle.
+
+    def _make_fork(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        channel = self._in(name, "in0")
+        out_chs = [self._out(name, port) for port in spec.out_ports]
+
+        def step() -> int:
+            fired = drain()
+            if channel is None or not channel.count or len(pipeline) >= pipe_cap:
+                return fired
+            value = channel.pop()
+            start([(out, value) for out in out_chs])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_join(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        a, b = self._in(name, "in0"), self._in(name, "in1")
+        out0 = self._out(name, "out0")
+        tagged = bool(spec.param("tagged"))
+        pair = [a, b]
+
+        def step() -> int:
+            fired = drain()
+            if a is None or b is None or len(pipeline) >= pipe_cap:
+                return fired
+            if tagged:
+                popped = _pop_aligned(pair)
+                if popped is None:
+                    return fired
+                (tag, val_l), (_, val_r) = popped
+                value = (tag, (val_l, val_r))
+            else:
+                if not a.count or not b.count:
+                    return fired
+                value = (a.pop(), b.pop())
+            start([(out0, value)])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_split(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        channel = self._in(name, "in0")
+        out0, out1 = self._out(name, "out0"), self._out(name, "out1")
+        tagged = bool(spec.param("tagged"))
+
+        def step() -> int:
+            fired = drain()
+            if channel is None or not channel.count or len(pipeline) >= pipe_cap:
+                return fired
+            value = channel.pop()
+            if tagged:
+                tag, (left, right) = value
+                start([(out0, (tag, left)), (out1, (tag, right))])
+            else:
+                left, right = value
+                start([(out0, left), (out1, right)])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_buffer(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        channel = self._in(name, "in0")
+        out0 = self._out(name, "out0")
+
+        def step() -> int:
+            fired = drain()
+            if channel is None or not channel.count or len(pipeline) >= pipe_cap:
+                return fired
+            start([(out0, channel.pop())])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_sink(self, name, spec, latency):
+        channel = self._in(name, "in0")
+
+        def step() -> int:
+            if channel is not None and channel.count:
+                channel.pop()
+                return 1
+            return 0
+
+        return step, None, None
+
+    def _make_mux(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        cond = self._in(name, "cond")
+        in0, in1 = self._in(name, "in0"), self._in(name, "in1")
+        out0 = self._out(name, "out0")
+
+        def step() -> int:
+            fired = drain()
+            if cond is None or not cond.count or len(pipeline) >= pipe_cap:
+                return fired
+            data = in0 if cond.buf[cond.head] else in1
+            if data is None or not data.count:
+                return fired
+            cond.pop()
+            start([(out0, data.pop())])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_branch(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        cond = self._in(name, "cond")
+        data = self._in(name, "in0")
+        out0, out1 = self._out(name, "out0"), self._out(name, "out1")
+        tagged = bool(spec.param("tagged"))
+        pair = [cond, data]
+
+        def step() -> int:
+            fired = drain()
+            if cond is None or data is None or len(pipeline) >= pipe_cap:
+                return fired
+            if tagged:
+                popped = _pop_aligned(pair)
+                if popped is None:
+                    return fired
+                cond_value, value = popped
+                truth = bool(cond_value[1])
+            else:
+                if not cond.count or not data.count:
+                    return fired
+                truth = bool(cond.pop())
+                value = data.pop()
+            start([(out0 if truth else out1, value)])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_merge(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        inputs = [self._in(name, "in0"), self._in(name, "in1")]
+        out0 = self._out(name, "out0")
+        state = {"rr": 0}
+
+        def step() -> int:
+            fired = drain()
+            if len(pipeline) >= pipe_cap:
+                return fired
+            rr = state["rr"] % 2
+            for offset in range(2):
+                channel = inputs[(rr + offset) % 2]
+                if channel is not None and channel.count:
+                    state["rr"] += 1
+                    start([(out0, channel.pop())])
+                    return fired + 1
+            return fired
+
+        def reset() -> None:
+            pipeline.clear()
+            state["rr"] = 0
+
+        return step, pipeline, reset
+
+    def _make_cmerge(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        inputs = [self._in(name, "in0"), self._in(name, "in1")]
+        ports = ["in0", "in1"]
+        out0 = self._out(name, "out0")
+        index_channel = self._out(name, "index")
+        state = {"rr": 0}
+
+        def step() -> int:
+            fired = drain()
+            if len(pipeline) >= pipe_cap:
+                return fired
+            rr = state["rr"] % 2
+            for offset in range(2):
+                position = (rr + offset) % 2
+                channel = inputs[position]
+                if channel is not None and channel.count:
+                    if (
+                        index_channel is not None
+                        and index_channel.count + len(index_channel.staged)
+                        >= index_channel.cap
+                    ):
+                        return fired
+                    state["rr"] += 1
+                    value = channel.pop()
+                    start([(out0, value), (index_channel, ports[position] == "in0")])
+                    return fired + 1
+            return fired
+
+        def reset() -> None:
+            pipeline.clear()
+            state["rr"] = 0
+
+        return step, pipeline, reset
+
+    def _make_init(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        channel = self._in(name, "in0")
+        out0 = self._out(name, "out0")
+        initial = bool(spec.param("value", False))
+        state = {"initial_pending": True}
+
+        def step() -> int:
+            fired = drain()
+            if state["initial_pending"]:
+                if len(pipeline) < pipe_cap:
+                    state["initial_pending"] = False
+                    start([(out0, initial)])
+                    return fired + 1
+                return fired
+            if channel is None or not channel.count or len(pipeline) >= pipe_cap:
+                return fired
+            start([(out0, bool(channel.pop()))])
+            return fired + 1
+
+        def reset() -> None:
+            pipeline.clear()
+            state["initial_pending"] = True
+
+        return step, pipeline, reset
+
+    def _make_operator(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        channels = [self._in(name, port) for port in spec.in_ports]
+        out0 = self._out(name, "out0")
+        tagged = bool(spec.param("tagged"))
+        blocked = any(c is None for c in channels)
+        op = str(spec.param("op"))
+        env = self.env
+        try:
+            fn = env.function(op)
+        except Exception:
+            fn = None  # unresolvable: fail at the firing point, like the interpreter
+
+        def step() -> int:
+            fired = drain()
+            if blocked or len(pipeline) >= pipe_cap:
+                return fired
+            f = fn if fn is not None else env.function(op)
+            if tagged:
+                popped = _pop_aligned(channels)
+                if popped is None:
+                    return fired
+                tag = popped[0][0]
+                result = (tag, f(*[v[1] for v in popped]))
+            else:
+                for channel in channels:
+                    if not channel.count:
+                        return fired
+                result = f(*[c.pop() for c in channels])
+            start([(out0, result)])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_pure(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        channel = self._in(name, "in0")
+        out0 = self._out(name, "out0")
+        tagged = bool(spec.param("tagged"))
+        fn_name = str(spec.param("fn"))
+        env = self.env
+        try:
+            fn = env.function(fn_name)
+        except Exception:
+            fn = None
+
+        def step() -> int:
+            fired = drain()
+            if channel is None or not channel.count or len(pipeline) >= pipe_cap:
+                return fired
+            value = channel.pop()
+            f = fn if fn is not None else env.function(fn_name)
+            if tagged:
+                tag, inner = value
+                result = (tag, f(inner))
+            else:
+                result = f(value)
+            start([(out0, result)])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_reorg(self, name, spec, latency):
+        return self._make_pure(name, spec, latency)
+
+    def _make_constant(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        channel = self._in(name, "ctrl")
+        out0 = self._out(name, "out0")
+        value = spec.param("value", 0)
+
+        def step() -> int:
+            fired = drain()
+            if channel is None or not channel.count or len(pipeline) >= pipe_cap:
+                return fired
+            channel.pop()
+            start([(out0, value)])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_store(self, name, spec, latency):
+        pipeline: deque = deque()
+        drain = self._drain_fn(pipeline)
+        start = self._start_fn(name, latency, pipeline)
+        pipe_cap = max(1, latency)
+        addr = self._in(name, "addr")
+        data = self._in(name, "data")
+        done = self._out(name, "done")
+        tagged = bool(spec.param("tagged"))
+        pair = [addr, data]
+        array = str(spec.param("array", ""))
+        if not array:
+            stores = self.kernel.loop.stores
+            array = stores[0].array if len(stores) == 1 else ""
+        ctx = self._ctx
+
+        def step() -> int:
+            fired = drain()
+            if addr is None or data is None or len(pipeline) >= pipe_cap:
+                return fired
+            if tagged:
+                popped = _pop_aligned(pair)
+                if popped is None:
+                    return fired
+                (_, addr_v), (_, data_v) = popped
+            else:
+                if not addr.count or not data.count:
+                    return fired
+                addr_v, data_v = addr.pop(), data.pop()
+            if not array:
+                raise SimulationError("store component without an 'array' parameter")
+            ctx.arrays[array].flat[int(addr_v)] = data_v
+            ctx.stats.store_history.append((array, int(addr_v), data_v))
+            start([(done, ())])
+            return fired + 1
+
+        return step, pipeline, pipeline.clear
+
+    def _make_tagger(self, name, spec, latency):
+        enter_ports = [p for p in spec.in_ports if p.startswith("enter")] or ["in0"]
+        return_ports = [p for p in spec.in_ports if p.startswith("ret")] or ["in1"]
+        tag_outs = [p for p in spec.out_ports if p.startswith("tag")] or ["out0"]
+        exit_outs = [p for p in spec.out_ports if p.startswith("exit")] or ["out1"]
+        enters = [self._in(name, p) for p in enter_ports]
+        outs = [self._out(name, p) for p in tag_outs]
+        return_chs = [self._in(name, p) for p in return_ports]
+        exits = [self._out(name, p) for p in exit_outs]
+        n_returns = len(return_ports)
+        tags = int(spec.param("tags", 4))
+        free = list(range(tags))
+        order: deque = deque()
+        returns: dict = {}
+
+        def step() -> int:
+            fired = 0
+            if (
+                free
+                and all(c is not None and c.count for c in enters)
+                and all(
+                    c is not None and c.count + len(c.staged) < c.cap for c in outs
+                )
+            ):
+                tag = free.pop(0)
+                order.append(tag)
+                for channel, out in zip(enters, outs):
+                    out.push((tag, channel.pop()))
+                fired += 1
+            for index, channel in enumerate(return_chs):
+                if channel is not None and channel.count:
+                    tag, value = channel.pop()
+                    returns.setdefault(tag, {})[index] = value
+                    fired += 1
+            if order:
+                oldest = order[0]
+                slots = returns.get(oldest, {})
+                if len(slots) == n_returns and all(
+                    c is not None and c.count + len(c.staged) < c.cap for c in exits
+                ):
+                    for index, out in enumerate(exits):
+                        out.push(slots[index])
+                    order.popleft()
+                    free.append(oldest)
+                    del returns[oldest]
+                    fired += 1
+            return fired
+
+        def reset() -> None:
+            free[:] = range(tags)
+            order.clear()
+            returns.clear()
+
+        return step, _ALWAYS_ACTIVE, reset
+
+    def _make_driver(self, name, spec, latency):
+        outs = [self._out(name, port) for port in spec.out_ports]
+        kernel = self.kernel
+        outer_points = self.outer_points
+        total = len(outer_points)
+        pairs = list(zip(kernel.loop.state, outs))
+        init = kernel.init
+        sequential = kernel.sequential_outer
+        collector_state = next(iter(self._collector_states.values()), None)
+        ctx = self._ctx
+        state = {"next_point": 0}
+
+        def step() -> int:
+            index = state["next_point"]
+            if index >= total:
+                return 0
+            if sequential and collector_state is not None and collector_state["received"] < index:
+                return 0
+            for channel in outs:
+                if channel is None or channel.count + len(channel.staged) >= channel.cap:
+                    return 0
+            outer_env = outer_points[index]
+            arrays = ctx.arrays
+            for var, channel in pairs:
+                channel.push(eval_expr(init[var], outer_env, arrays))
+            state["next_point"] = index + 1
+            return 1
+
+        def reset() -> None:
+            state["next_point"] = 0
+
+        return step, _ALWAYS_ACTIVE, reset
+
+    def _make_collector(self, name, spec, latency):
+        channels = [self._in(name, port) for port in spec.in_ports]
+        blocked = any(c is None for c in channels)
+        kernel = self.kernel
+        outer_points = self.outer_points
+        result_vars = kernel.loop.result_vars
+        epilogue = kernel.epilogue
+        state = self._collector_states[name]
+        ctx = self._ctx
+
+        def step() -> int:
+            if blocked:
+                return 0
+            for channel in channels:
+                if not channel.count:
+                    return 0
+            values = [c.pop() for c in channels]
+            index = state["received"]
+            outer_env = dict(outer_points[index])
+            for var, value in zip(result_vars, values):
+                outer_env[var] = value
+            arrays = ctx.arrays
+            stats = ctx.stats
+            for store in epilogue:
+                addr = int(eval_expr(store.index, outer_env, arrays))
+                value = eval_expr(store.value, outer_env, arrays)
+                arrays[store.array].flat[addr] = value
+                stats.store_history.append((store.array, addr, value))
+            state["received"] = index + 1
+            stats.results_collected = state["received"]
+            return 1
+
+        def reset() -> None:
+            state["received"] = 0
+
+        return step, _ALWAYS_ACTIVE, reset
+
+    # -- running --------------------------------------------------------------
+
+    def retarget(self, capacities: Mapping[Edge, int] | None) -> int:
+        """Incremental recompilation for a capacity-only change.
+
+        Reallocates just the rings whose capacity differs; everything else —
+        step closures, evaluation order, resolved functions — is reused.
+        Returns the number of channels touched.
+        """
+        caps = self._base_capacities if capacities is None else capacities
+        changed = 0
+        for channel in self._channels:
+            cap = caps.get((channel.src, channel.dst), 1)
+            if cap != channel.cap:
+                channel.cap = cap
+                channel.buf = [None] * cap
+                changed += 1
+        return changed
+
+    def _reset(self, capacities: Mapping[Edge, int] | None) -> int:
+        retargeted = self.retarget(capacities)
+        for channel in self._channels:
+            if channel.count or channel.staged:
+                channel.buf = [None] * channel.cap
+            channel.head = 0
+            channel.count = 0
+            channel.staged.clear()
+            channel.peak = 0
+        for reset in self._resets:
+            reset()
+        self._active[:] = bytes([1]) * len(self._active)
+        self._dirty.clear()
+        self._tokens = 0
+        return retargeted
+
+    def run(
+        self,
+        arrays: dict,
+        *,
+        capacities: Mapping[Edge, int] | None = None,
+        max_cycles: int = 5_000_000,
+        deadlock_window: int = 10_000,
+        trace=None,
+    ) -> SimStats:
+        """Execute one stimulus (an arrays dict) against the compiled circuit.
+
+        *capacities* overrides the compile-time buffer placement for this run
+        (an incremental retarget); ``None`` restores the compile-time one.
+        """
+        with obs.span(
+            "sim:run",
+            kernel=self.kernel.name,
+            nodes=len(self.graph.nodes),
+            backend="compiled",
+        ) as sp:
+            stats = self._run_once(arrays, capacities, max_cycles, deadlock_window, trace)
+            sp.set(cycles=stats.cycles, tokens_fired=stats.tokens_fired)
+        obs.count("sim.runs")
+        obs.count("sim.cycles", stats.cycles)
+        return stats
+
+    def run_batch(self, configs: Sequence[BatchRun | Mapping]) -> list[SimStats]:
+        """Execute many stimuli/placement variants without re-lowering."""
+        runs = [
+            config if isinstance(config, BatchRun) else BatchRun(**config)
+            for config in configs
+        ]
+        with obs.span(
+            "sim:run_batch", kernel=self.kernel.name, runs=len(runs)
+        ) as sp:
+            results = []
+            cycles = 0
+            for config in runs:
+                stats = self._run_once(
+                    config.arrays,
+                    config.capacities,
+                    config.max_cycles,
+                    config.deadlock_window,
+                    config.trace,
+                )
+                cycles += stats.cycles
+                results.append(stats)
+            sp.set(cycles=cycles)
+        obs.count("sim.runs", len(runs))
+        obs.count("sim.cycles", cycles)
+        return results
+
+    def _run_once(self, arrays, capacities, max_cycles, deadlock_window, trace) -> SimStats:
+        retargeted = self._reset(capacities)
+        if retargeted:
+            obs.count("sim.compiled.retargets", retargeted)
+        ctx = self._ctx
+        ctx.arrays = arrays
+        ctx.trace = trace
+        ctx.stats = stats = SimStats()
+
+        active = self._active
+        steps = self._steps
+        pipelines = self._pipelines
+        dirty = self._dirty
+        expected = self._expected_results
+        node_range = range(len(steps))
+        idle = 0
+        cycle = 0
+        while cycle < max_cycles:
+            ctx.cycle = cycle
+            fired = 0
+            for i in node_range:
+                if active[i]:
+                    f = steps[i]()
+                    if f:
+                        fired += f
+                    elif not pipelines[i]:
+                        active[i] = 0
+            if dirty:
+                for channel in dirty:
+                    staged = channel.staged
+                    buf = channel.buf
+                    cap = channel.cap
+                    index = channel.head + channel.count
+                    for value in staged:
+                        if index >= cap:
+                            index -= cap
+                        buf[index] = value
+                        index += 1
+                    channel.count += len(staged)
+                    staged.clear()
+                    active[channel.consumer] = 1
+                dirty.clear()
+            cycle += 1
+            if self._tokens > stats.peak_in_flight:
+                stats.peak_in_flight = self._tokens
+            if stats.results_collected >= expected:
+                stats.cycles = cycle
+                stats.channel_peaks = {
+                    (channel.src, channel.dst): channel.peak
+                    for channel in self._channels
+                }
+                return stats
+            if fired == 0:
+                idle += 1
+                if idle > deadlock_window:
+                    raise DeadlockError(
+                        f"no activity for {deadlock_window} cycles "
+                        f"({stats.results_collected}/{expected} results)",
+                        cycle=cycle,
+                    )
+            else:
+                idle = 0
+                stats.tokens_fired += fired
+        raise SimulationError(f"simulation exceeded {max_cycles} cycles")
+
+
+def compile_circuit(
+    graph: ExprHigh,
+    env: Environment,
+    kernel: Kernel,
+    *,
+    capacities: Mapping[Edge, int] | None = None,
+    latency_of: Callable[[str, dict], int] | None = None,
+) -> CompiledCircuit:
+    """Lower *graph* into a reusable :class:`CompiledCircuit`.
+
+    Arguments mirror :class:`~repro.sim.cycle.CycleSimulator` minus the
+    per-run ones (arrays, trace, cycle limits), which move to
+    :meth:`CompiledCircuit.run`.
+    """
+    with obs.span(
+        "sim:compile", kernel=kernel.name, nodes=len(graph.nodes)
+    ):
+        circuit = CompiledCircuit(
+            graph, env, kernel, capacities=capacities, latency_of=latency_of
+        )
+    obs.count("sim.compiles")
+    return circuit

@@ -39,25 +39,50 @@ from ..hls.ir import Kernel, eval_expr
 Edge = tuple[Endpoint, Endpoint]  # (source, destination)
 
 
+def full_channel_message(
+    src: Endpoint | None, dst: Endpoint | None, occupancy: int, capacity: int
+) -> str:
+    """Diagnostic for a push into a full channel, naming the edge.
+
+    Both simulation backends raise this exact message, so deadlock triage
+    can locate the offending edge without re-running under ``--trace``.
+    """
+    if src is None and dst is None:
+        return f"push into a full channel ({occupancy}/{capacity} occupied)"
+    return (
+        f"push into full channel {src} -> {dst} "
+        f"({occupancy}/{capacity} occupied)"
+    )
+
+
 @dataclass
 class Channel:
     capacity: int
     queue: deque = field(default_factory=deque)
     staged: list = field(default_factory=list)  # pushed this cycle
+    src: Endpoint | None = None  # producing endpoint, for diagnostics
+    dst: Endpoint | None = None  # consuming endpoint, for diagnostics
+    peak: int = 0  # highest occupancy ever reached
 
     def can_push(self) -> bool:
         return len(self.queue) + len(self.staged) < self.capacity
 
     def push(self, value) -> None:
         if not self.can_push():
-            raise SimulationError("push into a full channel")
+            raise SimulationError(full_channel_message(self.src, self.dst, self.occupancy(), self.capacity))
         self.staged.append(value)
+        occupancy = len(self.queue) + len(self.staged)
+        if occupancy > self.peak:
+            self.peak = occupancy
 
     def push_now(self, value) -> None:
         """Combinational push: visible to consumers within this cycle."""
         if not self.can_push():
-            raise SimulationError("push into a full channel")
+            raise SimulationError(full_channel_message(self.src, self.dst, self.occupancy(), self.capacity))
         self.queue.append(value)
+        occupancy = len(self.queue) + len(self.staged)
+        if occupancy > self.peak:
+            self.peak = occupancy
 
     def can_pop(self) -> bool:
         return bool(self.queue)
@@ -83,6 +108,47 @@ class SimStats:
     store_history: list = field(default_factory=list)
     results_collected: int = 0
     peak_in_flight: int = 0
+    #: per-edge occupancy high-water marks, keyed by (src, dst) endpoints;
+    #: populated when a run completes successfully.
+    channel_peaks: dict = field(default_factory=dict)
+
+
+def evaluation_order(graph: ExprHigh, latency: Callable[[str], int]) -> list[str]:
+    """Topological sweep order for same-cycle combinational propagation.
+
+    Only edges *out of* zero-latency components constrain the order: a
+    combinational producer must tick before its consumers so its tokens
+    are visible within the cycle.  Every circuit cycle contains at least
+    one registered component (Mux/Branch/Merge or an operator), so this
+    sub-relation is acyclic; a malformed purely-combinational loop falls
+    back to name order for its members (and will deadlock visibly).
+
+    Shared by both backends — the compiled engine's flat op arrays are laid
+    out in exactly this order, which is one precondition for cycle-identical
+    behaviour.  *latency* maps a node name to its cycle latency.
+    """
+    comb = {name for name in graph.nodes if latency(name) == 0}
+    successors: dict[str, set[str]] = {name: set() for name in graph.nodes}
+    indegree: dict[str, int] = {name: 0 for name in graph.nodes}
+    for name in comb:
+        for succ, _, _ in graph.successors(name):
+            if succ != name and succ not in successors[name]:
+                successors[name].add(succ)
+                indegree[succ] += 1
+    import heapq
+
+    ready = [name for name, degree in indegree.items() if degree == 0]
+    heapq.heapify(ready)
+    order: list[str] = []
+    while ready:
+        name = heapq.heappop(ready)
+        order.append(name)
+        for succ in successors[name]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, succ)
+    leftovers = sorted(set(graph.nodes) - set(order))
+    return order + leftovers
 
 
 class CycleSimulator:
@@ -116,7 +182,7 @@ class CycleSimulator:
         self.out_channels: dict[Endpoint, Channel] = {}
         for dst, src in graph.connections.items():
             cap = capacities.get((src, dst), 1)
-            channel = Channel(capacity=cap)
+            channel = Channel(capacity=cap, src=src, dst=dst)
             self.in_channels[dst] = channel
             self.out_channels[src] = channel
 
@@ -190,6 +256,10 @@ class CycleSimulator:
             )
             if self.stats.results_collected >= expected_results:
                 self.stats.cycles = cycle
+                self.stats.channel_peaks = {
+                    (channel.src, channel.dst): channel.peak
+                    for channel in self.in_channels.values()
+                }
                 return self.stats
             if fired == 0:
                 idle += 1
@@ -205,41 +275,7 @@ class CycleSimulator:
         raise SimulationError(f"simulation exceeded {self.max_cycles} cycles")
 
     def _evaluation_order(self) -> list[str]:
-        """Topological sweep order for same-cycle combinational propagation.
-
-        Only edges *out of* zero-latency components constrain the order: a
-        combinational producer must tick before its consumers so its tokens
-        are visible within the cycle.  Every circuit cycle contains at least
-        one registered component (Mux/Branch/Merge or an operator), so this
-        sub-relation is acyclic; a malformed purely-combinational loop falls
-        back to name order for its members (and will deadlock visibly).
-        """
-        comb = {
-            name
-            for name, spec in self.graph.nodes.items()
-            if self._latency(name) == 0
-        }
-        successors: dict[str, set[str]] = {name: set() for name in self.graph.nodes}
-        indegree: dict[str, int] = {name: 0 for name in self.graph.nodes}
-        for name in comb:
-            for succ, _, _ in self.graph.successors(name):
-                if succ != name and succ not in successors[name]:
-                    successors[name].add(succ)
-                    indegree[succ] += 1
-        import heapq
-
-        ready = [name for name, degree in indegree.items() if degree == 0]
-        heapq.heapify(ready)
-        order: list[str] = []
-        while ready:
-            name = heapq.heappop(ready)
-            order.append(name)
-            for succ in successors[name]:
-                indegree[succ] -= 1
-                if indegree[succ] == 0:
-                    heapq.heappush(ready, succ)
-        leftovers = sorted(set(self.graph.nodes) - set(order))
-        return order + leftovers
+        return evaluation_order(self.graph, self._latency)
 
     # -- per-node behaviour ----------------------------------------------------------
 

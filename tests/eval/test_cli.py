@@ -123,7 +123,7 @@ class TestBench:
         monkeypatch.setattr(
             runner,
             "run_flow",
-            lambda name, flow, program=None: original(name, flow, matvec(6)),
+            lambda name, flow, program=None, **kw: original(name, flow, matvec(6), **kw),
         )
         code = main(["bench", "matvec", "--no-cache"])
         assert code == 0
@@ -209,7 +209,7 @@ class TestExecFlagValidation:
         monkeypatch.setattr(
             runner,
             "run_flow",
-            lambda name, flow, program=None: original(name, flow, matvec(6)),
+            lambda name, flow, program=None, **kw: original(name, flow, matvec(6), **kw),
         )
         code = main(["bench", "matvec", "--cache-dir", str(tmp_path / "cache")])
         assert code == 0

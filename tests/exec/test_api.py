@@ -254,25 +254,67 @@ class TestUnifiedMetrics:
             snapshot.rewrites_applied
         )
 
-    def test_old_attribute_access_warns_but_works(self, tmp_path):
-        session = Session(cache_dir=tmp_path)
-        session.bench("matvec", program=matvec(4))
-        with pytest.warns(DeprecationWarning, match="session.metrics"):
-            executed = session.metrics.executed
-        assert executed == session.metrics().executed
-        with pytest.warns(DeprecationWarning):
-            assert "units" in session.metrics.summary()
-
-    def test_unknown_attribute_raises_without_warning(self):
+    def test_attribute_facade_removed(self):
+        """The pre-v1.3 attribute forms are gone: metrics is a plain method."""
         session = Session(use_cache=False)
-        with pytest.raises(AttributeError, match="MetricsSnapshot"):
-            session.metrics.no_such_stat
+        method = Session.__dict__["metrics"]
+        assert not isinstance(method, property)
+        with pytest.raises(AttributeError):
+            session.metrics.executed  # bound method has no stats attributes
+        assert session.metrics().executed == 0
 
 
-class TestDeprecatedShim:
-    def test_top_level_run_benchmark_warns_and_delegates(self):
+class TestRemovedShims:
+    def test_top_level_run_benchmark_removed(self):
         import repro
 
-        with pytest.warns(DeprecationWarning):
-            result = repro.run_benchmark("matvec", matvec(4))
-        assert set(result.flows) == set(FLOWS)
+        assert not hasattr(repro, "run_benchmark")
+        assert "run_benchmark" not in repro.__all__
+
+
+class TestSessionSimulate:
+    def make(self):
+        # compile_program registers the benchmark's array accessors in the
+        # environment, so the session must share it.
+        env = default_environment()
+        program = matvec(4)
+        compiled = compile_program(program, env)
+        return program, compiled.kernels[0], Session(env, use_cache=False)
+
+    def test_single_stimulus_returns_stats(self):
+        program, ck, session = self.make()
+        stats = session.simulate(ck, stimuli=program.arrays)
+        assert stats.cycles > 0
+        assert stats.results_collected == 4
+        assert stats.channel_peaks  # populated on success
+
+    def test_batch_identical_across_backends(self):
+        program, ck, session = self.make()
+
+        def fresh():
+            return {k: v.copy() for k, v in program.arrays.items()}
+
+        compiled_runs = session.simulate(
+            ck, stimuli=[fresh(), fresh()], backend="compiled"
+        )
+        interp_runs = session.simulate(
+            ck, stimuli=[fresh(), fresh()], backend="interp"
+        )
+        assert [s.cycles for s in compiled_runs] == [s.cycles for s in interp_runs]
+        assert [s.channel_peaks for s in compiled_runs] == [
+            s.channel_peaks for s in interp_runs
+        ]
+
+    def test_bare_graph_requires_kernel(self):
+        program, ck, session = self.make()
+        with pytest.raises(ValueError, match="kernel"):
+            session.simulate(ck.graph, stimuli=program.arrays)
+        stats = session.simulate(
+            ck.graph, kernel=ck.kernel, stimuli=program.arrays
+        )
+        assert stats.cycles > 0
+
+    def test_unknown_backend_rejected(self):
+        program, ck, session = self.make()
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            session.simulate(ck, stimuli=program.arrays, backend="bogus")

@@ -1,0 +1,217 @@
+"""Tests for the graph-compiled simulation engine (repro.sim.compiled)."""
+
+import numpy as np
+import pytest
+
+from repro.components import default_environment, join
+from repro.errors import DeadlockError, SimulationError
+from repro.hls.area import latency_of
+from repro.hls.buffers import place_buffers
+from repro.hls.frontend import compile_program
+from repro.hls.ooo import transform_out_of_order
+from repro.sim.compiled import BatchRun, CompiledCircuit, compile_circuit
+from repro.sim.cycle import CycleSimulator
+from repro.sim.dispatch import BACKENDS, simulate_graph
+
+from .test_cycle import countdown_program
+
+
+def compile_countdown(transform=None, n_points=4):
+    """(program, env, ck, graph, capacities) for the countdown benchmark."""
+    program = countdown_program(n_points)
+    env = default_environment()
+    compiled = compile_program(program, env)
+    ck = compiled.kernels[0]
+    if transform == "ooo":
+        graph, tags = transform_out_of_order(ck.graph, ck.mark), ck.mark.tags
+    else:
+        graph, tags = ck.graph, None
+    return program, env, ck, graph, place_buffers(graph, tags).capacities
+
+
+def stats_tuple(stats):
+    return (
+        stats.cycles,
+        stats.tokens_fired,
+        stats.results_collected,
+        stats.peak_in_flight,
+        stats.channel_peaks,
+        [(a, int(i), float(v)) for a, i, v in stats.store_history],
+    )
+
+
+class TestCompileOnceRunMany:
+    def test_repeated_runs_are_identical(self):
+        program, env, ck, graph, caps = compile_countdown("ooo")
+        pristine = {k: v.copy() for k, v in program.arrays.items()}
+        circuit = compile_circuit(
+            graph, env, ck.kernel, capacities=caps, latency_of=latency_of
+        )
+        seen = []
+        for _ in range(3):
+            for k, v in pristine.items():
+                program.arrays[k][...] = v
+            stats = circuit.run(program.arrays)
+            seen.append((stats_tuple(stats), {k: v.copy() for k, v in program.arrays.items()}))
+        first_stats, first_arrays = seen[0]
+        assert first_stats[2] == 4  # all outer points collected
+        for other_stats, other_arrays in seen[1:]:
+            assert other_stats == first_stats
+            for key in first_arrays:
+                assert np.array_equal(other_arrays[key], first_arrays[key])
+
+    def test_matches_interpreter(self):
+        program, env, ck, graph, caps = compile_countdown("ooo")
+        pristine = {k: v.copy() for k, v in program.arrays.items()}
+        compiled_stats = simulate_graph(
+            graph, env, ck.kernel, program.arrays,
+            capacities=caps, latency_of=latency_of, backend="compiled",
+        )
+        compiled_out = program.arrays["out"].copy()
+        for k, v in pristine.items():
+            program.arrays[k][...] = v
+        interp_stats = simulate_graph(
+            graph, env, ck.kernel, program.arrays,
+            capacities=caps, latency_of=latency_of, backend="interp",
+        )
+        assert stats_tuple(compiled_stats) == stats_tuple(interp_stats)
+        assert np.array_equal(compiled_out, program.arrays["out"])
+
+
+class TestRunBatch:
+    def test_batch_with_per_run_capacities(self):
+        program, env, ck, graph, caps = compile_countdown("ooo")
+        pristine = {k: v.copy() for k, v in program.arrays.items()}
+        narrowed = {edge: 1 for edge in caps}
+        circuit = compile_circuit(
+            graph, env, ck.kernel, capacities=caps, latency_of=latency_of
+        )
+
+        def fresh():
+            return {k: v.copy() for k, v in pristine.items()}
+
+        results = circuit.run_batch(
+            [
+                BatchRun(arrays=fresh()),
+                BatchRun(arrays=fresh(), capacities=narrowed),
+                BatchRun(arrays=fresh(), capacities=caps),
+            ]
+        )
+        assert len(results) == 3
+        # Starving the buffers can only slow the circuit down.
+        assert results[1].cycles >= results[0].cycles
+        # Returning to the compile-time placement restores the measurement.
+        assert stats_tuple(results[2]) == stats_tuple(results[0])
+
+    def test_mapping_configs_are_coerced(self):
+        program, env, ck, graph, caps = compile_countdown()
+        circuit = compile_circuit(
+            graph, env, ck.kernel, capacities=caps, latency_of=latency_of
+        )
+        arrays = {k: v.copy() for k, v in program.arrays.items()}
+        [from_mapping] = circuit.run_batch([{"arrays": arrays}])
+        arrays = {k: v.copy() for k, v in program.arrays.items()}
+        [from_dataclass] = circuit.run_batch([BatchRun(arrays=arrays)])
+        assert stats_tuple(from_mapping) == stats_tuple(from_dataclass)
+
+
+class TestRetarget:
+    def test_retarget_counts_changed_channels(self):
+        program, env, ck, graph, caps = compile_countdown("ooo")
+        circuit = compile_circuit(
+            graph, env, ck.kernel, capacities=caps, latency_of=latency_of
+        )
+        narrowed = {edge: 1 for edge in caps}
+        changed = circuit.retarget(narrowed)
+        assert changed == sum(1 for edge, cap in caps.items() if cap != 1)
+        # Retargeting to the capacities already in force is a no-op.
+        assert circuit.retarget(narrowed) == 0
+
+    def test_retarget_matches_fresh_compile(self):
+        program, env, ck, graph, caps = compile_countdown("ooo")
+        pristine = {k: v.copy() for k, v in program.arrays.items()}
+        narrowed = {edge: 1 for edge in caps}
+
+        circuit = compile_circuit(
+            graph, env, ck.kernel, capacities=caps, latency_of=latency_of
+        )
+        retargeted = circuit.run(
+            {k: v.copy() for k, v in pristine.items()}, capacities=narrowed
+        )
+        fresh = compile_circuit(
+            graph, env, ck.kernel, capacities=narrowed, latency_of=latency_of
+        ).run({k: v.copy() for k, v in pristine.items()})
+        assert stats_tuple(retargeted) == stats_tuple(fresh)
+
+
+class TestDeadlockParity:
+    def make_starved(self):
+        # Same construction as TestDeadlockDetection in test_cycle.py: cut
+        # the mux_n loop-back and route it through a Join whose second
+        # input dangles, so the circuit starves.
+        program = countdown_program(2)
+        env = default_environment()
+        compiled = compile_program(program, env)
+        ck = compiled.kernels[0]
+        graph = ck.graph.copy()
+        src = graph.disconnect("mux_n", "in0")
+        graph.add_node("stray", join())
+        graph.connect(src.node, src.port, "stray", "in0")
+        graph.connect("stray", "out0", "mux_n", "in0")
+        return program, env, ck, graph
+
+    def test_both_backends_raise_identical_deadlock(self):
+        program, env, ck, graph = self.make_starved()
+        pristine = {k: v.copy() for k, v in program.arrays.items()}
+
+        with pytest.raises(DeadlockError) as interp_err:
+            CycleSimulator(
+                graph, env, ck.kernel, program.arrays, {}, latency_of,
+                deadlock_window=200,
+            ).run()
+        for k, v in pristine.items():
+            program.arrays[k][...] = v
+        circuit = compile_circuit(graph, env, ck.kernel, latency_of=latency_of)
+        with pytest.raises(DeadlockError) as compiled_err:
+            circuit.run(program.arrays, deadlock_window=200)
+
+        assert str(compiled_err.value) == str(interp_err.value)
+        assert compiled_err.value.cycle == interp_err.value.cycle
+
+
+class TestFullChannelDiagnostic:
+    def test_overflow_names_the_edge_and_occupancy(self):
+        program, env, ck, graph, caps = compile_countdown()
+        circuit = compile_circuit(
+            graph, env, ck.kernel, capacities=caps, latency_of=latency_of
+        )
+        ring = circuit._channels[0]
+        for _ in range(ring.cap):
+            ring.push(0)
+        with pytest.raises(SimulationError) as err:
+            ring.push(0)
+        message = str(err.value)
+        assert f"{ring.src} -> {ring.dst}" in message
+        assert f"({ring.cap}/{ring.cap} occupied)" in message
+
+
+class TestDispatch:
+    def test_backends_tuple(self):
+        assert BACKENDS == ("compiled", "interp")
+
+    def test_unknown_backend_raises_value_error(self):
+        program, env, ck, graph, caps = compile_countdown()
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            simulate_graph(
+                graph, env, ck.kernel, program.arrays,
+                capacities=caps, latency_of=latency_of, backend="bogus",
+            )
+
+    def test_unknown_component_type_rejected_at_compile(self):
+        from repro.core import ExprHigh, NodeSpec
+
+        program, env, ck, _, _ = compile_countdown()
+        graph = ExprHigh()
+        graph.add_node("mystery", NodeSpec("Frobnicator", ("in0",), ("out0",)))
+        with pytest.raises(SimulationError, match="no cycle model"):
+            CompiledCircuit(graph, env, ck.kernel)
