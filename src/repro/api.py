@@ -57,6 +57,7 @@ from .obs import MetricsSnapshot
 from .rewriting.engine import EngineStats
 from .rewriting.pipeline import GraphitiPipeline, TransformResult
 from .rewriting.rules import VERIFY_FACTORY_SPECS, build_rewrite
+from .rewriting.saturate import SaturationBudget, SaturationStats
 
 
 class Session:
@@ -95,6 +96,7 @@ class Session:
             self.cache = NullCache()
         self._metrics = ExecutorMetrics()
         self._engine_stats = EngineStats()
+        self._saturation_stats = SaturationStats()
         self.executor = Executor(jobs=jobs, cache=self.cache, metrics=self._metrics)
         self._check_obligations = check_obligations
 
@@ -115,22 +117,46 @@ class Session:
             rewriting=self._engine_stats.to_dict(),
             counters=dict(tracer.counters),
             gauges=dict(tracer.gauges),
+            saturation=self._saturation_stats.to_dict(),
         )
 
     # -- transformation ------------------------------------------------------
 
-    def transform(self, graph: ExprHigh, mark) -> TransformResult:
-        """Run the five-phase out-of-order pipeline on a marked loop."""
+    def transform(
+        self,
+        graph: ExprHigh,
+        mark,
+        *,
+        strategy: str = "fixpoint",
+        budget: SaturationBudget | None = None,
+    ) -> TransformResult:
+        """Transform a marked loop: destructive fixpoint or saturation.
+
+        ``strategy="fixpoint"`` (the default) runs the five-phase
+        out-of-order pipeline; ``strategy="saturate"`` runs the fixpoint
+        baseline and then equality-saturates the kernel under the
+        structural rewrite set, returning the (area, cycles) Pareto
+        frontier in ``result.pareto`` with the best-cost circuit as
+        ``result.graph``.  *budget* bounds the exploration (see
+        :class:`~repro.rewriting.saturate.SaturationBudget`).
+        """
         pipeline = GraphitiPipeline(
-            self.env, check_obligations=self._check_obligations, cache=self.cache
+            self.env,
+            check_obligations=self._check_obligations,
+            cache=self.cache,
+            strategy=strategy,
+            budget=budget,
         )
-        with obs.span("transform", kernel=getattr(mark, "kernel", "?")):
+        with obs.span(
+            "transform", kernel=getattr(mark, "kernel", "?"), strategy=strategy
+        ):
             try:
                 return pipeline.transform_kernel(graph, mark)
             finally:
                 # Whatever happened — success, refusal, or an exception —
                 # the engine's counters roll up into session.metrics().
                 self._engine_stats.merge(pipeline.engine.stats)
+                self._saturation_stats.merge(pipeline.saturation_stats)
 
     # -- verification --------------------------------------------------------
 

@@ -46,6 +46,15 @@ class RewriteError(GraphitiError):
     """A rewrite could not be applied to the located subgraph."""
 
 
+class SaturationLimitError(RewriteError):
+    """Equality saturation exhausted its node/iteration budget.
+
+    Raised only when the saturation was configured with
+    ``on_exhausted="error"``; the default policy returns the partial
+    frontier explored so far instead.
+    """
+
+
 class CertificateError(GraphitiError):
     """A serialised simulation certificate was malformed, of the wrong
     format version, or failed its content-hash integrity check."""

@@ -29,6 +29,10 @@ class MetricsSnapshot:
     * ``rewriting`` — ``rewrites_applied``/``matches_tried``/``seconds``/
       ``full_scans``/``worklist_scans`` plus ``per_rewrite`` keyed by
       rewrite name (``applied``/``matches_tried``/``match_seconds``);
+    * ``saturation`` — e-graph backend counters accumulated across
+      ``strategy="saturate"`` transforms: ``states``/``enodes``/
+      ``eclasses``/``rules_fired``/``frontier``/``budget_exhausted`` and
+      the saturate/extract/certify timings;
     * ``counters``/``gauges`` — the observability tracer's typed counters
       (e.g. ``matcher.plan_cache_hits``) and gauges.
     """
@@ -37,6 +41,7 @@ class MetricsSnapshot:
     rewriting: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)
+    saturation: dict = field(default_factory=dict)
 
     # -- executor convenience (the old ExecutorMetrics surface) --------------
 
@@ -83,6 +88,7 @@ class MetricsSnapshot:
             "rewriting": dict(self.rewriting),
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "saturation": dict(self.saturation),
         }
 
     @staticmethod
@@ -92,6 +98,7 @@ class MetricsSnapshot:
             rewriting=dict(data.get("rewriting", {})),
             counters=dict(data.get("counters", {})),
             gauges=dict(data.get("gauges", {})),
+            saturation=dict(data.get("saturation", {})),
         )
 
     def summary(self) -> str:
@@ -104,6 +111,12 @@ class MetricsSnapshot:
                 f"{self.rewrites_applied} rewrites applied"
                 f" ({self.matches_tried} candidates tried,"
                 f" {float(self.rewriting.get('seconds', 0.0)):.2f}s)"
+            )
+        if self.saturation:
+            parts.append(
+                f"saturation: {int(self.saturation.get('states', 0))} states,"
+                f" {int(self.saturation.get('enodes', 0))} e-nodes,"
+                f" {int(self.saturation.get('frontier', 0))} pareto points"
             )
         if self.counters:
             parts.append(
