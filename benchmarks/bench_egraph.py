@@ -51,7 +51,7 @@ def collect_measurements(cache_dir: str) -> dict:
         for name, ck in _kernels(session):
             start = perf_counter()
             outcome = session.transform(
-                ck.graph, ck.mark, strategy="saturate", budget=_budget()
+                graph=ck.graph, mark=ck.mark, strategy="saturate", budget=_budget()
             )
             seconds = perf_counter() - start
             entry = results.setdefault(

@@ -1,0 +1,219 @@
+"""Load test for the verification service (``repro serve``).
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_service.py``) to
+boot a :class:`repro.service.server.ServiceServer` on a free port and
+measure, over all six built-in kernels,
+
+* the **store speedup** — a cold ``transform`` request (computed by a
+  worker Session) against an immediately repeated identical request
+  (answered synchronously from the content-addressed result store), and
+* the **replay determinism** — ``--clients`` concurrent clients (64 by
+  default) each replaying a transform + simulate request per kernel;
+  every byte that comes back over HTTP must equal the same call made on
+  an in-process, uncached :class:`repro.Session`,
+
+and append an entry to ``benchmarks/BENCH_service.json``.
+
+``--guard --min-speedup 5`` is the CI mode: it exits 1 unless the
+aggregate warm/cold transform ratio clears the given factor, every
+replayed result is byte-identical to the in-process ground truth, and no
+job failed.
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+#: The six paper kernels every client replays.
+BENCHMARKS = ("bicg", "gemm", "gsum-many", "gsum-single", "matvec", "mvt")
+
+#: (kind, params) requests replayed per client, in order, for one kernel.
+def _replay_ops(name):
+    return [
+        ("transform", {"kernel": name}),
+        ("simulate", {"kernel": name, "flow": "DF-IO"}),
+    ]
+
+
+def _boot_server(cache_dir):
+    """Start a ServiceServer in a daemon thread; return (server, client)."""
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceServer
+
+    server = ServiceServer(port=0, workers=4, cache_dir=cache_dir)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    deadline = perf_counter() + 10
+    while server.port == 0:
+        if perf_counter() > deadline:
+            raise RuntimeError("service did not bind a port within 10s")
+    return server, ServiceClient(port=server.port), thread
+
+
+def _expected_results():
+    """Ground truth: every replayed op on one in-process, uncached Session."""
+    from repro import Session
+    from repro.service.ops import canonical_params, run_op
+
+    expected = {}
+    with Session(use_cache=False) as session:
+        for name in BENCHMARKS:
+            for kind, params in _replay_ops(name):
+                expected[(kind, name)] = json.dumps(
+                    run_op(session, kind, canonical_params(kind, params)),
+                    sort_keys=True,
+                )
+    return expected
+
+
+def collect_measurements(clients: int = 64) -> dict:
+    """Boot a server, time cold-vs-store transforms, then hammer it."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        server, client, thread = _boot_server(tmp)
+        try:
+            return _measure(client, clients)
+        finally:
+            client.shutdown()
+            thread.join(timeout=30)
+
+
+def _measure(client, clients: int) -> dict:
+    kernels = {}
+    for name in BENCHMARKS:
+        start = perf_counter()
+        cold = client.run("transform", {"kernel": name})
+        cold_seconds = perf_counter() - start
+        start = perf_counter()
+        warm = client.run("transform", {"kernel": name})
+        warm_seconds = perf_counter() - start
+        kernels[name] = {
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "store_speedup": round(cold_seconds / warm_seconds, 2),
+            "results_match": json.dumps(cold, sort_keys=True)
+            == json.dumps(warm, sort_keys=True),
+        }
+
+    expected = _expected_results()
+    replay = [
+        (kind, name, dict(params))
+        for name in BENCHMARKS
+        for kind, params in _replay_ops(name)
+    ]
+
+    def drive(client_index):
+        matches, requests = 0, 0
+        for kind, name, params in replay:
+            payload = json.dumps(client.run(kind, params), sort_keys=True)
+            requests += 1
+            matches += payload == expected[(kind, name)]
+        return matches, requests
+
+    start = perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        outcomes = list(pool.map(drive, range(clients)))
+    replay_seconds = perf_counter() - start
+
+    metrics = client.metrics()
+    requests = sum(count for _, count in outcomes)
+    return {
+        "kernels": kernels,
+        "replay": {
+            "clients": clients,
+            "requests": requests,
+            "byte_identical": sum(matched for matched, _ in outcomes),
+            "seconds": round(replay_seconds, 6),
+            "requests_per_second": round(requests / replay_seconds, 1),
+        },
+        "service": {
+            "jobs_done": metrics["jobs"]["done"],
+            "jobs_failed": metrics["jobs"]["failed"],
+            "store_hits": metrics["store"]["hits"],
+            "store_writes": metrics["store"]["writes"],
+        },
+    }
+
+
+def _aggregate(measurements: dict) -> dict:
+    kernels = measurements["kernels"]
+    cold = sum(row["cold_seconds"] for row in kernels.values())
+    warm = sum(row["warm_seconds"] for row in kernels.values())
+    replay = measurements["replay"]
+    return {
+        "cold_seconds": round(cold, 6),
+        "warm_seconds": round(warm, 6),
+        "store_speedup": round(cold / warm, 2),
+        "results_match": all(row["results_match"] for row in kernels.values()),
+        "byte_identical": replay["byte_identical"] == replay["requests"],
+        "jobs_failed": measurements["service"]["jobs_failed"],
+    }
+
+
+def _append_history(entry: dict) -> None:
+    from pathlib import Path
+
+    out = Path(__file__).with_name("BENCH_service.json")
+    history = json.loads(out.read_text()) if out.exists() else []
+    history.append(entry)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(json.dumps(entry, indent=2))
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro._version import __version__
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="exit 1 unless the aggregate store speedup clears --min-speedup "
+        "and every replayed result is byte-identical to an in-process Session",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required cold/warm transform ratio in guard mode (default: 5.0)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=64, help="concurrent replay clients"
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
+
+    measurements = collect_measurements(clients=args.clients)
+    aggregate = _aggregate(measurements)
+    _append_history(
+        {"tool_version": __version__, "load": measurements, "aggregate": aggregate}
+    )
+
+    if args.guard:
+        if not aggregate["results_match"] or not aggregate["byte_identical"]:
+            print("FAIL: a service result diverged from the in-process Session")
+            return 1
+        if aggregate["jobs_failed"]:
+            print(f"FAIL: {aggregate['jobs_failed']} job(s) failed under load")
+            return 1
+        if aggregate["store_speedup"] < args.min_speedup:
+            print(
+                f"FAIL: aggregate store speedup {aggregate['store_speedup']:g}x "
+                f"below {args.min_speedup:g}x"
+            )
+            return 1
+        print(
+            f"OK: store answers repeated transforms "
+            f"{aggregate['store_speedup']:g}x faster, "
+            f"{measurements['replay']['requests']} replayed requests from "
+            f"{measurements['replay']['clients']} clients all byte-identical"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,7 +47,7 @@ from .core import (
     denote,
 )
 from .dot import parse_dot, print_dot
-from .errors import GraphitiError
+from .errors import GraphitiError, ResultSchemaError, ServiceError
 from .refinement import (
     check_graph_refinement,
     check_refinement,
@@ -70,6 +70,8 @@ __all__ = [
     "parse_dot",
     "print_dot",
     "GraphitiError",
+    "ResultSchemaError",
+    "ServiceError",
     "check_graph_refinement",
     "check_refinement",
     "check_rewrite_obligation",

@@ -42,6 +42,7 @@ to per-rewrite matching and pool-worker subtrees.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -49,6 +50,7 @@ from . import obs
 from .components import default_environment
 from .core.environment import Environment
 from .core.exprhigh import ExprHigh
+from .errors import GraphitiError
 from .exec.cache import NullCache, ResultCache, default_cache_dir
 from .exec.executor import Executor, WorkUnit
 from .exec.hashing import eval_unit_key, obligation_fingerprint, weak_sim_key
@@ -58,6 +60,37 @@ from .rewriting.engine import EngineStats
 from .rewriting.pipeline import GraphitiPipeline, TransformResult
 from .rewriting.rules import VERIFY_FACTORY_SPECS, build_rewrite
 from .rewriting.saturate import SaturationBudget, SaturationStats
+
+
+def _positional_shim(method: str, args: tuple, names: Sequence[str], values: dict) -> None:
+    """Map deprecated positional arguments onto their keyword slots.
+
+    ``Session.transform/simulate/bench`` went keyword-only in v1.7 so that
+    call sites — the verification service's worker pool above all — are
+    unambiguous.  Positional use keeps working for one release with a
+    :class:`DeprecationWarning`; mixing a positional argument with its
+    keyword form is an error, exactly as Python itself would report it.
+    """
+    if not args:
+        return
+    if len(args) > len(names):
+        raise TypeError(
+            f"Session.{method}() takes at most {len(names)} positional "
+            f"argument{'s' if len(names) != 1 else ''} ({len(args)} given)"
+        )
+    warnings.warn(
+        f"positional arguments to Session.{method}() are deprecated and will "
+        f"be removed in the next release; pass "
+        f"{', '.join(f'{name}=...' for name in names[: len(args)])} as keywords",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, args):
+        if values.get(name) is not None:
+            raise TypeError(
+                f"Session.{method}() got multiple values for argument {name!r}"
+            )
+        values[name] = value
 
 
 class Session:
@@ -99,6 +132,42 @@ class Session:
         self._saturation_stats = SaturationStats()
         self.executor = Executor(jobs=jobs, cache=self.cache, metrics=self._metrics)
         self._check_obligations = check_obligations
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; a closed session refuses work."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the session's resources: drain the executor worker pool.
+
+        Idempotent.  After closing, every work-dispatching method raises,
+        so a pool manager (the verification service owns one ``Session``
+        per concurrent worker slot) can prove no stray work unit outlives
+        the session.  ``Session`` is also a context manager::
+
+            with Session(jobs=4) as session:
+                session.bench(name="matvec")
+            # pool drained here
+        """
+        self._closed = True
+        self.executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _require_open(self, method: str) -> None:
+        if self._closed:
+            raise GraphitiError(
+                f"Session.{method}() called on a closed session "
+                "(close() already drained the executor pool)"
+            )
 
     # -- metrics -------------------------------------------------------------
 
@@ -124,13 +193,16 @@ class Session:
 
     def transform(
         self,
-        graph: ExprHigh,
-        mark,
-        *,
+        *args,
+        graph: ExprHigh | None = None,
+        mark=None,
         strategy: str = "fixpoint",
         budget: SaturationBudget | None = None,
     ) -> TransformResult:
         """Transform a marked loop: destructive fixpoint or saturation.
+
+        All arguments are keyword-only since v1.7 (positional *graph* and
+        *mark* still work for one release with a ``DeprecationWarning``).
 
         ``strategy="fixpoint"`` (the default) runs the five-phase
         out-of-order pipeline; ``strategy="saturate"`` runs the fixpoint
@@ -140,6 +212,12 @@ class Session:
         ``result.graph``.  *budget* bounds the exploration (see
         :class:`~repro.rewriting.saturate.SaturationBudget`).
         """
+        shim = {"graph": graph, "mark": mark}
+        _positional_shim("transform", args, ("graph", "mark"), shim)
+        graph, mark = shim["graph"], shim["mark"]
+        if graph is None or mark is None:
+            raise TypeError("Session.transform() requires graph= and mark=")
+        self._require_open("transform")
         pipeline = GraphitiPipeline(
             self.env,
             check_obligations=self._check_obligations,
@@ -167,6 +245,7 @@ class Session:
         ``verified_flag`` (was the rewrite *claimed* verified), ``detail``
         (the counterexample message when it does not hold) and ``seconds``.
         """
+        self._require_open("verify")
         specs = list(specs if specs is not None else VERIFY_FACTORY_SPECS)
         units = []
         for module, factory, kwargs in specs:
@@ -206,6 +285,7 @@ SimulationCertificate` in the content-addressed result cache, and a warm
         ``"mixed"``), ``instances``, ``certificate_hashes``, ``detail`` and
         ``seconds``.
         """
+        self._require_open("check_obligations")
         specs = list(specs if specs is not None else VERIFY_FACTORY_SPECS)
         cache_dir = str(self.cache.root) if isinstance(self.cache, ResultCache) else None
         units = [
@@ -236,6 +316,7 @@ SimulationCertificate` in the content-addressed result cache, and a warm
         Each pair is ``(lhs, rhs)`` — specification first, like
         :func:`repro.refinement.checker.check_rewrite_obligation`.
         """
+        self._require_open("check_refinements")
         units = []
         for index, (lhs, rhs) in enumerate(pairs):
             key = weak_sim_key(
@@ -262,9 +343,9 @@ SimulationCertificate` in the content-addressed result cache, and a warm
 
     def simulate(
         self,
-        graph_or_kernel,
-        *,
-        stimuli,
+        *args,
+        graph_or_kernel=None,
+        stimuli=None,
         backend: str = "compiled",
         kernel=None,
         tags: int | None = None,
@@ -275,6 +356,10 @@ SimulationCertificate` in the content-addressed result cache, and a warm
         deadlock_window: int = 10_000,
     ):
         """Cycle-simulate a circuit: the single simulation entry point.
+
+        All arguments are keyword-only since v1.7 (a positional
+        *graph_or_kernel* still works for one release with a
+        ``DeprecationWarning``).
 
         Parameters
         ----------
@@ -307,6 +392,14 @@ SimulationCertificate` in the content-addressed result cache, and a warm
         from .sim.compiled import BatchRun, compile_circuit
         from .sim.dispatch import BACKENDS, simulate_graph
 
+        shim = {"graph_or_kernel": graph_or_kernel}
+        _positional_shim("simulate", args, ("graph_or_kernel",), shim)
+        graph_or_kernel = shim["graph_or_kernel"]
+        if graph_or_kernel is None:
+            raise TypeError("Session.simulate() requires graph_or_kernel=")
+        if stimuli is None:
+            raise TypeError("Session.simulate() requires stimuli=")
+        self._require_open("simulate")
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown simulation backend {backend!r}; expected one of {BACKENDS}"
@@ -369,8 +462,23 @@ SimulationCertificate` in the content-addressed result cache, and a warm
                 ]
         return results[0] if single else results
 
-    def bench(self, name: str, program=None, backend: str = "compiled") -> "BenchmarkResult":
-        """Run one benchmark through all four flows."""
+    def bench(
+        self,
+        *args,
+        name: str | None = None,
+        program=None,
+        backend: str = "compiled",
+    ) -> "BenchmarkResult":
+        """Run one benchmark through all four flows.
+
+        All arguments are keyword-only since v1.7 (positional *name* and
+        *program* still work for one release with a ``DeprecationWarning``).
+        """
+        shim = {"name": name, "program": program}
+        _positional_shim("bench", args, ("name", "program"), shim)
+        name, program = shim["name"], shim["program"]
+        if name is None:
+            raise TypeError("Session.bench() requires name=")
         return self.bench_many(
             [name],
             {name: program} if program is not None else None,
@@ -387,6 +495,7 @@ SimulationCertificate` in the content-addressed result cache, and a warm
         from .eval.runner import FLOWS, BenchmarkResult, FlowResult
         from .hls.frontend import compile_program
 
+        self._require_open("bench_many")
         names = list(names)
         with obs.span("bench", benchmarks=len(names), backend=backend):
             units = []

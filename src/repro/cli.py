@@ -106,7 +106,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
         return 2
     session = _session(args, check_obligations=args.check)
     with _observe(args):
-        result = session.transform(graph, mark, strategy=args.strategy)
+        result = session.transform(graph=graph, mark=mark, strategy=args.strategy)
     if not result.transformed and result.strategy != "saturate":
         print(f"refused: {result.refusal}", file=sys.stderr)
         return 2
@@ -152,7 +152,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _refine_specs(args: argparse.Namespace):
-    """Resolve ``--rule`` filters against the verified-rewrite registry."""
+    """Resolve ``--rule`` filters against the verified-rewrite registry.
+
+    Raises :class:`~repro.errors.GraphitiError` on an unknown rule name so
+    callers report it as an invalid-argument failure (exit code 2, like
+    every other bad flag — see the exit-code table in ``docs/api.md``).
+    """
+    from .errors import GraphitiError
     from .rewriting.rules import VERIFY_FACTORY_SPECS
 
     specs = list(VERIFY_FACTORY_SPECS)
@@ -162,9 +168,7 @@ def _refine_specs(args: argparse.Namespace):
         unknown = wanted - {factory for _, factory, _ in specs}
         if unknown:
             known = sorted({factory for _, factory, _ in VERIFY_FACTORY_SPECS})
-            raise SystemExit(
-                f"error: unknown rule(s) {sorted(unknown)}; known: {known}"
-            )
+            raise GraphitiError(f"unknown rule(s) {sorted(unknown)}; known: {known}")
     return specs
 
 
@@ -172,16 +176,21 @@ def _refine_dump(args: argparse.Namespace) -> int:
     """Discharge obligations serially, writing one certificate file each."""
     import json
 
-    from .errors import RefinementError
+    from .errors import GraphitiError, RefinementError
     from .refinement.checker import check_rewrite_obligation
     from .rewriting.rules import build_rewrite
 
+    try:
+        specs = _refine_specs(args)
+    except GraphitiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     out_dir = Path(args.dump_certs).expanduser()
     out_dir.mkdir(parents=True, exist_ok=True)
     session = _session(args)
     failures = written = 0
     with _observe(args):
-        for module, factory, kwargs in _refine_specs(args):
+        for module, factory, kwargs in specs:
             rewrite = build_rewrite(module, factory, kwargs)
             if rewrite.obligation is None:
                 continue
@@ -259,8 +268,14 @@ def _cmd_refine(args: argparse.Namespace) -> int:
         return _refine_dump(args)
     if args.load_certs:
         return _refine_load(args)
+    from .errors import GraphitiError
+
+    try:
+        specs = _refine_specs(args)
+    except GraphitiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     session = _session(args)
-    specs = _refine_specs(args)
     failures = 0
     with _observe(args):
         outcomes = session.check_obligations(specs)
@@ -288,7 +303,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     session = _session(args)
     try:
         with _observe(args):
-            result = session.bench(args.name)
+            result = session.bench(name=args.name)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -319,7 +334,17 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     if args.stimuli:
         import numpy as np
 
-        data = np.load(args.stimuli)
+        try:
+            data = np.load(args.stimuli)
+        except (OSError, ValueError) as exc:
+            print(f"error: --stimuli file {args.stimuli}: {exc}", file=sys.stderr)
+            return 2
+        if not hasattr(data, "files"):
+            print(
+                f"error: --stimuli file {args.stimuli} is not an .npz archive",
+                file=sys.stderr,
+            )
+            return 2
         for key in data.files:
             if key not in program.arrays:
                 print(
@@ -354,7 +379,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
         return 2
     with _observe(args):
         stats = session.simulate(
-            graph,
+            graph_or_kernel=graph,
             kernel=ck.kernel,
             stimuli=program.arrays,
             backend=args.backend,
@@ -389,6 +414,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(report)
     print(session.metrics().summary(), file=sys.stderr)
     return 0
+
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    return serve(args)
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -492,9 +524,50 @@ def main(argv: list[str] | None = None) -> int:
     _add_exec_flags(report)
     report.set_defaults(fn=_cmd_report)
 
+    serve = sub.add_parser(
+        "serve", help="run the verification service (async HTTP job server)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8750,
+        help="bind port; 0 picks a free one (default: 8750)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent job slots: worker threads + pooled Sessions (default: 2)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=256, metavar="N",
+        help="queued-job backpressure bound (default: 256)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="default per-job timeout (default: 600)",
+    )
+    _add_exec_flags(serve)
+    serve.set_defaults(fn=_cmd_serve)
+
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 1) < 1:
         print(f"error: --jobs must be >= 1 (got {args.jobs})", file=sys.stderr)
+        return 2
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        print(f"error: --workers must be >= 1 (got {workers})", file=sys.stderr)
+        return 2
+    port = getattr(args, "port", None)
+    if port is not None and not 0 <= port <= 65535:
+        print(f"error: --port must be in 0..65535 (got {port})", file=sys.stderr)
+        return 2
+    max_pending = getattr(args, "max_pending", None)
+    if max_pending is not None and max_pending < 1:
+        print(f"error: --max-pending must be >= 1 (got {max_pending})", file=sys.stderr)
+        return 2
+    job_timeout = getattr(args, "job_timeout", None)
+    if job_timeout is not None and job_timeout <= 0:
+        print(f"error: --job-timeout must be > 0 (got {job_timeout})", file=sys.stderr)
         return 2
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir is not None:

@@ -55,6 +55,18 @@ class SaturationLimitError(RewriteError):
     """
 
 
+class ResultSchemaError(GraphitiError):
+    """A wire-format result dict was malformed: missing or unknown
+    ``schema_version``, an unregistered ``kind``, or a field that does not
+    round-trip.  Raised by :func:`repro.results.from_wire` and the
+    ``from_dict`` constructors of the result types."""
+
+
+class ServiceError(GraphitiError):
+    """The verification service rejected a request or job (unknown kind,
+    malformed parameters, queue overflow, lookup of a nonexistent job)."""
+
+
 class CertificateError(GraphitiError):
     """A serialised simulation certificate was malformed, of the wrong
     format version, or failed its content-hash integrity check."""

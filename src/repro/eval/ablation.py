@@ -56,7 +56,7 @@ def tag_sweep(tag_counts=(2, 4, 8, 16, 32), n: int = 16) -> list[TagSweepPoint]:
     session = Session(use_cache=False)
     points = []
     for tags in tag_counts:
-        result = session.bench("matvec", retag(matvec(n), tags))
+        result = session.bench(name="matvec", program=retag(matvec(n), tags))
         points.append(
             TagSweepPoint(
                 tags=tags,
@@ -138,7 +138,7 @@ def strategy_deltas(
     for name in benchmarks if benchmarks is not None else BENCHMARKS:
         program = load_benchmark(name)
         ck = compile_program(program, session.env).kernels[0]
-        result = session.transform(ck.graph, ck.mark, strategy="saturate", budget=budget)
+        result = session.transform(graph=ck.graph, mark=ck.mark, strategy="saturate", budget=budget)
         deltas.append(
             StrategyDelta(
                 benchmark=name,

@@ -52,11 +52,14 @@ class FlowResult:
     def execution_time(self) -> float:
         return self.area.execution_time(self.cycles)
 
-    # -- result protocol (repro.results) ------------------------------------
+    # -- result protocol / wire format (repro.results) ------------------------
 
     def to_dict(self) -> dict:
+        from ..results import SCHEMA_VERSION
+
         return {
             "kind": "FlowResult",
+            "schema_version": SCHEMA_VERSION,
             "flow": self.flow,
             "cycles": int(self.cycles),
             "area": self.area.to_dict(),
@@ -68,15 +71,22 @@ class FlowResult:
 
     @staticmethod
     def from_dict(data: dict) -> "FlowResult":
-        return FlowResult(
-            flow=data["flow"],
-            cycles=int(data["cycles"]),
-            area=AreaReport.from_dict(data["area"]),
-            correct=bool(data["correct"]),
-            stores_in_order=bool(data["stores_in_order"]),
-            refused_loops=int(data["refused_loops"]),
-            rewrite_steps=int(data["rewrite_steps"]),
-        )
+        from ..errors import ResultSchemaError
+        from ..results import check_schema
+
+        entry = check_schema(data, "FlowResult")
+        try:
+            return FlowResult(
+                flow=entry["flow"],
+                cycles=int(entry["cycles"]),
+                area=AreaReport.from_dict(entry["area"]),
+                correct=bool(entry["correct"]),
+                stores_in_order=bool(entry["stores_in_order"]),
+                refused_loops=int(entry["refused_loops"]),
+                rewrite_steps=int(entry["rewrite_steps"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResultSchemaError(f"malformed FlowResult wire dict: {exc}") from exc
 
     def summary(self) -> str:
         status = "ok" if self.correct else "WRONG RESULT"
@@ -95,17 +105,27 @@ class BenchmarkResult:
         return self.flows[flow]
 
     def to_dict(self) -> dict:
+        from ..results import SCHEMA_VERSION
+
         return {
             "kind": "BenchmarkResult",
+            "schema_version": SCHEMA_VERSION,
             "name": self.name,
             "flows": {flow: result.to_dict() for flow, result in self.flows.items()},
         }
 
     @staticmethod
     def from_dict(data: dict) -> "BenchmarkResult":
-        result = BenchmarkResult(data["name"])
-        for flow, entry in data["flows"].items():
-            result.flows[flow] = FlowResult.from_dict(entry)
+        from ..errors import ResultSchemaError
+        from ..results import check_schema
+
+        entry = check_schema(data, "BenchmarkResult")
+        try:
+            result = BenchmarkResult(entry["name"])
+            for flow, flow_entry in entry["flows"].items():
+                result.flows[flow] = FlowResult.from_dict(flow_entry)
+        except (KeyError, TypeError) as exc:
+            raise ResultSchemaError(f"malformed BenchmarkResult wire dict: {exc}") from exc
         return result
 
     def summary(self) -> str:

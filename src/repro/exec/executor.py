@@ -96,15 +96,63 @@ def _call_unit(fn_spec: str, payload: dict, uid: str = "", trace: bool = False) 
 
 
 class Executor:
-    """Runs batches of work units with caching and a process pool."""
+    """Runs batches of work units with caching and a process pool.
+
+    The pool is created lazily on the first parallel batch and **reused**
+    across :meth:`run` calls — a long-running caller (the verification
+    service, a warm REPL session) pays the worker-spawn cost once, not per
+    batch.  :meth:`close` drains and releases it; a broken pool is
+    discarded and transparently rebuilt on the next batch.
+    """
 
     def __init__(self, jobs: int = 1, cache=None, metrics: ExecutorMetrics | None = None):
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else NullCache()
         self.metrics = metrics if metrics is not None else ExecutorMetrics()
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drain the persistent worker pool and refuse further batches.
+
+        Idempotent.  In-flight work submitted by an earlier :meth:`run`
+        call finishes (``shutdown(wait=True)``); subsequent :meth:`run`
+        calls raise :class:`ExecutorError`.
+        """
+        self._closed = True
+        self._discard_pool(wait=True)
+
+    def _discard_pool(self, wait: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=context)
+        return self._pool
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- batches ---------------------------------------------------------------
 
     def run(self, units: Sequence[WorkUnit]) -> list[Any]:
         """Evaluate every unit; results are indexed like *units*."""
+        if self._closed:
+            raise ExecutorError("executor is closed (Session.close() was called)")
         units = list(units)
         with obs.span("exec:run", units=len(units), jobs=self.jobs) as batch_span:
             results: list[Any] = [None] * len(units)
@@ -179,56 +227,52 @@ class Executor:
         tracer = obs.get_tracer()
         trace = tracer.active
         try:
-            context = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-            )
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending)), mp_context=context
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _call_unit,
-                        units[index].fn,
-                        units[index].payload,
-                        uid=units[index].uid,
-                        trace=trace,
-                    ): index
-                    for index in pending
-                }
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index = futures[future]
-                        try:
-                            outcome = future.result()
-                        except BrokenProcessPool:
-                            raise
-                        except Exception:
-                            # The unit itself failed in the worker; retry it
-                            # serially so a transient worker problem cannot
-                            # fail the batch.
-                            fallback.append(index)
-                            completed.add(index)
-                            continue
-                        results[index] = outcome["value"]
+            pool = self._ensure_pool()
+            futures = {
+                pool.submit(
+                    _call_unit,
+                    units[index].fn,
+                    units[index].payload,
+                    uid=units[index].uid,
+                    trace=trace,
+                ): index
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception:
+                        # The unit itself failed in the worker; retry it
+                        # serially so a transient worker problem cannot
+                        # fail the batch.
+                        fallback.append(index)
                         completed.add(index)
-                        obs.count("executor.pool")
-                        for data in outcome.get("spans", ()):
-                            tracer.graft(data, uid=units[index].uid)
-                        self.metrics.record(
-                            UnitMetric(
-                                uid=units[index].uid,
-                                seconds=outcome["seconds"],
-                                cached=False,
-                                mode="pool",
-                            )
+                        continue
+                    results[index] = outcome["value"]
+                    completed.add(index)
+                    obs.count("executor.pool")
+                    for data in outcome.get("spans", ()):
+                        tracer.graft(data, uid=units[index].uid)
+                    self.metrics.record(
+                        UnitMetric(
+                            uid=units[index].uid,
+                            seconds=outcome["seconds"],
+                            cached=False,
+                            mode="pool",
                         )
-                        self._store(units[index], outcome["value"])
+                    )
+                    self._store(units[index], outcome["value"])
         except (BrokenProcessPool, OSError):
             # The pool itself died (a worker crashed hard, or fork failed):
-            # everything not finished falls back to the serial path.
-            pass
+            # everything not finished falls back to the serial path, and the
+            # dead pool is discarded so the next batch forks a fresh one.
+            self._discard_pool(wait=False)
         fallback.extend(index for index in pending if index not in completed)
         for index in fallback:
             results[index] = self._run_serial(units[index], retried=True)

@@ -28,6 +28,7 @@ from .core import (
     count,
     gauge,
     get_tracer,
+    scoped_tracer,
     set_tracer,
     span,
     use_tracer,
@@ -41,6 +42,7 @@ __all__ = [
     "count",
     "gauge",
     "get_tracer",
+    "scoped_tracer",
     "set_tracer",
     "span",
     "use_tracer",

@@ -24,6 +24,7 @@ ever exported, never absolute timestamps.
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Iterator
@@ -228,18 +229,33 @@ class Tracer:
         self.gauges.clear()
 
 
-# -- the process-global tracer -------------------------------------------------
+# -- the process-global and request-scoped tracers -----------------------------
 
 _TRACER = Tracer()
 
+#: Context-local override of the global tracer.  ``contextvars`` scoping is
+#: per-thread and per-asyncio-task, which is exactly the isolation the
+#: verification service needs: each job installs a fresh tracer in its
+#: worker thread via :func:`scoped_tracer`, so counters recorded while the
+#: job runs never bleed into concurrently executing jobs or the server's
+#: own accounting.
+_SCOPED_TRACER: contextvars.ContextVar[Tracer | None] = contextvars.ContextVar(
+    "repro_scoped_tracer", default=None
+)
+
 
 def get_tracer() -> Tracer:
-    """The process-global tracer every instrumented call site uses."""
-    return _TRACER
+    """The active tracer: the context-scoped one if set, else the global."""
+    scoped = _SCOPED_TRACER.get()
+    return _TRACER if scoped is None else scoped
 
 
 def set_tracer(tracer: Tracer) -> Tracer:
-    """Swap the global tracer; returns the previous one."""
+    """Swap the process-global tracer; returns the previous one.
+
+    Does not touch any :func:`scoped_tracer` override active in other
+    threads or tasks.
+    """
     global _TRACER
     previous = _TRACER
     _TRACER = tracer
@@ -256,19 +272,41 @@ def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
         set_tracer(previous)
 
 
+@contextmanager
+def scoped_tracer(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Install a *context-local* tracer for the current thread or task.
+
+    Unlike :func:`use_tracer` (which swaps the process-global tracer and
+    is therefore visible to every thread), the scoped tracer shadows the
+    global one only within the installing context — other threads and
+    asyncio tasks keep whatever they were using.  The verification
+    service wraps every job execution in one of these, giving each
+    request its own counters and span tree.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    token = _SCOPED_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _SCOPED_TRACER.reset(token)
+
+
 def span(name: str, **attrs: Any):
-    """Open a span on the global tracer (no-op unless a sink is attached)."""
-    tracer = _TRACER
+    """Open a span on the active tracer (no-op unless a sink is attached)."""
+    scoped = _SCOPED_TRACER.get()
+    tracer = _TRACER if scoped is None else scoped
     if not tracer._sinks:
         return _NOOP_SPAN
     return Span(name, attrs, tracer=tracer)
 
 
 def count(name: str, n: int = 1) -> None:
-    """Increment a counter on the global tracer."""
-    _TRACER.count(name, n)
+    """Increment a counter on the active tracer."""
+    scoped = _SCOPED_TRACER.get()
+    (_TRACER if scoped is None else scoped).count(name, n)
 
 
 def gauge(name: str, value: float) -> None:
-    """Set a gauge on the global tracer."""
-    _TRACER.gauge(name, value)
+    """Set a gauge on the active tracer."""
+    scoped = _SCOPED_TRACER.get()
+    (_TRACER if scoped is None else scoped).gauge(name, value)

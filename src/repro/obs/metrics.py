@@ -79,11 +79,14 @@ class MetricsSnapshot:
     def per_rewrite(self) -> dict:
         return dict(self.rewriting.get("per_rewrite", {}))
 
-    # -- result protocol (repro.results) --------------------------------------
+    # -- result protocol / wire format (repro.results) -------------------------
 
     def to_dict(self) -> dict:
+        from ..results import SCHEMA_VERSION
+
         return {
             "kind": "MetricsSnapshot",
+            "schema_version": SCHEMA_VERSION,
             "executor": dict(self.executor),
             "rewriting": dict(self.rewriting),
             "counters": dict(self.counters),
@@ -93,12 +96,15 @@ class MetricsSnapshot:
 
     @staticmethod
     def from_dict(data: dict) -> "MetricsSnapshot":
+        from ..results import check_schema
+
+        entry = check_schema(data, "MetricsSnapshot")
         return MetricsSnapshot(
-            executor=dict(data.get("executor", {})),
-            rewriting=dict(data.get("rewriting", {})),
-            counters=dict(data.get("counters", {})),
-            gauges=dict(data.get("gauges", {})),
-            saturation=dict(data.get("saturation", {})),
+            executor=dict(entry.get("executor", {})),
+            rewriting=dict(entry.get("rewriting", {})),
+            counters=dict(entry.get("counters", {})),
+            gauges=dict(entry.get("gauges", {})),
+            saturation=dict(entry.get("saturation", {})),
         )
 
     def summary(self) -> str:

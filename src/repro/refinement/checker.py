@@ -51,31 +51,88 @@ class RefinementReport:
     *mode* records the provenance of the verdict: ``"search"`` when the
     weak-simulation game was solved from scratch, ``"recheck"`` when a
     persisted certificate was re-validated diagram by diagram.
+
+    On the wire the certificate travels by *content hash*, not by value
+    (certificates run to megabytes; the service stores them
+    content-addressed and serves them from ``GET /v1/certificates/{hash}``),
+    so a report rebuilt by :meth:`from_dict` is *detached*: ``certificate``
+    is None and the statistics come from the recorded ``stats`` dict.
     """
 
-    certificate: SimulationCertificate
+    certificate: SimulationCertificate | None
     mode: str = "search"  # "search" | "recheck"
+    #: Detached-form statistics (``impl_states``/``spec_states``/
+    #: ``relation_size``/``certificate_hash``), populated by
+    #: :meth:`from_dict` when the certificate itself did not travel.
+    stats: dict | None = None
+
+    @property
+    def detached(self) -> bool:
+        """True when this report carries only the certificate's hash."""
+        return self.certificate is None
 
     @property
     def impl_states(self) -> int:
-        return self.certificate.impl_states
+        if self.certificate is not None:
+            return self.certificate.impl_states
+        return int(self.stats["impl_states"])
 
     @property
     def spec_states(self) -> int:
-        return self.certificate.spec_states
+        if self.certificate is not None:
+            return self.certificate.spec_states
+        return int(self.stats["spec_states"])
 
-    # -- result protocol (repro.results) ------------------------------------
+    @property
+    def relation_size(self) -> int:
+        if self.certificate is not None:
+            return len(self.certificate.relation)
+        return int(self.stats["relation_size"])
+
+    @property
+    def certificate_hash(self) -> str:
+        if self.certificate is not None:
+            return self.certificate.content_hash()
+        return str(self.stats["certificate_hash"])
+
+    # -- result protocol / wire format (repro.results) ------------------------
 
     def to_dict(self) -> dict:
+        from ..results import SCHEMA_VERSION
+
         return {
             "kind": "RefinementReport",
+            "schema_version": SCHEMA_VERSION,
             "holds": True,  # a report only exists for a successful check
             "mode": self.mode,
             "impl_states": int(self.impl_states),
             "spec_states": int(self.spec_states),
-            "relation_size": len(self.certificate.relation),
-            "certificate_hash": self.certificate.content_hash(),
+            "relation_size": int(self.relation_size),
+            "certificate_hash": self.certificate_hash,
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RefinementReport":
+        """Rebuild the detached form; raises ``ResultSchemaError`` on drift."""
+        from ..errors import ResultSchemaError
+        from ..results import check_schema
+
+        entry = check_schema(data, "RefinementReport")
+        try:
+            return RefinementReport(
+                certificate=None,
+                mode=str(entry["mode"]),
+                stats={
+                    "impl_states": int(entry["impl_states"]),
+                    "spec_states": int(entry["spec_states"]),
+                    "relation_size": int(entry["relation_size"]),
+                    "certificate_hash": str(entry["certificate_hash"]),
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResultSchemaError(
+                f"malformed RefinementReport wire dict: {exc}"
+            ) from exc
 
     def summary(self) -> str:
         return (

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from .. import obs
 from ..core.environment import Environment
 from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
-from ..errors import RewriteError
+from ..errors import GraphitiError, RewriteError
 from ..hls.area import CircuitCost, circuit_cost
 from .engine import RewriteEngine
 from .purify import PurityError, discover_region, purify_rewrite
@@ -70,12 +70,21 @@ class TransformResult:
     def total_steps(self) -> int:
         return self.rewrites_applied + self.composition_steps
 
-    # -- result protocol (repro.results) ------------------------------------
+    # -- result protocol / wire format (repro.results) -----------------------
 
     def to_dict(self) -> dict:
-        """Dict form; the graph itself is summarised by its node count."""
+        """Versioned wire form: the full graph travels as canonical dot text.
+
+        ``graph_dot`` makes the dict a complete round-trippable record —
+        :meth:`from_dict` rebuilds the circuit — which is what lets the
+        verification service return transform results over HTTP.
+        """
+        from ..dot import print_dot
+        from ..results import SCHEMA_VERSION
+
         data = {
             "kind": "TransformResult",
+            "schema_version": SCHEMA_VERSION,
             "strategy": self.strategy,
             "transformed": bool(self.transformed),
             "refusal": self.refusal,
@@ -83,6 +92,7 @@ class TransformResult:
             "composition_steps": int(self.composition_steps),
             "verified_applications": int(self.verified_applications),
             "nodes": len(self.graph.nodes),
+            "graph_dot": print_dot(self.graph),
         }
         if self.pareto:
             data["pareto"] = [point.to_dict() for point in self.pareto]
@@ -93,6 +103,47 @@ class TransformResult:
         if self.saturation is not None:
             data["saturation"] = self.saturation
         return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "TransformResult":
+        """Rebuild a result (graph included) from its wire dict.
+
+        Raises :class:`~repro.errors.ResultSchemaError` on a missing or
+        unknown ``schema_version`` or the wrong ``kind``.
+        """
+        from ..dot import parse_dot
+        from ..errors import ResultSchemaError
+        from ..results import check_schema
+        from .saturate import ParetoPoint
+
+        entry = check_schema(data, "TransformResult")
+        try:
+            graph = parse_dot(entry["graph_dot"])
+            return TransformResult(
+                graph=graph,
+                transformed=bool(entry["transformed"]),
+                refusal=entry.get("refusal"),
+                rewrites_applied=int(entry["rewrites_applied"]),
+                composition_steps=int(entry["composition_steps"]),
+                verified_applications=int(entry["verified_applications"]),
+                strategy=str(entry["strategy"]),
+                pareto=[ParetoPoint.from_dict(p) for p in entry.get("pareto", [])],
+                best_cost=(
+                    CircuitCost.from_dict(entry["best_cost"])
+                    if "best_cost" in entry else None
+                ),
+                fixpoint_cost=(
+                    CircuitCost.from_dict(entry["fixpoint_cost"])
+                    if "fixpoint_cost" in entry else None
+                ),
+                saturation=entry.get("saturation"),
+            )
+        except (KeyError, TypeError, ValueError, GraphitiError) as exc:
+            if isinstance(exc, ResultSchemaError):
+                raise
+            raise ResultSchemaError(
+                f"malformed TransformResult wire dict: {exc}"
+            ) from exc
 
     def summary(self) -> str:
         if self.strategy == "saturate" and self.pareto:

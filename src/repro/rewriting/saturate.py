@@ -402,13 +402,34 @@ class ParetoPoint:
     certified: bool | None = None  # None: certification not requested
 
     def to_dict(self) -> dict:
+        from ..dot import print_dot
+
         return {
             "cost": self.cost.to_dict(),
             "seed": self.seed,
             "derivation": list(self.derivation),
             "nodes": len(self.graph.nodes),
             "certified": self.certified,
+            "graph_dot": print_dot(self.graph),
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ParetoPoint":
+        """Rebuild a frontier point (circuit included) from its wire dict.
+
+        A nested type: the envelope (``schema_version``) is validated on
+        the enclosing :class:`~repro.rewriting.pipeline.TransformResult`.
+        """
+        from ..dot import parse_dot
+
+        return ParetoPoint(
+            graph=parse_dot(data["graph_dot"]),
+            cost=CircuitCost.from_dict(data["cost"]),
+            seed=int(data["seed"]),
+            derivation=tuple(data["derivation"]),
+            order=int(data.get("order", 0)),
+            certified=data.get("certified"),
+        )
 
 
 def saturation_rewrites(tags: int = 4) -> list[Rewrite]:

@@ -1,0 +1,57 @@
+"""``repro.service`` — verification as a service.
+
+An asyncio HTTP job server exposing the :class:`repro.api.Session` facade
+over the wire: transforms, obligation discharges, simulations and
+benchmark runs become *jobs* submitted to ``POST /v1/jobs``, executed on a
+pool of worker Sessions, and returned in the versioned wire format of
+:mod:`repro.results`.  Everything is standard library — ``asyncio`` plus a
+minimal hand-rolled HTTP/1.1 layer — so the service adds no dependencies.
+
+Pieces:
+
+* :mod:`repro.service.ops` — the job-kind registry: each kind names a
+  pure function ``(session, params) -> wire dict``, with canonical
+  parameter normalisation so equivalent requests share one cache key;
+* :mod:`repro.service.jobs` — :class:`Job` and the priority
+  :class:`JobQueue` (bounded concurrency, per-job timeouts, cancellation);
+* :mod:`repro.service.store` — the content-addressed
+  :class:`ResultStore` deduplicating identical requests across clients
+  and indexing simulation certificates by content hash;
+* :mod:`repro.service.server` — :class:`ServiceServer`, the asyncio HTTP
+  front end (``repro serve`` on the CLI);
+* :mod:`repro.service.client` — :class:`ServiceClient`, the thin blocking
+  client used by the load test and the CI smoke check.
+
+Quick tour::
+
+    from repro.service import ServiceServer, ServiceClient
+
+    # in one process (or: python -m repro.cli serve --port 8750)
+    server = ServiceServer(port=8750, workers=4)
+    server.run()          # blocks; POST /v1/admin/shutdown stops it
+
+    # in another
+    client = ServiceClient(port=8750)
+    job = client.submit("bench", {"name": "matvec"})
+    for status in client.watch(job["id"]):   # NDJSON status stream
+        print(status["state"])
+    result = client.result(job["id"])        # versioned wire dict
+"""
+
+from .client import ServiceClient
+from .jobs import JOB_STATES, Job, JobQueue
+from .ops import JOB_KINDS, canonical_params, run_op
+from .server import ServiceServer
+from .store import ResultStore
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceServer",
+    "canonical_params",
+    "run_op",
+]

@@ -1,0 +1,143 @@
+"""A thin blocking client for the verification service.
+
+:class:`ServiceClient` speaks the service's small HTTP surface over
+:mod:`http.client` — one connection per request (the server closes every
+connection), JSON bodies both ways, and a generator over the NDJSON
+``?watch=1`` status stream.  It is what ``benchmarks/bench_service.py``
+and the CI smoke check use; being synchronous, it is trivially driven
+from thread pools for concurrent-load testing.
+
+Typical round trip::
+
+    client = ServiceClient(port=8750)
+    job = client.submit("transform", {"kernel": "matvec"})
+    final = client.wait(job["id"])          # consumes the watch stream
+    result = client.result(job["id"])       # versioned wire dict
+    graph = TransformResult.from_dict(result).graph
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator, Mapping
+
+from ..errors import ServiceError
+
+
+class ServiceClient:
+    """Blocking HTTP client for one :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8750, timeout: float = 300.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, payload: Mapping | None = None) -> dict | list:
+        connection = self._connect()
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            connection.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            data = json.loads(response.read().decode() or "null")
+            if response.status >= 400:
+                error = data.get("error", data) if isinstance(data, dict) else data
+                raise ServiceError(f"{method} {path} -> {response.status}: {error}")
+            return data
+        finally:
+            connection.close()
+
+    # -- the API surface ----------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: Mapping | None = None,
+        *,
+        priority: int = 0,
+        timeout: float | None = None,
+        dedup: bool = True,
+    ) -> dict:
+        """Submit a job; returns its status dict (``done`` on a store hit)."""
+        request: dict = {"kind": kind, "params": dict(params or {}), "dedup": dedup}
+        if priority:
+            request["priority"] = priority
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._request("POST", "/v1/jobs", request)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def watch(self, job_id: str) -> Iterator[dict]:
+        """Yield NDJSON status lines until the job reaches a terminal state."""
+        connection = self._connect()
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}?watch=1")
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read().decode() or "{}")
+                raise ServiceError(
+                    f"watch {job_id} -> {response.status}: {data.get('error', data)}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                yield json.loads(line.decode())
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str) -> dict:
+        """Block until terminal (via the watch stream); returns final status."""
+        last: dict | None = None
+        for status in self.watch(job_id):
+            last = status
+        if last is None:
+            raise ServiceError(f"watch stream for {job_id} ended without a status")
+        return last
+
+    def result(self, job_id: str) -> dict | list:
+        """The job's wire-format result (raises unless the job is ``done``)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def certificate(self, content_hash: str) -> dict:
+        return self._request("GET", f"/v1/certificates/{content_hash}")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/admin/shutdown")
+
+    # -- conveniences -------------------------------------------------------
+
+    def run(
+        self,
+        kind: str,
+        params: Mapping | None = None,
+        *,
+        priority: int = 0,
+        timeout: float | None = None,
+        dedup: bool = True,
+    ) -> dict | list:
+        """Submit, wait, and return the result in one call."""
+        job = self.submit(kind, params, priority=priority, timeout=timeout, dedup=dedup)
+        if job["state"] != "done":
+            final = self.wait(job["id"])
+            if final["state"] != "done":
+                raise ServiceError(
+                    f"job {job['id']} ({kind}) ended {final['state']}: "
+                    f"{final.get('error', 'no detail')}"
+                )
+        return self.result(job["id"])

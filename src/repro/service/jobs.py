@@ -1,0 +1,294 @@
+"""Jobs and the priority queue that schedules them.
+
+A :class:`Job` is one unit of service work: a kind from
+:data:`repro.service.ops.JOB_KINDS`, canonical parameters, and the state
+machine ``queued -> running -> done | failed``, with ``cancelled``
+reachable from ``queued`` (immediately) and from ``running`` (best
+effort — the cancel flag is visible to the executing thread, but a
+compute-bound op finishes its current phase).
+
+:class:`JobQueue` schedules jobs onto a bounded set of asyncio worker
+tasks.  Scheduling is by ``(priority, submission order)`` — lower
+priority numbers run first, ties in FIFO order — over a binary heap, so
+an interactive ``simulate`` can overtake a backlog of batch ``bench``
+jobs.  Each job runs under :func:`asyncio.wait_for` with its own timeout;
+a timeout marks the job ``failed`` and requests cancellation of the
+underlying work.
+
+The queue does not know how to *execute* anything: the server injects an
+async ``execute(job) -> result dict`` callable (which checks out a
+Session and hops onto a worker thread).  That keeps this module free of
+HTTP and Session concerns and directly testable with plain coroutines.
+
+Watchers (the ``?watch=1`` NDJSON streams) wait on one shared
+:class:`asyncio.Condition`; every state transition bumps the job's
+``version`` and notifies, so a watcher emits exactly one status line per
+transition it observes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Awaitable, Callable
+
+from ..errors import ServiceError
+
+#: Every job state; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset(("done", "failed", "cancelled"))
+
+
+@dataclass
+class Job:
+    """One service job and everything the status endpoints report."""
+
+    id: str
+    kind: str
+    params: dict
+    key: str | None = None
+    priority: int = 0
+    timeout: float | None = None
+    state: str = "queued"
+    result: dict | list | None = None
+    error: str | None = None
+    seconds: float = 0.0
+    metrics: dict = field(default_factory=dict)
+    from_store: bool = False
+    coalesced: int = 0
+    cancel_requested: bool = False
+    version: int = 0
+    _started: float | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_dict(self) -> dict:
+        """The JSON status body (``GET /v1/jobs/{id}`` and watch lines)."""
+        status = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "version": self.version,
+            "from_store": self.from_store,
+            "coalesced": self.coalesced,
+        }
+        if self.key is not None:
+            status["key"] = self.key
+        if self.terminal:
+            status["seconds"] = round(self.seconds, 6)
+        if self.error is not None:
+            status["error"] = self.error
+        if self.metrics:
+            status["metrics"] = self.metrics
+        return status
+
+
+class JobQueue:
+    """Priority scheduling of jobs over bounded asyncio workers.
+
+    Parameters
+    ----------
+    execute:
+        ``async (job) -> result`` — runs one job's work and returns the
+        wire-format result dict.  Exceptions mark the job ``failed``.
+    concurrency:
+        Number of worker tasks (= jobs executing at once).
+    max_pending:
+        Bound on the number of queued-but-not-running jobs; submissions
+        beyond it raise :class:`ServiceError` (backpressure, not OOM).
+    default_timeout:
+        Per-job timeout in seconds when the submission names none.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Job], Awaitable[Any]],
+        *,
+        concurrency: int = 2,
+        max_pending: int = 256,
+        default_timeout: float | None = None,
+    ):
+        self._execute = execute
+        self.concurrency = max(1, int(concurrency))
+        self.max_pending = max(1, int(max_pending))
+        self.default_timeout = default_timeout
+        self.jobs: dict[str, Job] = {}
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._changed: asyncio.Condition = asyncio.Condition()
+        self._workers: list[asyncio.Task] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        while len(self._workers) < self.concurrency:
+            self._workers.append(asyncio.create_task(self._worker()))
+
+    async def close(self) -> None:
+        """Cancel the worker tasks; queued jobs become ``cancelled``."""
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers.clear()
+        for job in self.jobs.values():
+            if not job.terminal:
+                job.error = job.error or "service shut down"
+                await self._mark(job, "cancelled")
+
+    # -- submission ---------------------------------------------------------
+
+    def new_job(
+        self,
+        kind: str,
+        params: dict,
+        *,
+        key: str | None = None,
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> Job:
+        """Create and register a job (not yet queued — see :meth:`submit`)."""
+        job = Job(
+            id=f"job-{next(self._ids)}",
+            kind=kind,
+            params=dict(params),
+            key=key,
+            priority=int(priority),
+            timeout=timeout if timeout is not None else self.default_timeout,
+        )
+        self.jobs[job.id] = job
+        return job
+
+    def submit(self, job: Job) -> Job:
+        """Queue a registered job; raises :class:`ServiceError` when full."""
+        depth = sum(
+            1 for j in self.jobs.values() if j.state == "queued" and j is not job
+        )
+        if depth >= self.max_pending:
+            raise ServiceError(
+                f"job queue is full ({depth} pending >= max_pending={self.max_pending})"
+            )
+        heapq.heappush(self._heap, (job.priority, next(self._seq), job.id))
+        self._kick()
+        return job
+
+    async def finish_from_store(self, job: Job, result) -> Job:
+        """Complete a job immediately with a store-served result."""
+        job.result = result
+        job.from_store = True
+        await self._mark(job, "done")
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job {job_id!r}") from None
+
+    def find_active(self, key: str) -> Job | None:
+        """The queued/running job with this result key, if any (coalescing)."""
+        for job in self.jobs.values():
+            if job.key == key and not job.terminal:
+                return job
+        return None
+
+    # -- cancellation -------------------------------------------------------
+
+    async def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediate while queued, best-effort while running."""
+        job = self.get(job_id)
+        if job.state == "queued":
+            job.cancel_requested = True
+            job.error = "cancelled while queued"
+            await self._mark(job, "cancelled")
+        elif job.state == "running":
+            job.cancel_requested = True
+            await self._mark(job, job.state)  # bump version so watchers see it
+        return job
+
+    # -- watching -----------------------------------------------------------
+
+    async def wait_change(self, job: Job, seen_version: int) -> Job:
+        """Block until the job's version exceeds *seen_version*."""
+        async with self._changed:
+            await self._changed.wait_for(lambda: job.version > seen_version)
+        return job
+
+    async def wait_terminal(self, job: Job) -> Job:
+        async with self._changed:
+            await self._changed.wait_for(lambda: job.terminal)
+        return job
+
+    # -- accounting ---------------------------------------------------------
+
+    def counts(self) -> dict:
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    # -- internals ----------------------------------------------------------
+
+    def _kick(self) -> None:
+        async def notify() -> None:
+            async with self._changed:
+                self._changed.notify_all()
+
+        asyncio.get_running_loop().create_task(notify())
+
+    async def _mark(self, job: Job, state: str) -> None:
+        job.state = state
+        job.version += 1
+        async with self._changed:
+            self._changed.notify_all()
+
+    def _pop(self) -> Job | None:
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self.jobs.get(job_id)
+            if job is not None and job.state == "queued":
+                return job
+        return None
+
+    async def _worker(self) -> None:
+        while True:
+            job = self._pop()
+            if job is None:
+                # Re-check under the condition so a submission landing
+                # between the failed pop and the wait cannot be missed.
+                async with self._changed:
+                    await self._changed.wait_for(lambda: bool(self._heap))
+                continue
+            job._started = perf_counter()
+            await self._mark(job, "running")
+            try:
+                result = await asyncio.wait_for(self._execute(job), timeout=job.timeout)
+            except asyncio.TimeoutError:
+                job.cancel_requested = True
+                job.error = f"timed out after {job.timeout}s"
+                job.seconds = perf_counter() - job._started
+                await self._mark(job, "failed")
+            except asyncio.CancelledError:
+                if not job.terminal:
+                    job.error = "service shut down"
+                    await self._mark(job, "cancelled")
+                raise
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.seconds = perf_counter() - job._started
+                await self._mark(job, "failed")
+            else:
+                job.result = result
+                job.seconds = perf_counter() - job._started
+                await self._mark(job, "done")

@@ -1,0 +1,140 @@
+"""The content-addressed result store and certificate index.
+
+:class:`ResultStore` wraps the same on-disk
+:class:`~repro.exec.cache.ResultCache` machinery the executor uses, with
+service-level keys: a job's store key is a SHA-256 over ``("service-job",
+TOOL_VERSION, kind, canonical params)`` — see
+:func:`repro.service.ops.canonical_params` — so identical requests from
+different clients (or different tenants of one server) dedupe to a single
+computation, and bumping the tool version invalidates every stale entry,
+exactly like the executor cache.
+
+The store also indexes **simulation certificates** by content hash.
+Certificates land in the shared cache directory as a side effect of
+``check_obligations`` jobs (the certified fast path persists each
+:class:`~repro.refinement.simulation.SimulationCertificate`); the index is
+built by an incremental scan of the cache directory, and
+``GET /v1/certificates/{hash}`` serves an entry only after
+**recheck-validating** it — :meth:`SimulationCertificate.from_dict`
+recomputes the embedded content hash, so a tampered or truncated entry is
+reported missing rather than served.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .._version import __version__ as TOOL_VERSION
+from ..exec.cache import NullCache, ResultCache, default_cache_dir
+from ..exec.hashing import fingerprint
+
+
+def job_key(kind: str, params: dict) -> str:
+    """The content-addressed store key for one canonical job request."""
+    return fingerprint(
+        "service-job",
+        TOOL_VERSION,
+        kind,
+        json.dumps(params, sort_keys=True, separators=(",", ":")),
+    )
+
+
+class ResultStore:
+    """Deduplicates job results and serves certificates by content hash."""
+
+    def __init__(self, cache_dir: str | Path | None = None, use_cache: bool = True):
+        if use_cache:
+            self.cache = ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
+        else:
+            self.cache = NullCache()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._cert_index: dict[str, str] = {}  # content hash -> cache key
+        self._scanned: set[str] = set()
+
+    # -- job results --------------------------------------------------------
+
+    def key_for(self, kind: str, params: dict) -> str:
+        return job_key(kind, params)
+
+    def get(self, key: str) -> dict | list | None:
+        """A stored wire-format result, or None on miss."""
+        payload = self.cache.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict | list) -> None:
+        self.cache.put(key, payload)
+        self.writes += 1
+
+    # -- certificates -------------------------------------------------------
+
+    def certificate(self, content_hash: str) -> dict | None:
+        """The validated certificate payload for *content_hash*, or None.
+
+        Served entries are re-validated: the payload must rebuild into a
+        :class:`SimulationCertificate` whose recomputed content hash equals
+        both its embedded hash and the requested one.
+        """
+        from ..errors import CertificateError
+        from ..refinement.simulation import SimulationCertificate
+
+        key = self._cert_index.get(content_hash)
+        if key is None:
+            self.refresh_certificates()
+            key = self._cert_index.get(content_hash)
+        if key is None:
+            return None
+        payload = self.cache.get(key)
+        if not isinstance(payload, dict):
+            return None
+        try:
+            certificate = SimulationCertificate.from_dict(payload)
+        except CertificateError:
+            return None
+        if certificate.content_hash() != content_hash:
+            return None
+        return payload
+
+    def refresh_certificates(self) -> int:
+        """Incrementally scan the cache directory for certificate entries.
+
+        Only files not seen by a previous scan are opened, so a warm store
+        with thousands of entries pays for each file once.  Returns the
+        number of certificates indexed in total.
+        """
+        root = getattr(self.cache, "root", None)
+        if root is None:  # NullCache: nothing on disk
+            return 0
+        for path in Path(root).glob("*/*.json"):
+            name = f"{path.parent.name}/{path.name}"
+            if name in self._scanned:
+                continue
+            self._scanned.add(name)
+            try:
+                entry = json.loads(path.read_text())
+                payload = entry["payload"]
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            if (
+                isinstance(payload, dict)
+                and payload.get("kind") == "SimulationCertificate"
+                and isinstance(payload.get("hash"), str)
+            ):
+                self._cert_index[payload["hash"]] = entry.get("key", path.stem)
+        return len(self._cert_index)
+
+    # -- accounting ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "certificates": len(self._cert_index),
+        }

@@ -112,6 +112,66 @@ class SimStats:
     #: populated when a run completes successfully.
     channel_peaks: dict = field(default_factory=dict)
 
+    # -- result protocol / wire format (repro.results) ------------------------
+
+    def to_dict(self) -> dict:
+        """Versioned wire form.
+
+        Endpoint-keyed ``channel_peaks`` flatten to sorted
+        ``[src_node, src_port, dst_node, dst_port, peak]`` rows, and
+        ``store_history`` values coerce to plain ``float`` — both are what
+        keep the dict JSON-serialisable and byte-stable across runs.
+        """
+        from ..results import SCHEMA_VERSION
+
+        peaks = sorted(
+            [src.node, src.port, dst.node, dst.port, int(peak)]
+            for (src, dst), peak in self.channel_peaks.items()
+        )
+        return {
+            "kind": "SimStats",
+            "schema_version": SCHEMA_VERSION,
+            "cycles": int(self.cycles),
+            "tokens_fired": int(self.tokens_fired),
+            "results_collected": int(self.results_collected),
+            "peak_in_flight": int(self.peak_in_flight),
+            "store_history": [
+                [str(array), int(index), float(value)]
+                for array, index, value in self.store_history
+            ],
+            "channel_peaks": peaks,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SimStats":
+        from ..errors import ResultSchemaError
+        from ..results import check_schema
+
+        entry = check_schema(data, "SimStats")
+        try:
+            return SimStats(
+                cycles=int(entry["cycles"]),
+                tokens_fired=int(entry["tokens_fired"]),
+                results_collected=int(entry["results_collected"]),
+                peak_in_flight=int(entry["peak_in_flight"]),
+                store_history=[
+                    (str(array), int(index), float(value))
+                    for array, index, value in entry["store_history"]
+                ],
+                channel_peaks={
+                    (Endpoint(sn, sp), Endpoint(dn, dp)): int(peak)
+                    for sn, sp, dn, dp, peak in entry["channel_peaks"]
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResultSchemaError(f"malformed SimStats wire dict: {exc}") from exc
+
+    def summary(self) -> str:
+        return (
+            f"{self.cycles} cycles, {self.tokens_fired} tokens fired, "
+            f"{self.results_collected} results, peak {self.peak_in_flight} in flight"
+        )
+
 
 def evaluation_order(graph: ExprHigh, latency: Callable[[str], int]) -> list[str]:
     """Topological sweep order for same-cycle combinational propagation.

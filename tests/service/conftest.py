@@ -1,0 +1,48 @@
+"""Fixtures for the verification-service tests: real servers on free ports.
+
+``make_server`` boots a :class:`ServiceServer` on port 0 inside a daemon
+thread running its own event loop, waits for the bind, and hands back a
+connected :class:`ServiceClient`.  Every server started through the
+factory is shut down (gracefully, over HTTP) when the test ends.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import ServiceClient, ServiceServer
+
+
+@pytest.fixture
+def make_server(tmp_path):
+    """Factory: ``make_server(**kwargs) -> (server, client)``; auto-shutdown."""
+    running: list[tuple[ServiceServer, ServiceClient, threading.Thread]] = []
+    counter = [0]
+
+    def boot(**kwargs) -> tuple[ServiceServer, ServiceClient]:
+        counter[0] += 1
+        kwargs.setdefault("cache_dir", tmp_path / f"cache-{counter[0]}")
+        kwargs.setdefault("workers", 2)
+        server = ServiceServer(port=0, **kwargs)
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while server.port == 0:
+            if time.monotonic() > deadline:
+                raise RuntimeError("service server did not bind within 10s")
+            time.sleep(0.01)
+        client = ServiceClient(port=server.port)
+        running.append((server, client, thread))
+        return server, client
+
+    yield boot
+
+    for _, client, thread in running:
+        try:
+            client.shutdown()
+        except Exception:
+            pass
+        thread.join(timeout=30)

@@ -1,0 +1,85 @@
+"""The CLI exit-code contract: invalid arguments uniformly exit 2.
+
+v1.7 fixed two drifts documented in the exit-code table of
+``docs/api.md``: ``refine --rule`` with an unknown factory exited 1 via a
+string ``SystemExit``, and a malformed ``--stimuli`` archive escaped as
+an uncaught traceback.  Both, and the new ``serve`` flags, now follow the
+table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_unknown_rule_exits_2(capsys):
+    assert main(["refine", "--rule", "no_such_rule"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err and "no_such_rule" in err
+
+
+def test_unknown_rule_with_dump_certs_exits_2(tmp_path, capsys):
+    code = main(
+        ["refine", "--rule", "no_such_rule", "--dump-certs", str(tmp_path / "certs")]
+    )
+    assert code == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_stimuli_file_exits_2(capsys):
+    assert main(["sim", "matvec", "--stimuli", "/no/such/file.npz"]) == 2
+    assert "--stimuli" in capsys.readouterr().err
+
+
+def test_corrupt_stimuli_archive_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.npz"
+    bad.write_bytes(b"this is not a zip archive")
+    assert main(["sim", "matvec", "--stimuli", str(bad)]) == 2
+    assert "--stimuli" in capsys.readouterr().err
+
+
+def test_npy_instead_of_npz_exits_2(tmp_path, capsys):
+    plain = tmp_path / "plain.npy"
+    np.save(plain, np.zeros(3))
+    assert main(["sim", "matvec", "--stimuli", str(plain)]) == 2
+    assert "not an .npz archive" in capsys.readouterr().err
+
+
+def test_stimuli_with_unknown_array_exits_2(tmp_path, capsys):
+    archive = tmp_path / "wrong.npz"
+    np.savez(archive, not_an_array=np.zeros(3))
+    assert main(["sim", "matvec", "--stimuli", str(archive)]) == 2
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["serve", "--workers", "0"],
+        ["serve", "--workers", "-2"],
+        ["serve", "--port", "70000"],
+        ["serve", "--port", "-1"],
+        ["serve", "--max-pending", "0"],
+        ["serve", "--job-timeout", "0"],
+        ["serve", "--job-timeout", "-5"],
+        ["serve", "--jobs", "0"],
+    ],
+)
+def test_serve_flag_validation_exits_2(argv, capsys):
+    assert main(argv) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_benchmark_exits_2(capsys):
+    assert main(["bench", "definitely-not-a-benchmark"]) == 2
+    assert main(["sim", "definitely-not-a-benchmark"]) == 2
+
+
+def test_unknown_strategy_exits_2(tmp_path, capsys):
+    dot = tmp_path / "x.dot"
+    dot.write_text("digraph {}")
+    code = main(
+        ["transform", str(dot), "--mux", "m", "--branch", "b",
+         "--init", "i", "--cond-fork", "cf", "--strategy", "alchemy"]
+    )
+    assert code == 2

@@ -1,0 +1,239 @@
+"""JobQueue unit tests: priorities, timeouts, cancellation, backpressure.
+
+The queue is exercised with plain coroutines as the execute hook — no
+HTTP, no Sessions — which is exactly why the server injects execution
+instead of the queue owning it.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.jobs import JOB_STATES, JobQueue
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_job_states_catalogue():
+    assert JOB_STATES == ("queued", "running", "done", "failed", "cancelled")
+
+
+def test_fifo_within_priority_and_priority_order():
+    order = []
+
+    async def main():
+        gate = asyncio.Event()
+
+        async def execute(job):
+            order.append(job.params["tag"])
+            return {"ok": True}
+
+        queue = JobQueue(execute, concurrency=1)
+        # hold the single worker busy so later submissions queue up
+        first = queue.new_job("bench", {"tag": "hold"})
+
+        async def holding(job):
+            await gate.wait()
+            return await execute(job)
+
+        queue._execute = holding
+        queue.submit(first)
+        queue.start()
+        await asyncio.sleep(0.05)  # the hold job is now running
+
+        queue._execute = execute
+        for tag, priority in [("c", 5), ("a", 0), ("b", 5), ("urgent", -1)]:
+            queue.submit(queue.new_job("bench", {"tag": tag}, priority=priority))
+        gate.set()
+        await asyncio.gather(*(queue.wait_terminal(j) for j in queue.jobs.values()))
+        await queue.close()
+
+    run(main())
+    assert order == ["hold", "urgent", "a", "c", "b"]
+
+
+def test_timeout_marks_failed():
+    async def main():
+        async def execute(job):
+            await asyncio.sleep(30)
+
+        queue = JobQueue(execute, concurrency=1)
+        job = queue.new_job("bench", {}, timeout=0.05)
+        queue.submit(job)
+        queue.start()
+        await asyncio.wait_for(queue.wait_terminal(job), timeout=5)
+        await queue.close()
+        return job
+
+    job = run(main())
+    assert job.state == "failed"
+    assert "timed out" in job.error
+    assert job.cancel_requested  # best-effort signal to the underlying work
+
+
+def test_execute_exception_marks_failed_not_queue_death():
+    async def main():
+        async def execute(job):
+            if job.params.get("boom"):
+                raise ValueError("kaboom")
+            return {"ok": True}
+
+        queue = JobQueue(execute, concurrency=1)
+        bad = queue.new_job("bench", {"boom": True})
+        good = queue.new_job("bench", {})
+        queue.submit(bad)
+        queue.submit(good)
+        queue.start()
+        await asyncio.gather(queue.wait_terminal(bad), queue.wait_terminal(good))
+        await queue.close()
+        return bad, good
+
+    bad, good = run(main())
+    assert bad.state == "failed" and "kaboom" in bad.error
+    assert good.state == "done" and good.result == {"ok": True}
+
+
+def test_cancel_queued_is_immediate_and_skipped():
+    ran = []
+
+    async def main():
+        gate = asyncio.Event()
+
+        async def execute(job):
+            ran.append(job.id)
+            await gate.wait()
+            return {}
+
+        queue = JobQueue(execute, concurrency=1)
+        running = queue.new_job("bench", {})
+        victim = queue.new_job("bench", {})
+        queue.submit(running)
+        queue.submit(victim)
+        queue.start()
+        await asyncio.sleep(0.05)
+        cancelled = await queue.cancel(victim.id)
+        assert cancelled.state == "cancelled"
+        gate.set()
+        await queue.wait_terminal(running)
+        await queue.close()
+        return victim
+
+    victim = run(main())
+    assert victim.state == "cancelled"
+    assert victim.id not in ran  # never executed
+
+
+def test_cancel_running_is_best_effort_flag():
+    async def main():
+        gate = asyncio.Event()
+
+        async def execute(job):
+            await gate.wait()
+            return {"finished": True}
+
+        queue = JobQueue(execute, concurrency=1)
+        job = queue.new_job("bench", {})
+        queue.submit(job)
+        queue.start()
+        await asyncio.sleep(0.05)
+        assert job.state == "running"
+        await queue.cancel(job.id)
+        assert job.cancel_requested and job.state == "running"
+        gate.set()
+        await queue.wait_terminal(job)
+        await queue.close()
+        return job
+
+    job = run(main())
+    assert job.state == "done"  # it finished; the flag was advisory
+
+
+def test_backpressure_raises_service_error():
+    async def main():
+        async def execute(job):
+            await asyncio.sleep(30)
+
+        queue = JobQueue(execute, concurrency=1, max_pending=2)
+        queue.submit(queue.new_job("bench", {"n": 0}))
+        queue.submit(queue.new_job("bench", {"n": 1}))
+        with pytest.raises(ServiceError, match="full"):
+            queue.submit(queue.new_job("bench", {"n": 2}))
+        await queue.close()
+
+    run(main())
+
+
+def test_bounded_concurrency():
+    peak = [0]
+    active = [0]
+
+    async def main():
+        async def execute(job):
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            await asyncio.sleep(0.02)
+            active[0] -= 1
+            return {}
+
+        queue = JobQueue(execute, concurrency=3)
+        jobs = [queue.new_job("bench", {"n": n}) for n in range(10)]
+        for job in jobs:
+            queue.submit(job)
+        queue.start()
+        await asyncio.gather(*(queue.wait_terminal(j) for j in jobs))
+        await queue.close()
+
+    run(main())
+    assert peak[0] <= 3
+
+
+def test_close_cancels_queued_jobs():
+    async def main():
+        async def execute(job):
+            await asyncio.sleep(30)
+
+        queue = JobQueue(execute, concurrency=1)
+        jobs = [queue.new_job("bench", {"n": n}) for n in range(3)]
+        for job in jobs:
+            queue.submit(job)
+        queue.start()
+        await asyncio.sleep(0.05)
+        await queue.close()
+        return jobs
+
+    jobs = run(main())
+    assert all(job.terminal for job in jobs)
+    assert sum(job.state == "cancelled" for job in jobs) >= 2
+
+
+def test_unknown_job_raises():
+    async def main():
+        queue = JobQueue(lambda job: None, concurrency=1)
+        with pytest.raises(ServiceError, match="unknown job"):
+            queue.get("job-999")
+
+    run(main())
+
+
+def test_status_dict_shape():
+    async def main():
+        async def execute(job):
+            return {"ok": True}
+
+        queue = JobQueue(execute, concurrency=1)
+        job = queue.new_job("bench", {"name": "matvec"}, key="k" * 64, priority=7)
+        queue.submit(job)
+        queue.start()
+        await queue.wait_terminal(job)
+        await queue.close()
+        return job.status_dict()
+
+    status = run(main())
+    assert status["state"] == "done"
+    assert status["kind"] == "bench"
+    assert status["priority"] == 7
+    assert status["key"] == "k" * 64
+    assert status["seconds"] >= 0

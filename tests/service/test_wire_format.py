@@ -1,0 +1,146 @@
+"""The versioned wire contract: every result round-trips through dicts.
+
+Satellite of the v1.7 service PR: ``to_dict()`` embeds ``kind`` +
+``schema_version`` on every result type, ``from_dict()`` rebuilds the
+object, and malformed envelopes raise the typed ``ResultSchemaError``
+instead of a bare ``KeyError``.
+"""
+
+import json
+
+import pytest
+
+from repro import Session
+from repro.benchmarks import matvec
+from repro.errors import ResultSchemaError
+from repro.hls.frontend import compile_program
+from repro.obs import MetricsSnapshot
+from repro.results import SCHEMA_VERSION, check_schema, from_wire, to_wire
+from repro.rewriting.pipeline import TransformResult
+
+
+@pytest.fixture(scope="module")
+def session():
+    with Session(use_cache=False) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def compiled(session):
+    return compile_program(matvec(4), session.env).kernels[0]
+
+
+def test_transform_result_round_trips(session, compiled):
+    result = session.transform(graph=compiled.graph, mark=compiled.mark)
+    wire = result.to_dict()
+    assert wire["kind"] == "TransformResult"
+    assert wire["schema_version"] == SCHEMA_VERSION
+    json.dumps(wire)  # JSON-serialisable all the way down
+
+    rebuilt = TransformResult.from_dict(wire)
+    assert rebuilt.transformed == result.transformed
+    assert rebuilt.rewrites_applied == result.rewrites_applied
+    assert sorted(rebuilt.graph.nodes) == sorted(result.graph.nodes)
+    assert rebuilt.graph.sorted_connections() == result.graph.sorted_connections()
+    # the round-trip is a fixpoint: dict -> object -> identical dict
+    assert rebuilt.to_dict() == wire
+
+
+def test_saturate_result_round_trips_pareto(session, compiled):
+    result = session.transform(
+        graph=compiled.graph, mark=compiled.mark, strategy="saturate"
+    )
+    wire = result.to_dict()
+    rebuilt = TransformResult.from_dict(wire)
+    assert len(rebuilt.pareto) == len(result.pareto)
+    for ours, theirs in zip(rebuilt.pareto, result.pareto):
+        assert ours.cost.to_dict() == theirs.cost.to_dict()
+        assert sorted(ours.graph.nodes) == sorted(theirs.graph.nodes)
+    assert rebuilt.best_cost.to_dict() == result.best_cost.to_dict()
+
+
+def test_simstats_round_trips(session, compiled):
+    program = matvec(4)
+    stats = session.simulate(graph_or_kernel=compiled, stimuli=program.arrays)
+    wire = stats.to_dict()
+    assert wire["kind"] == "SimStats" and wire["schema_version"] == SCHEMA_VERSION
+    json.dumps(wire)
+    rebuilt = type(stats).from_dict(wire)
+    assert rebuilt.cycles == stats.cycles
+    assert rebuilt.channel_peaks == stats.channel_peaks
+    assert rebuilt.store_history == stats.store_history
+    assert rebuilt.to_dict() == wire
+
+
+def test_benchmark_result_round_trips(session):
+    from repro.eval.runner import BenchmarkResult
+
+    result = session.bench(name="matvec")
+    wire = result.to_dict()
+    assert wire["kind"] == "BenchmarkResult"
+    rebuilt = BenchmarkResult.from_dict(wire)
+    assert rebuilt.to_dict() == wire
+    assert rebuilt["DF-OoO"].cycles == result["DF-OoO"].cycles
+
+
+def test_refinement_report_round_trips_detached(session):
+    from repro.refinement.checker import RefinementReport, check_rewrite_obligation
+    from repro.rewriting.rules import build_rewrite
+
+    rewrite = build_rewrite("repro.rewriting.rules.combine", "mux_combine", {})
+    lhs, rhs, env, stimuli = next(iter(rewrite.obligation()))
+    report = check_rewrite_obligation(lhs, rhs, env, stimuli)
+    wire = report.to_dict()
+    assert wire["kind"] == "RefinementReport"
+    assert "certificate" not in wire  # detached: the certificate travels by hash
+    assert wire["certificate_hash"] == report.certificate.content_hash()
+
+    rebuilt = RefinementReport.from_dict(wire)
+    assert rebuilt.detached and rebuilt.certificate is None
+    assert rebuilt.certificate_hash == report.certificate_hash
+    assert rebuilt.impl_states == report.impl_states
+    assert rebuilt.relation_size == report.relation_size
+    assert rebuilt.to_dict() == wire
+
+
+def test_metrics_snapshot_round_trips(session):
+    snapshot = session.metrics()
+    wire = snapshot.to_dict()
+    assert wire["schema_version"] == SCHEMA_VERSION
+    rebuilt = MetricsSnapshot.from_dict(wire)
+    assert rebuilt.to_dict() == wire
+
+
+def test_to_wire_from_wire_dispatch(session, compiled):
+    result = session.transform(graph=compiled.graph, mark=compiled.mark)
+    rebuilt = from_wire(to_wire(result))
+    assert isinstance(rebuilt, TransformResult)
+    assert rebuilt.to_dict() == result.to_dict()
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"kind": "TransformResult"},                       # missing version
+        {"kind": "TransformResult", "schema_version": 99},  # future version
+        {"kind": "TransformResult", "schema_version": "1"},  # wrong type
+        {"kind": "NoSuchResult", "schema_version": 1},      # unknown kind
+        "not-a-dict",
+        {"schema_version": 1},                              # missing kind
+    ],
+)
+def test_malformed_envelopes_raise_typed_error(payload):
+    with pytest.raises(ResultSchemaError):
+        from_wire(payload)
+
+
+def test_check_schema_kind_mismatch():
+    with pytest.raises(ResultSchemaError, match="SimStats"):
+        check_schema({"kind": "TransformResult", "schema_version": 1}, "SimStats")
+
+
+def test_from_dict_wraps_field_errors():
+    with pytest.raises(ResultSchemaError):
+        TransformResult.from_dict(
+            {"kind": "TransformResult", "schema_version": 1, "graph_dot": "not dot {"}
+        )

@@ -1,0 +1,142 @@
+"""CI smoke test for the verification service.
+
+Boots the real CLI entry point (``repro serve``) as a subprocess on a
+free port and walks the service contract end to end:
+
+1. the server announces its resolved port on stdout;
+2. a ``check_obligations`` job streams NDJSON status lines ending
+   ``done``;
+3. the proof certificate named by the result is served from
+   ``GET /v1/certificates/{hash}`` and carries the requested hash;
+4. a second identical submission is answered synchronously from the
+   content-addressed result store (``from_store``), byte-identical to
+   the first, and the store reports a hit;
+5. ``POST /v1/admin/shutdown`` shuts the server down gracefully and the
+   process exits 0.
+
+Exits non-zero (with a traceback) on the first violated expectation.
+Stdlib + repro only; run with ``PYTHONPATH=src python tools/service_smoke.py``.
+"""
+
+import http.client
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+
+def boot_server(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"listening on http://[^:]+:(\d+)", line)
+    if not match:
+        process.kill()
+        raise SystemExit(f"server did not announce a port: {line!r}")
+    return process, int(match.group(1))
+
+
+def request(port: int, method: str, path: str, body: dict | None = None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        process, port = boot_server(tmp)
+        try:
+            # -- NDJSON streaming ------------------------------------------
+            status, _, body = request(
+                port, "POST", "/v1/jobs",
+                {"kind": "check_obligations", "params": {"rules": ["mux_combine"]}},
+            )
+            assert status in (200, 202), f"submit answered {status}: {body!r}"
+            job = json.loads(body)
+
+            status, headers, body = request(port, "GET", f"/v1/jobs/{job['id']}?watch=1")
+            assert status == 200, f"watch answered {status}"
+            assert headers.get("Content-Type") == "application/x-ndjson", headers
+            lines = [json.loads(line) for line in body.decode().splitlines()]
+            assert lines, "watch stream produced no status lines"
+            versions = [line["version"] for line in lines]
+            assert versions == sorted(versions), f"unordered stream: {versions}"
+            assert lines[-1]["state"] == "done", f"job ended {lines[-1]['state']}"
+            print(f"ok: watch streamed {len(lines)} NDJSON line(s), job done")
+
+            # -- certificate served from the store -------------------------
+            status, _, body = request(port, "GET", f"/v1/jobs/{job['id']}/result")
+            assert status == 200, f"result answered {status}"
+            [outcome] = json.loads(body)["outcomes"]
+            assert outcome["holds"], "mux_combine obligation did not hold"
+            cert_hash = outcome["certificate_hashes"][0]
+            status, _, body = request(port, "GET", f"/v1/certificates/{cert_hash}")
+            assert status == 200, f"certificate answered {status}"
+            certificate = json.loads(body)
+            assert certificate["kind"] == "SimulationCertificate"
+            assert certificate["hash"] == cert_hash
+            print(f"ok: certificate {cert_hash[:12]}... served and hash-checked")
+
+            # -- second identical request hits the store -------------------
+            status, _, body = request(
+                port, "POST", "/v1/jobs",
+                {"kind": "check_obligations", "params": {"rules": ["mux_combine"]}},
+            )
+            assert status == 200, f"repeat submit answered {status} (expected 200)"
+            repeat = json.loads(body)
+            assert repeat["state"] == "done" and repeat["from_store"], repeat
+            status, _, repeat_body = request(
+                port, "GET", f"/v1/jobs/{repeat['id']}/result"
+            )
+            assert status == 200
+            _, _, first_body = request(port, "GET", f"/v1/jobs/{job['id']}/result")
+            first = json.dumps(json.loads(first_body), sort_keys=True)
+            second = json.dumps(json.loads(repeat_body), sort_keys=True)
+            assert first == second, "store-served result diverged from computed one"
+            status, _, body = request(port, "GET", "/v1/metrics")
+            metrics = json.loads(body)
+            assert metrics["store"]["hits"] >= 1, metrics["store"]
+            print(f"ok: repeat answered from store ({metrics['store']['hits']} hit(s))")
+
+            # -- graceful shutdown -----------------------------------------
+            status, _, body = request(port, "POST", "/v1/admin/shutdown")
+            assert status == 200, f"shutdown answered {status}"
+            assert json.loads(body)["state"] == "shutting-down"
+            code = process.wait(timeout=60)
+            assert code == 0, f"server exited {code} after graceful shutdown"
+            print("ok: graceful shutdown, exit code 0")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    start = time.perf_counter()
+    code = main()
+    print(f"({time.perf_counter() - start:.1f}s)")
+    raise SystemExit(code)
