@@ -9,7 +9,9 @@ reproduction::
         --branch br_a --branch br_b --init init0 --cond-fork cf0 --tags 8
     python -m repro.cli verify            # discharge every rewrite obligation
     python -m repro.cli refine            # certified: recheck stored certificates
+    python -m repro.cli refine --sharded --jobs 4    # shard cold searches
     python -m repro.cli refine --dump-certs certs/   # export certificate files
+    python -m repro.cli refine --dump-certs certs/ --cert-format binary  # .grc
     python -m repro.cli refine --load-certs certs/   # independently re-validate
     python -m repro.cli bench matvec      # one benchmark, all four flows
     python -m repro.cli sim matvec --flow DF-OoO --backend compiled
@@ -187,6 +189,9 @@ def _refine_dump(args: argparse.Namespace) -> int:
         return 2
     out_dir = Path(args.dump_certs).expanduser()
     out_dir.mkdir(parents=True, exist_ok=True)
+    binary = args.cert_format == "binary"
+    if binary:
+        from .refinement.codec import to_bytes as certificate_to_bytes
     session = _session(args)
     failures = written = 0
     with _observe(args):
@@ -203,8 +208,7 @@ def _refine_dump(args: argparse.Namespace) -> int:
                     print(f"{rewrite.name}[{index}] FAILED: {exc}", file=sys.stderr)
                     failures += 1
                     continue
-                path = out_dir / f"{factory}-{index}.json"
-                path.write_text(json.dumps({
+                meta = {
                     "kind": "ObligationCertificate",
                     "rewrite": rewrite.name,
                     "module": module,
@@ -212,8 +216,20 @@ def _refine_dump(args: argparse.Namespace) -> int:
                     "kwargs": kwargs,
                     "instance": index,
                     "mode": report.mode,
-                    "certificate": report.certificate.to_dict(),
-                }))
+                }
+                if binary:
+                    # .grc layout: one-line JSON metadata header, then the
+                    # raw binary certificate container (see refinement.codec).
+                    path = out_dir / f"{factory}-{index}.grc"
+                    path.write_bytes(
+                        json.dumps(meta).encode("utf-8")
+                        + b"\n"
+                        + certificate_to_bytes(report.certificate)
+                    )
+                else:
+                    path = out_dir / f"{factory}-{index}.json"
+                    meta["certificate"] = report.certificate.to_dict()
+                    path.write_text(json.dumps(meta))
                 written += 1
                 print(f"{rewrite.name}[{index}] {report.summary()} -> {path}")
     print(f"{written} certificates written to {out_dir}", file=sys.stderr)
@@ -230,7 +246,7 @@ def _refine_load(args: argparse.Namespace) -> int:
     from .rewriting.rules import build_rewrite
 
     cert_dir = Path(args.load_certs).expanduser()
-    files = sorted(cert_dir.glob("*.json"))
+    files = sorted(list(cert_dir.glob("*.json")) + list(cert_dir.glob("*.grc")))
     if not files:
         print(f"error: no certificate files in {cert_dir}", file=sys.stderr)
         return 2
@@ -238,13 +254,20 @@ def _refine_load(args: argparse.Namespace) -> int:
     with _observe(args):
         for path in files:
             try:
-                data = json.loads(path.read_text())
+                if path.suffix == ".grc":
+                    from .refinement.codec import from_bytes as certificate_from_bytes
+
+                    header, _, blob = path.read_bytes().partition(b"\n")
+                    data = json.loads(header.decode("utf-8"))
+                    certificate = certificate_from_bytes(blob)
+                else:
+                    data = json.loads(path.read_text())
+                    certificate = SimulationCertificate.from_dict(data["certificate"])
                 rewrite = build_rewrite(
                     data["module"], data["factory"], data.get("kwargs") or {}
                 )
                 instances = list(rewrite.obligation() or [])
                 lhs, rhs, env, stimuli = instances[int(data["instance"])]
-                certificate = SimulationCertificate.from_dict(data["certificate"])
                 report = recheck_obligation_certificate(
                     lhs, rhs, env, certificate, stimuli
                 )
@@ -278,7 +301,7 @@ def _cmd_refine(args: argparse.Namespace) -> int:
     session = _session(args)
     failures = 0
     with _observe(args):
-        outcomes = session.check_obligations(specs)
+        outcomes = session.check_obligations(specs, sharded=args.sharded)
     for outcome in outcomes:
         if outcome["holds"]:
             status = (
@@ -493,6 +516,17 @@ def main(argv: list[str] | None = None) -> int:
     refine.add_argument(
         "--load-certs", default=None, metavar="DIR",
         help="re-validate certificate files from DIR against fresh obligations",
+    )
+    refine.add_argument(
+        "--cert-format", default="json", choices=("json", "binary"),
+        help="with --dump-certs: certificate file encoding — json writes "
+        "one .json document per instance, binary writes the compact .grc "
+        "container (default: json)",
+    )
+    refine.add_argument(
+        "--sharded", action="store_true",
+        help="partition each cold search's frontier across the --jobs "
+        "worker pool (certificates stay byte-identical to serial runs)",
     )
     _add_exec_flags(refine)
     refine.set_defaults(fn=_cmd_refine)

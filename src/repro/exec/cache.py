@@ -115,18 +115,60 @@ class ResultCache:
             raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
         self.stats.writes += 1
 
+    # -- binary entries ------------------------------------------------------
+    #
+    # Some payloads (compact binary certificates) are raw byte strings with
+    # their own integrity headers; wrapping them in JSON would force a
+    # base64 blowup.  They live next to the JSON entries as ``.bin`` files
+    # under the same sharded key scheme, written with the same
+    # tempfile+replace atomicity.  Self-describing formats carry their own
+    # tamper detection, so no JSON envelope is layered on top.
+
+    def bin_path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.bin"
+
+    def get_bytes(self, key: str) -> bytes | None:
+        """The stored binary payload, or None on miss."""
+        try:
+            data = self.bin_path_for(key).read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return data
+
+    def put_bytes(self, key: str, payload: bytes) -> None:
+        """Store a raw binary payload atomically."""
+        path = self.bin_path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError as exc:
+            raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
+        self.stats.writes += 1
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self.root.glob("*/*.json")) + sum(
+            1 for _ in self.root.glob("*/*.bin")
+        )
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for path in self.root.glob("*/*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*/*.json", "*/*.bin"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
 
@@ -141,6 +183,13 @@ class NullCache:
         return None
 
     def put(self, key: str, payload: object) -> None:
+        pass
+
+    def get_bytes(self, key: str) -> None:
+        self.stats.misses += 1
+        return None
+
+    def put_bytes(self, key: str, payload: bytes) -> None:
         pass
 
     def __len__(self) -> int:

@@ -7,11 +7,23 @@ from .checker import (
     check_rewrite_obligation,
     io_stimuli,
     recheck_obligation_certificate,
+    recheck_obligation_incremental,
     refines,
     uniform_stimuli,
 )
+from .codec import from_bytes as certificate_from_bytes
+from .codec import looks_binary, to_bytes as certificate_to_bytes
+from .incremental import (
+    GraphDiff,
+    IncrementalOutcome,
+    diff_graphs,
+    incremental_recheck,
+    transport_certificate,
+)
+from .sharded import find_weak_simulation_sharded, obligation_ref
 from .simulation import (
     CERTIFICATE_FORMAT,
+    ReplayWitnesses,
     SimulationCertificate,
     SimulationResult,
     Violation,
@@ -29,9 +41,21 @@ __all__ = [
     "check_rewrite_obligation",
     "io_stimuli",
     "recheck_obligation_certificate",
+    "recheck_obligation_incremental",
     "refines",
     "uniform_stimuli",
+    "certificate_from_bytes",
+    "certificate_to_bytes",
+    "looks_binary",
+    "GraphDiff",
+    "IncrementalOutcome",
+    "diff_graphs",
+    "incremental_recheck",
+    "transport_certificate",
+    "find_weak_simulation_sharded",
+    "obligation_ref",
     "CERTIFICATE_FORMAT",
+    "ReplayWitnesses",
     "SimulationCertificate",
     "SimulationResult",
     "Violation",

@@ -18,8 +18,12 @@ certificate and re-validates it in one O(relation) pass
 re-solving the game.  Re-validation is a *check*, not trust: a stale,
 corrupted or tampered certificate fails the hash or a simulation diagram
 and the obligation silently falls back to a full search.  The
-:class:`RefinementReport` records which path produced it
-(``mode="search"`` or ``mode="recheck"``).
+:class:`RefinementReport` records which path produced it: ``mode="search"``
+(cold), ``"recheck"`` (persisted certificate re-validated, via witness
+replay or the exhaustive pass), ``"recheck-incremental"`` (only the
+rewrite-touched region re-validated; see
+:mod:`repro.refinement.incremental`) or ``"search-fallback"`` (a stored
+certificate failed re-validation and the game was re-solved).
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from ..errors import CertificateError, RefinementError
 from .simulation import (
     SimulationCertificate,
     SimulationResult,
+    _normalise_stimuli,
     find_weak_simulation,
     recheck_certificate,
 )
@@ -49,8 +54,13 @@ class RefinementReport:
     """A successful refinement check with its witness and statistics.
 
     *mode* records the provenance of the verdict: ``"search"`` when the
-    weak-simulation game was solved from scratch, ``"recheck"`` when a
-    persisted certificate was re-validated diagram by diagram.
+    weak-simulation game was solved from scratch (cold), ``"recheck"``
+    when a persisted certificate was re-validated (witness replay or the
+    exhaustive diagram pass), ``"recheck-incremental"`` when only the
+    touched region of a rewritten graph was re-validated against a
+    transported baseline certificate, and ``"search-fallback"`` when a
+    stored certificate existed but failed re-validation and the game was
+    re-solved from scratch — corruption costs time, never soundness.
 
     On the wire the certificate travels by *content hash*, not by value
     (certificates run to megabytes; the service stores them
@@ -60,7 +70,7 @@ class RefinementReport:
     """
 
     certificate: SimulationCertificate | None
-    mode: str = "search"  # "search" | "recheck"
+    mode: str = "search"  # "search" | "recheck" | "recheck-incremental" | "search-fallback"
     #: Detached-form statistics (``impl_states``/``spec_states``/
     #: ``relation_size``/``certificate_hash``), populated by
     #: :meth:`from_dict` when the certificate itself did not travel.
@@ -183,39 +193,76 @@ def io_stimuli(values_per_port: Mapping[int, Iterable[Value]]) -> dict[Port, tup
     return {IOPort(index): tuple(values) for index, values in values_per_port.items()}
 
 
+def _load_cached_certificate(cache, key: str) -> tuple[SimulationCertificate | None, bool]:
+    """Fetch and decode a cached certificate, trying binary first.
+
+    The compact binary entry (``.bin``, written by newer runs) is preferred
+    — smaller and ~5x faster to decode — with the JSON entry as the interop
+    fallback.  Returns ``(certificate, found)``: *found* is True whenever a
+    stored entry existed, even one that failed to decode (format drift,
+    hash mismatch, truncation — counted as recheck failures).
+    """
+    found = False
+    blob = cache.get_bytes(key) if hasattr(cache, "get_bytes") else None
+    if blob is not None:
+        from .codec import from_bytes
+
+        found = True
+        try:
+            return from_bytes(blob), True
+        except CertificateError:
+            obs.count("refinement.cert_recheck_failures")
+            # fall through to the JSON entry, if any
+    entry = cache.get(key)
+    if entry is None:
+        return None, found
+    try:
+        return SimulationCertificate.from_dict(entry), True
+    except CertificateError:
+        obs.count("refinement.cert_recheck_failures")
+        return None, True
+
+
 def _recheck_cached_certificate(
     cache,
     key: str,
     impl: Module,
     spec: Module,
     stimuli: Stimuli,
-) -> RefinementReport | None:
-    """Load and re-validate a cached certificate; None on any miss/failure.
+) -> tuple[RefinementReport | None, bool]:
+    """Load and re-validate a cached certificate.
+
+    Returns ``(report, had_candidate)``: *report* is None on any
+    miss/failure, and *had_candidate* records whether a stored certificate
+    was found at all — a caller that then searches reports
+    ``mode="search-fallback"`` so metrics can tell a cold search from a
+    failed fast path.
 
     Never trusts the stored verdict: the certificate is deserialised (hash
-    checked), then every simulation diagram of its relation is replayed
-    against the freshly denoted modules.  Any failure — cache miss, format
-    drift, hash mismatch, a diagram that no longer holds — reports a miss
-    so the caller runs the full search.
+    checked), then its relation is re-validated against the freshly
+    denoted modules — through the witness replay fast path when the
+    certificate carries witnesses, else the exhaustive diagram pass.  Any
+    failure — cache miss, format drift, hash mismatch, a diagram that no
+    longer holds — reports a miss so the caller runs the full search.
     """
-    entry = cache.get(key)
-    if entry is None:
-        obs.count("refinement.cert_cache_misses")
-        return None
     with obs.span("refine:recheck") as sp:
-        try:
-            certificate = SimulationCertificate.from_dict(entry)
-        except CertificateError as exc:
-            sp.set(holds=False, reason=str(exc))
-            obs.count("refinement.cert_recheck_failures")
-            return None
+        certificate, found = _load_cached_certificate(cache, key)
+        if certificate is None:
+            obs.count("refinement.cert_cache_misses")
+            return None, found
         result = recheck_certificate(impl, spec, certificate, stimuli)
-        sp.set(holds=result.holds, relation=len(certificate.relation))
+        sp.set(
+            holds=result.holds,
+            relation=len(certificate.relation),
+            method=result.method,
+        )
         if not result.holds:
             obs.count("refinement.cert_recheck_failures")
-            return None
+            return None, True
     obs.count("refinement.cert_cache_hits")
-    return RefinementReport(certificate, mode="recheck")
+    if result.method == "replay":
+        obs.count("refinement.cert_replay_hits")
+    return RefinementReport(certificate, mode="recheck"), True
 
 
 def check_rewrite_obligation(
@@ -226,6 +273,8 @@ def check_rewrite_obligation(
     values: Iterable[Value] = (0, 1),
     spec_capacity: int | None = 4,
     cache=None,
+    executor=None,
+    sharded_ref: dict | None = None,
 ) -> RefinementReport:
     """Discharge the ``rhs ⊑ lhs`` obligation of a rewrite on a bounded instance.
 
@@ -245,9 +294,16 @@ def check_rewrite_obligation(
 
     *cache* (a :class:`repro.exec.cache.ResultCache`-shaped object) enables
     the certificate fast path: a prior successful check's certificate is
-    loaded and re-validated in one pass over its relation; on success the
-    report has ``mode="recheck"``, and on any re-validation failure the
-    full search runs and its fresh certificate replaces the stored one.
+    loaded (preferring the compact binary entry) and re-validated — via
+    witness replay when witnesses are present, else the exhaustive pass; on
+    success the report has ``mode="recheck"``, and on any re-validation
+    failure the full search runs (``mode="search-fallback"``) and its fresh
+    certificate replaces the stored one.
+
+    When *executor* and *sharded_ref* are both given, a cold search is
+    sharded over the executor pool
+    (:func:`~repro.refinement.sharded.find_weak_simulation_sharded`);
+    verdicts and certificate hashes are identical to the serial search.
     """
     rhs_module = denote(rhs.lower(), env)
     lhs_module = denote(lhs.lower(), env.with_capacity(spec_capacity))
@@ -255,16 +311,26 @@ def check_rewrite_obligation(
         stimuli = uniform_stimuli(rhs_module, values)
 
     key = None
+    had_candidate = False
     if cache is not None:
         from ..exec.hashing import certificate_key
 
         key = certificate_key(rhs, lhs, env, stimuli, spec_capacity=spec_capacity)
-        report = _recheck_cached_certificate(cache, key, rhs_module, lhs_module, stimuli)
+        report, had_candidate = _recheck_cached_certificate(
+            cache, key, rhs_module, lhs_module, stimuli
+        )
         if report is not None:
             return report
 
-    with obs.span("refine:weak-sim", obligation=True) as sp:
-        result = find_weak_simulation(rhs_module, lhs_module, stimuli)
+    with obs.span("refine:weak-sim", obligation=True, sharded=sharded_ref is not None) as sp:
+        if executor is not None and sharded_ref is not None:
+            from .sharded import find_weak_simulation_sharded
+
+            result = find_weak_simulation_sharded(
+                rhs_module, lhs_module, stimuli, executor=executor, ref=sharded_ref
+            )
+        else:
+            result = find_weak_simulation(rhs_module, lhs_module, stimuli)
         sp.set(holds=result.holds)
         if result.certificate is not None:
             sp.set(
@@ -280,8 +346,20 @@ def check_rewrite_obligation(
     certificate = result.certificate
     assert certificate is not None
     if cache is not None and key is not None:
+        _store_certificate(cache, key, certificate)
+    return RefinementReport(
+        certificate, mode="search-fallback" if had_candidate else "search"
+    )
+
+
+def _store_certificate(cache, key: str, certificate: SimulationCertificate) -> None:
+    """Persist a fresh certificate, preferring the compact binary entry."""
+    if hasattr(cache, "put_bytes"):
+        from .codec import to_bytes
+
+        cache.put_bytes(key, to_bytes(certificate))
+    else:
         cache.put(key, certificate.to_dict())
-    return RefinementReport(certificate, mode="search")
 
 
 def recheck_obligation_certificate(
@@ -317,6 +395,95 @@ def recheck_obligation_certificate(
         )
     obs.count("refinement.cert_cache_hits")
     return RefinementReport(certificate, mode="recheck")
+
+
+def recheck_obligation_incremental(
+    lhs: ExprHigh,
+    rhs_old: ExprHigh,
+    rhs_new: ExprHigh,
+    env: Environment,
+    certificate: SimulationCertificate,
+    stimuli: Stimuli | None = None,
+    values: Iterable[Value] = (0, 1),
+    spec_capacity: int | None = 4,
+    cache=None,
+) -> RefinementReport:
+    """Discharge ``rhs_new ⊑ lhs`` by upgrading evidence for ``rhs_old ⊑ lhs``.
+
+    *certificate* must be valid evidence for the old obligation (typically
+    the report of a prior :func:`check_rewrite_obligation` on *rhs_old*).
+    The incremental pass transports the relation onto the new graph's
+    state shape and re-validates only the moves of the touched region
+    (:mod:`repro.refinement.incremental`); the fallback chain is
+
+    1. incremental recheck  → ``mode="recheck-incremental"``
+    2. full recheck of the baseline certificate (when the incremental
+       argument does not apply but the state shape is unchanged)
+       → ``mode="recheck"``
+    3. full search → ``mode="search-fallback"``
+
+    so a stale or corrupted baseline costs time, never soundness.  The
+    upgraded certificate is stored under the *new* obligation's cache key
+    when *cache* is given.
+    """
+    from .incremental import incremental_recheck
+
+    rhs_module = denote(rhs_new.lower(), env)
+    lhs_module = denote(lhs.lower(), env.with_capacity(spec_capacity))
+    if stimuli is None:
+        stimuli = uniform_stimuli(rhs_module, values)
+    try:
+        wanted = _normalise_stimuli(rhs_module, stimuli)
+    except RefinementError:
+        wanted = None
+
+    if wanted is not None and wanted == certificate.stimuli:
+        with obs.span("refine:recheck-incremental", obligation=True) as sp:
+            outcome = incremental_recheck(
+                rhs_old, rhs_new, env, rhs_module, lhs_module, certificate, wanted
+            )
+            sp.set(
+                eligible=outcome.eligible,
+                entries=outcome.entries_validated,
+                moves=outcome.moves_checked,
+                reason=outcome.reason,
+            )
+        if (
+            outcome.eligible
+            and outcome.result is not None
+            and outcome.result.holds
+            and outcome.result.certificate is not None
+        ):
+            obs.count("refinement.incremental_hits")
+            upgraded = outcome.result.certificate
+            if cache is not None:
+                from ..exec.hashing import certificate_key
+
+                key = certificate_key(
+                    rhs_new, lhs, env, stimuli, spec_capacity=spec_capacity
+                )
+                _store_certificate(cache, key, upgraded)
+            return RefinementReport(upgraded, mode="recheck-incremental")
+        if not outcome.eligible:
+            # The incremental argument did not apply; the baseline may
+            # still recheck in full when the state shape is unchanged.
+            result = recheck_certificate(rhs_module, lhs_module, certificate, stimuli)
+            if result.holds:
+                obs.count("refinement.cert_cache_hits")
+                return RefinementReport(certificate, mode="recheck")
+    obs.count("refinement.incremental_fallbacks")
+    return_report = check_rewrite_obligation(
+        lhs,
+        rhs_new,
+        env,
+        stimuli,
+        values=values,
+        spec_capacity=spec_capacity,
+        cache=cache,
+    )
+    if return_report.mode == "search":
+        return_report.mode = "search-fallback"
+    return return_report
 
 
 def check_rewrite_obligation_traces(

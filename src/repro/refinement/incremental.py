@@ -1,0 +1,432 @@
+"""Incremental certificate re-validation after a graph rewrite.
+
+A rewrite usually touches a few nodes of a large graph, yet the certified
+obligation pipeline re-validates (or re-searches) the whole simulation
+relation.  The key observation is that the product semantics is *leaf
+local*: a lowered graph's module state is the right-fold nest of one leaf
+state per node (in sorted node order), and every transition reads and
+writes only its own node's leaf — input/output transitions one leaf,
+fused-connection internals the two endpoint leaves.  A move of an
+*untouched* node therefore fires identically before and after the rewrite,
+and its recorded evidence in the old certificate transports verbatim.
+
+So after a rewrite ``old → new`` of the implementation graph, a valid old
+certificate can be upgraded by checking **only the touched moves**:
+
+1. :func:`diff_graphs` computes the touched region — nodes whose spec
+   changed, plus added/removed nodes and connection changes;
+2. :func:`transport_certificate` maps every old relation state to the new
+   state shape (untouched leaves copied, added nodes seeded with their
+   component's initial states, removed leaves projected away);
+3. :func:`incremental_recheck` replays the three simulation diagrams for
+   touched input/output ports and touched internal transitions only, plus
+   the (cheap, full) init and interface checks.
+
+Soundness does **not** rest on the diff being right in subtle cases — it
+rests on the eligibility guards being conservative: any shape mismatch,
+I/O remap, layout-count disagreement or failed check makes the obligation
+fall back to a full recheck and then a full search (see
+:func:`repro.refinement.checker.recheck_obligation_incremental`).  The
+baseline certificate must itself be valid evidence for the *old* graph's
+obligation — callers obtain it from a prior checked run; a corrupted or
+mismatched baseline costs a fallback, never a wrong verdict, because the
+untouched-move transport argument only ever *re-uses* checks the baseline
+actually passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.encoding import encode_component
+from ..core.environment import Environment
+from ..core.exprhigh import ExprHigh
+from ..core.module import Module, State
+from ..core.ports import IOPort, Port
+from .simulation import (
+    SimulationCertificate,
+    SimulationResult,
+    Violation,
+    _GameCache,
+    _interface_violation,
+)
+
+#: Transporting a pair across added nodes with multiple initial states
+#: expands it into the product of those inits; beyond this many expansions
+#: per pair the transport is refused (fallback, not failure).
+MAX_INIT_EXPANSION = 16
+
+
+@dataclass(frozen=True)
+class GraphDiff:
+    """The touched region between two ExprHigh graphs.
+
+    *touched* holds nodes present in both graphs whose spec changed;
+    connection changes are tracked separately (a rewired connection touches
+    its fused internal transition, not the endpoint nodes' own moves).
+    """
+
+    touched: frozenset[str]
+    added: frozenset[str]
+    removed: frozenset[str]
+    io_changed: bool
+    changed_connections: frozenset[tuple]
+
+    @property
+    def touched_or_added(self) -> frozenset[str]:
+        return self.touched | self.added
+
+    def is_empty(self) -> bool:
+        return not (
+            self.touched
+            or self.added
+            or self.removed
+            or self.io_changed
+            or self.changed_connections
+        )
+
+
+def diff_graphs(old: ExprHigh, new: ExprHigh) -> GraphDiff:
+    """Structural diff of two graphs at node/connection/IO granularity."""
+    old_nodes, new_nodes = set(old.nodes), set(new.nodes)
+    added = frozenset(new_nodes - old_nodes)
+    removed = frozenset(old_nodes - new_nodes)
+    touched = frozenset(
+        name for name in old_nodes & new_nodes if old.nodes[name] != new.nodes[name]
+    )
+    io_changed = old.inputs != new.inputs or old.outputs != new.outputs
+    changed = set()
+    for dst, src in new.connections.items():
+        if old.connections.get(dst) != src:
+            changed.add((dst, src))
+    for dst, src in old.connections.items():
+        if new.connections.get(dst) != src:
+            changed.add((dst, src))
+    return GraphDiff(
+        touched=touched,
+        added=added,
+        removed=removed,
+        io_changed=io_changed,
+        changed_connections=frozenset(changed),
+    )
+
+
+def graphs_equal(a: ExprHigh, b: ExprHigh) -> bool:
+    """Structural equality (nodes, connections, external I/O)."""
+    return (
+        a.nodes == b.nodes
+        and a.connections == b.connections
+        and a.inputs == b.inputs
+        and a.outputs == b.outputs
+    )
+
+
+# -- state transport ----------------------------------------------------------
+
+
+def _unpack_leaves(state: State, count: int) -> list:
+    """Invert the right-fold product nesting into per-node leaf states."""
+    if count == 1:
+        return [state]
+    leaves = []
+    current = state
+    for _ in range(count - 1):
+        if not isinstance(current, tuple) or len(current) != 2:
+            raise ValueError("state does not match the graph's product shape")
+        leaves.append(current[0])
+        current = current[1]
+    leaves.append(current)
+    return leaves
+
+
+def _pack_leaves(leaves: list) -> State:
+    state = leaves[-1]
+    for leaf in reversed(leaves[:-1]):
+        state = (leaf, state)
+    return state
+
+
+def transport_certificate(
+    old: ExprHigh,
+    new: ExprHigh,
+    certificate: SimulationCertificate,
+    env: Environment,
+) -> frozenset[tuple[State, State]] | None:
+    """Map the certificate's relation onto the new graph's state shape.
+
+    Untouched and touched nodes keep their leaf states (a touched node's
+    moves will be re-validated anyway), removed leaves are projected away,
+    and each added node contributes its component module's initial states
+    (expanding the pair when there are several).  Returns None whenever
+    the transport is not defined — old states that do not destructure to
+    the old graph's shape, or an init expansion past
+    :data:`MAX_INIT_EXPANSION` — in which case the caller falls back.
+    """
+    old_order = sorted(old.nodes)
+    new_order = sorted(new.nodes)
+    inits: dict[str, tuple] = {}
+    for name in new_order:
+        if name not in old.nodes:
+            spec = new.nodes[name]
+            try:
+                component = env.lookup(encode_component(spec.typ, spec.param_dict()))
+            except Exception:
+                return None
+            inits[name] = tuple(component.init)
+            if not inits[name]:
+                return None
+    relation_new = set()
+    for s_old, t in certificate.relation:
+        try:
+            leaves = _unpack_leaves(s_old, len(old_order))
+        except ValueError:
+            return None
+        by_node = dict(zip(old_order, leaves))
+        options: list[tuple] = []
+        for name in new_order:
+            if name in by_node:
+                options.append((by_node[name],))
+            else:
+                options.append(inits[name])
+        combos = 1
+        for opt in options:
+            combos *= len(opt)
+        if combos > MAX_INIT_EXPANSION:
+            return None
+        stack = [[]]
+        for opt in options:
+            stack = [prefix + [leaf] for prefix in stack for leaf in opt]
+        for leaves_new in stack:
+            relation_new.add((_pack_leaves(leaves_new), t))
+    return frozenset(relation_new)
+
+
+# -- touched-move layout ------------------------------------------------------
+
+
+def internal_layout(graph: ExprHigh, env: Environment) -> list[tuple] | None:
+    """The provenance of each internal transition of the lowered module.
+
+    Lowering folds nodes in sorted order (each contributing its component
+    module's internals, in order) and then fuses connections in
+    ``sorted_connections()`` order, appending one internal per connection —
+    so the product module's ``internals`` tuple is exactly this layout.
+    Returns ``[("node", name), ...,  ("conn", dst, src), ...]`` or None if
+    a component cannot be looked up (caller falls back).  Callers must
+    still guard ``len(layout) == len(module.internals)`` — if lowering
+    conventions ever drift, incremental mode silently disables itself
+    rather than mislabel a transition.
+    """
+    layout: list[tuple] = []
+    for name in sorted(graph.nodes):
+        spec = graph.nodes[name]
+        try:
+            component = env.lookup(encode_component(spec.typ, spec.param_dict()))
+        except Exception:
+            return None
+        layout.extend(("node", name) for _ in component.internals)
+    for dst, src in graph.sorted_connections():
+        layout.append(("conn", dst, src))
+    return layout
+
+
+@dataclass
+class IncrementalOutcome:
+    """What the incremental pass decided, with enough detail for fallbacks.
+
+    *eligible* False means the incremental argument did not apply (shape
+    change, layout mismatch, transport failure) — *result* is None and the
+    caller should run a full recheck/search.  When eligible, *result*
+    carries the verdict; *entries_validated* counts relation entries where
+    at least one touched move actually fired (the strict subset the pass
+    re-checked), and *moves_checked* the individual diagram checks run.
+    """
+
+    eligible: bool
+    reason: str = ""
+    result: SimulationResult | None = None
+    relation: frozenset | None = None
+    entries_validated: int = 0
+    moves_checked: int = 0
+
+
+def incremental_recheck(
+    old_graph: ExprHigh,
+    new_graph: ExprHigh,
+    env: Environment,
+    impl: Module,
+    spec: Module,
+    certificate: SimulationCertificate,
+    stimuli: Mapping[Port, tuple],
+) -> IncrementalOutcome:
+    """Validate the transported relation by re-checking touched moves only.
+
+    *impl* must be the new graph's denotation in *env* and *spec* the
+    unchanged specification module; *stimuli* must equal the certificate's
+    recorded domain (the caller normalises and compares).  The touched
+    moves are: input/output ports whose external endpoint lies on a
+    touched or added node, per-node internals of touched/added nodes, and
+    fused connections that changed or touch a changed node.  Everything
+    else transports from the baseline certificate by leaf-locality.
+    """
+    diff = diff_graphs(old_graph, new_graph)
+    if diff.io_changed:
+        return IncrementalOutcome(False, reason="external I/O map changed")
+    interface = _interface_violation(impl, spec)
+    if interface is not None:
+        return IncrementalOutcome(
+            True, result=SimulationResult(False, violation=interface)
+        )
+    layout = internal_layout(new_graph, env)
+    if layout is None or len(layout) != len(impl.internals):
+        return IncrementalOutcome(False, reason="internal layout mismatch")
+    relation = transport_certificate(old_graph, new_graph, certificate, env)
+    if relation is None:
+        return IncrementalOutcome(False, reason="state transport failed")
+
+    touched_nodes = diff.touched_or_added
+    changed_conn_nodes = touched_nodes | diff.removed
+    touched_inputs = [
+        IOPort(i)
+        for i, endpoint in sorted(new_graph.inputs.items())
+        if endpoint.node in touched_nodes
+    ]
+    touched_outputs = [
+        IOPort(i)
+        for i, endpoint in sorted(new_graph.outputs.items())
+        if endpoint.node in touched_nodes
+    ]
+    changed_connections = {
+        (dst, src) for dst, src in diff.changed_connections
+    }
+    touched_internal_idxs = []
+    for idx, entry in enumerate(layout):
+        if entry[0] == "node":
+            if entry[1] in touched_nodes:
+                touched_internal_idxs.append(idx)
+        else:
+            _, dst, src = entry
+            if (
+                (dst, src) in changed_connections
+                or dst.node in changed_conn_nodes
+                or src.node in changed_conn_nodes
+            ):
+                touched_internal_idxs.append(idx)
+
+    succ = _GameCache(impl, spec, dict(stimuli))
+    try:
+        id_pairs = [(succ.impl_id(s), succ.spec_id(t)) for s, t in relation]
+    except TypeError:
+        return IncrementalOutcome(False, reason="transported states not hashable")
+    related = {(sid << 32) | tid for sid, tid in id_pairs}
+
+    # Init containment is global, not leaf-local: always re-checked in full.
+    for s0 in impl.init:
+        sid = succ.impl_id(s0)
+        if not any(((sid << 32) | succ.spec_id(t0)) in related for t0 in spec.init):
+            return IncrementalOutcome(
+                True,
+                result=SimulationResult(
+                    False,
+                    violation=Violation(
+                        "init", s0, None,
+                        f"initial state {s0!r} has no related spec initial state",
+                    ),
+                    method="incremental",
+                ),
+                relation=relation,
+            )
+
+    entries_validated = 0
+    moves_checked = 0
+    impl_states = succ.impl_states
+    internals = impl.internals
+    for sid, tid in id_pairs:
+        state = impl_states[sid]
+        fired = False
+        for port in touched_inputs:
+            fire = impl.inputs[port].fire
+            for value in stimuli[port]:
+                for s_next in fire(state, value):
+                    fired = True
+                    moves_checked += 1
+                    base = succ.impl_id(s_next) << 32
+                    if not any(
+                        (base | t_next) in related
+                        for t_next in succ.spec_input_responses(tid, port, value)
+                    ):
+                        return IncrementalOutcome(
+                            True,
+                            result=SimulationResult(
+                                False,
+                                violation=Violation(
+                                    "input", state, succ.spec_states[tid],
+                                    f"input {port}={value!r} has no response inside the relation",
+                                ),
+                                method="incremental",
+                            ),
+                            relation=relation,
+                            entries_validated=entries_validated,
+                            moves_checked=moves_checked,
+                        )
+        for port in touched_outputs:
+            for value, s_next in impl.outputs[port].fire(state):
+                fired = True
+                moves_checked += 1
+                base = succ.impl_id(s_next) << 32
+                if not any(
+                    (base | t_next) in related
+                    for t_next in succ.spec_output_responses(tid, port, value)
+                ):
+                    return IncrementalOutcome(
+                        True,
+                        result=SimulationResult(
+                            False,
+                            violation=Violation(
+                                "output", state, succ.spec_states[tid],
+                                f"output {port} emits {value!r} with no response inside the relation",
+                            ),
+                            method="incremental",
+                        ),
+                        relation=relation,
+                        entries_validated=entries_validated,
+                        moves_checked=moves_checked,
+                    )
+        for idx in touched_internal_idxs:
+            for s_next in internals[idx].fire(state):
+                fired = True
+                moves_checked += 1
+                base = succ.impl_id(s_next) << 32
+                if not any((base | t_next) in related for t_next in succ.closure(tid)):
+                    return IncrementalOutcome(
+                        True,
+                        result=SimulationResult(
+                            False,
+                            violation=Violation(
+                                "internal", state, succ.spec_states[tid],
+                                "internal step has no response inside the relation",
+                            ),
+                            method="incremental",
+                        ),
+                        relation=relation,
+                        entries_validated=entries_validated,
+                        moves_checked=moves_checked,
+                    )
+        if fired:
+            entries_validated += 1
+
+    upgraded = SimulationCertificate(
+        relation=relation,
+        impl_states=len({sid for sid, _ in id_pairs}),
+        spec_states=len({tid for _, tid in id_pairs}),
+        iterations=0,
+        stimuli=dict(certificate.stimuli),
+    )
+    return IncrementalOutcome(
+        True,
+        result=SimulationResult(True, certificate=upgraded, method="incremental"),
+        relation=relation,
+        entries_validated=entries_validated,
+        moves_checked=moves_checked,
+    )

@@ -1,0 +1,243 @@
+"""Sharded weak-simulation search over the executor pool.
+
+The game search of :func:`~repro.refinement.simulation.find_weak_simulation`
+has two phases: *forward exploration* (fire every reachable position's
+implementation moves and collect the spec's permitted responses — the
+expensive part, dominated by spec τ-closure walks) and *game resolution*
+(backward loss propagation — cheap).  This module parallelises the first
+phase level-synchronously:
+
+1. the parent owns the position table (hash-consed states, dense int ids,
+   packed ``(impl, spec)`` position keys — the same interning the serial
+   search uses);
+2. each BFS level's unexpanded positions are partitioned into contiguous
+   shards and fanned out over the PR-1 executor pool; workers rebuild the
+   obligation's modules from a picklable recipe (*ref*) once per process
+   (memoised, with their own :class:`~.simulation._GameCache`, so spec
+   response sets amortise across levels) and return plain state-level move
+   tables;
+3. the parent merges results **in submission order** — interning new
+   states and positions deterministically — then expands the next level.
+
+Small levels (below *min_frontier*) expand locally: shipping two modules'
+worth of states to a pool costs more than firing a handful of positions.
+
+The merged arena is resolved by the same
+:func:`~.simulation.resolve_game`, so verdicts, certificates and content
+hashes are identical to the serial search — the relation is a set and the
+canonical encoding sorts it, so even merge-order differences cannot leak
+into the hash.  Witness choices may legitimately differ between serial
+and sharded runs (first-found winning responses depend on worker
+iteration order); witnesses are advisory and excluded from the hash.
+Refutations re-run serially so the reported counterexample is also
+byte-identical to a serial run's.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+from ..core.module import Module, Value
+from ..errors import SemanticsError
+from .simulation import (
+    SimulationResult,
+    Stimuli,
+    _GameCache,
+    _interface_violation,
+    _Move,
+    _normalise_stimuli,
+    expand_position,
+    resolve_game,
+)
+
+#: Below this many unexpanded positions in a level, expand locally.
+MIN_FRONTIER = 64
+
+_KINDS = ("input", "output", "internal")
+
+
+def _move_detail(kind: int, port, value) -> str:
+    if kind == 0:
+        return f"input {port}={value!r}"
+    if kind == 1:
+        return f"output {port} emits {value!r}"
+    return "internal step"
+
+
+def find_weak_simulation_sharded(
+    impl: Module,
+    spec: Module,
+    stimuli: Stimuli,
+    *,
+    executor,
+    ref: dict | None,
+    limit: int = 500_000,
+    min_frontier: int = MIN_FRONTIER,
+    mint_witnesses: bool = True,
+) -> SimulationResult:
+    """Decide ``impl ⊑ spec`` with frontier expansion sharded over *executor*.
+
+    *ref* is the picklable recipe workers use to rebuild the obligation's
+    modules (see :func:`repro.exec.workers.expand_simulation_frontier`);
+    when it is None, or *executor* has one job, every level expands locally
+    and this degrades gracefully to the serial search.
+    """
+    interface = _interface_violation(impl, spec)
+    if interface is not None:
+        return SimulationResult(False, violation=interface)
+    stimuli = _normalise_stimuli(impl, stimuli)
+    succ = _GameCache(impl, spec, stimuli)
+
+    index_of: dict[int, int] = {}
+    pairs: list[tuple[int, int]] = []
+    moves: list[list[_Move] | None] = []
+
+    def intern(sid: int, tid: int) -> int:
+        key = (sid << 32) | tid
+        idx = index_of.get(key)
+        if idx is None:
+            idx = len(pairs)
+            if idx >= limit:
+                raise SemanticsError(
+                    f"simulation game exceeded the limit of {limit} positions"
+                )
+            index_of[key] = idx
+            pairs.append((sid, tid))
+            moves.append(None)
+        return idx
+
+    frontier = [
+        intern(succ.impl_id(s0), succ.spec_id(t0))
+        for s0 in impl.init
+        for t0 in spec.init
+    ]
+    can_shard = (
+        executor is not None and ref is not None and getattr(executor, "jobs", 1) > 1
+    )
+    levels = 0
+    sharded_levels = 0
+
+    while frontier:
+        todo: list[int] = []
+        seen_round: set[int] = set()
+        for idx in frontier:
+            if moves[idx] is None and idx not in seen_round:
+                seen_round.add(idx)
+                todo.append(idx)
+        frontier = []
+        if not todo:
+            break
+        levels += 1
+
+        if not can_shard or len(todo) < min_frontier:
+            for idx in todo:
+                sid, tid = pairs[idx]
+                moves[idx] = expand_position(succ, sid, tid, intern)
+        else:
+            sharded_levels += 1
+            _expand_level_sharded(succ, executor, ref, todo, pairs, moves, intern)
+
+        for idx in todo:
+            for move in moves[idx] or ():
+                for succ_idx in move.responses:
+                    if moves[succ_idx] is None:
+                        frontier.append(succ_idx)
+
+    obs.count("refinement.sharded_levels", sharded_levels)
+    with obs.span(
+        "refine:sharded-resolve", positions=len(pairs), levels=levels,
+        sharded_levels=sharded_levels,
+    ):
+        result = resolve_game(succ, pairs, moves, index_of, mint_witnesses=mint_witnesses)
+    if not result.holds and sharded_levels:
+        # Diagnosis reports the *first* failing move, and "first" depends on
+        # position interning order, which sharded merging perturbs.  Refuted
+        # obligations are the rare case, so re-derive the counterexample
+        # serially — output stays byte-identical to a serial run.
+        from .simulation import find_weak_simulation
+
+        return find_weak_simulation(
+            impl, spec, stimuli, limit=limit, mint_witnesses=mint_witnesses
+        )
+    return result
+
+
+def _expand_level_sharded(
+    succ: _GameCache,
+    executor,
+    ref: dict,
+    todo: list[int],
+    pairs: list[tuple[int, int]],
+    moves: list,
+    intern,
+) -> None:
+    """Fan one BFS level out over the pool and merge deterministically."""
+    from ..exec.executor import WorkUnit
+
+    shards = max(1, int(getattr(executor, "jobs", 1)))
+    chunk = (len(todo) + shards - 1) // shards
+    chunks = [todo[k : k + chunk] for k in range(0, len(todo), chunk)]
+    units = []
+    for k, indices in enumerate(chunks):
+        payload_pairs = [
+            (succ.impl_states[sid], succ.spec_states[tid])
+            for sid, tid in (pairs[idx] for idx in indices)
+        ]
+        units.append(
+            WorkUnit(
+                uid=f"sim-shard-{len(pairs)}-{k}",
+                fn="repro.exec.workers:expand_simulation_frontier",
+                payload={"ref": ref, "pairs": payload_pairs},
+            )
+        )
+    results = executor.run(units)
+    impl_id, spec_id = succ.impl_id, succ.spec_id
+    for indices, shard_result in zip(chunks, results):
+        if shard_result is None or len(shard_result) != len(indices):
+            # A worker shard went missing: expand those positions locally —
+            # the pool is an optimisation, never a correctness dependency.
+            for idx in indices:
+                if moves[idx] is None:
+                    sid, tid = pairs[idx]
+                    moves[idx] = expand_position(succ, sid, tid, intern)
+            continue
+        for idx, move_rows in zip(indices, shard_result):
+            position_moves = []
+            for kind, port, value, succ_state, responses in move_rows:
+                s_next = impl_id(succ_state)
+                interned = tuple(intern(s_next, spec_id(t)) for t in responses)
+                position_moves.append(
+                    _Move(
+                        _KINDS[kind],
+                        _move_detail(kind, port, value),
+                        interned,
+                        port=port,
+                        value=value,
+                        succ_sid=s_next,
+                    )
+                )
+            moves[idx] = position_moves
+
+
+def obligation_ref(
+    module: str,
+    factory: str,
+    kwargs: dict | None,
+    instance: int,
+    *,
+    values: tuple[Value, ...] = (0, 1),
+    spec_capacity: int | None = 4,
+) -> dict:
+    """The picklable recipe for one obligation instance of a rewrite factory.
+
+    Workers re-import ``module:factory``, rebuild the rewrite, take
+    obligation instance *instance* and denote both sides exactly as
+    :func:`~repro.refinement.checker.check_rewrite_obligation` does.
+    """
+    return {
+        "module": module,
+        "factory": factory,
+        "kwargs": dict(kwargs or {}),
+        "instance": int(instance),
+        "values": list(values),
+        "spec_capacity": spec_capacity,
+    }

@@ -33,32 +33,48 @@ positions) is a genuine weak simulation containing the initial pairs;
 failure yields a counterexample with the violated diagram.
 
 Certificates are *persistent evidence*: they serialise (``to_dict`` /
-``from_dict``) with a stable content hash, and
-:func:`recheck_certificate` re-validates every simulation diagram of a
-stored relation in a single O(relation) pass — no game solving, no
-exploration of losing positions — so a cached certificate is dramatically
-cheaper to re-establish than a fresh search, while remaining independently
-checkable evidence (a tampered or stale certificate is rejected, never
-trusted).
+``from_dict``, or the compact binary container in
+:mod:`repro.refinement.codec`) with a stable content hash, and
+:func:`recheck_certificate` re-validates a stored relation far more cheaply
+than a fresh search.  Two validation strategies are layered:
+
+* **witness replay** — a freshly minted certificate carries, per relation
+  entry and implementation move, a *replay witness*: the τ-path and spec
+  response the game actually used.  Replay verifies each witness with flat
+  integer-table lookups (states interned once, firing memoised per unique
+  state), never enumerating candidate responses, so recheck beats search
+  on every obligation.  Witnesses are advisory — they are excluded from
+  the content hash and a damaged witness only costs time;
+* **exhaustive recheck** — the witness-free fallback replays all three
+  diagrams per pair, short-circuiting at the first in-relation response.
+
+A tampered or stale certificate is rejected, never trusted: any replay
+discrepancy falls back to the exhaustive pass, whose verdict stands.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..core.module import Module, State, Value
 from ..core.ports import Port, parse_port
 from ..errors import CertificateError, RefinementError, SemanticsError
+from .encoding import NodeTable, state_bytes, write_uvarint
 
 Stimuli = Mapping[Port, Iterable[Value]]
 
 #: Bump when the serialised certificate layout changes; older stored
 #: certificates then fail :meth:`SimulationCertificate.from_dict` and the
-#: caller falls back to a fresh search.
-CERTIFICATE_FORMAT = 1
+#: caller falls back to a fresh search.  Format 2 anchors the content hash
+#: on the canonical binary core (shared by the JSON and binary codecs) and
+#: adds the advisory replay-witness section.
+CERTIFICATE_FORMAT = 2
+
+#: Diagram tags used by replay witnesses (canonical move order sorts input
+#: moves before outputs before internals).
+_KIND_INPUT, _KIND_OUTPUT, _KIND_INTERNAL = 0, 1, 2
 
 
 # -- state (de)serialisation --------------------------------------------------
@@ -68,7 +84,10 @@ CERTIFICATE_FORMAT = 1
 # frozensets).  JSON cannot represent tuples or frozensets natively, and
 # bool/int must not be conflated, so every value is encoded as a small
 # tagged list; decoding is the exact inverse, giving ``decode(encode(s)) ==
-# s`` for every state the semantics can produce.
+# s`` for every state the semantics can produce.  The binary view of the
+# same values lives in :mod:`repro.refinement.encoding`; frozenset elements
+# are ordered by their binary encodings in both views so the two codecs
+# agree on one canonical form.
 
 
 def encode_state(value) -> object:
@@ -86,9 +105,8 @@ def encode_state(value) -> object:
     if isinstance(value, tuple):
         return ["t", [encode_state(item) for item in value]]
     if isinstance(value, frozenset):
-        encoded = [encode_state(item) for item in value]
-        encoded.sort(key=lambda item: json.dumps(item, separators=(",", ":")))
-        return ["fs", encoded]
+        items = sorted(value, key=state_bytes)
+        return ["fs", [encode_state(item) for item in items]]
     raise CertificateError(
         f"cannot serialise state component of type {type(value).__name__!r}"
     )
@@ -115,34 +133,6 @@ def decode_state(data) -> object:
     raise CertificateError(f"unknown state tag in {data!r}")
 
 
-def _canonical(data: object) -> str:
-    return json.dumps(data, separators=(",", ":"), sort_keys=True)
-
-
-def _hash_encoded(
-    impl_table: list,
-    spec_table: list,
-    relation_rows: list,
-    stimuli_rows: list,
-    impl_states: int,
-    spec_states: int,
-) -> str:
-    """SHA-256 over already-encoded certificate content.
-
-    Shared by :meth:`SimulationCertificate.content_hash` (which encodes
-    once and memoises) and :meth:`SimulationCertificate.from_dict` (which
-    hashes the stored tables/rows directly, so integrity checking never
-    pays a decode-then-re-encode round trip)."""
-    digest = hashlib.sha256()
-    digest.update(str(CERTIFICATE_FORMAT).encode())
-    digest.update(_canonical(impl_table).encode())
-    digest.update(_canonical(spec_table).encode())
-    digest.update(_canonical(relation_rows).encode())
-    digest.update(_canonical(stimuli_rows).encode())
-    digest.update(f"{int(impl_states)},{int(spec_states)}".encode())
-    return digest.hexdigest()
-
-
 def _encode_stimuli(stimuli: Stimuli) -> list:
     rows = [
         [str(port), [encode_state(value) for value in values]]
@@ -150,15 +140,6 @@ def _encode_stimuli(stimuli: Stimuli) -> list:
     ]
     rows.sort(key=lambda row: row[0])
     return rows
-
-
-def _intern(states) -> tuple[list, dict]:
-    """Encode each distinct state once: ``(sorted_table, state -> index)``."""
-    encoded = [(encode_state(state), state) for state in states]
-    encoded.sort(key=lambda item: _canonical(item[0]))
-    table = [row for row, _ in encoded]
-    index = {state: position for position, (_, state) in enumerate(encoded)}
-    return table, index
 
 
 def _decode_stimuli(rows) -> dict[Port, tuple[Value, ...]]:
@@ -171,7 +152,324 @@ def _decode_stimuli(rows) -> dict[Port, tuple[Value, ...]]:
         raise CertificateError(f"malformed stimuli encoding: {exc}") from exc
 
 
+def _decode_stimuli_values(rows) -> dict[Port, tuple[Value, ...]]:
+    """Like :func:`_decode_stimuli` but for already-decoded values
+    (the binary codec hands plain states, not tagged JSON)."""
+    try:
+        return {parse_port(name): tuple(values) for name, values in rows}
+    except (TypeError, ValueError) as exc:
+        raise CertificateError(f"malformed stimuli encoding: {exc}") from exc
+
+
+def _core_bytes(
+    impl_states,
+    spec_states,
+    rows,
+    stimuli: Mapping[Port, tuple],
+    impl_count: int,
+    spec_count: int,
+    table: NodeTable,
+) -> bytes:
+    """The canonical binary *core* of a certificate's semantic content.
+
+    States are interned into *table* (hash-consed, children before parents)
+    and the core serialises the node records plus the two state tables, the
+    relation rows, the stimuli and the state counts.  The SHA-256 of this
+    byte string **is** the certificate's content hash — both codecs build
+    the identical core, so hashes agree across encodings.  Replay
+    witnesses are deliberately excluded: they are advisory, and their
+    choice may vary between processes.
+    """
+    impl_roots = [table.index(s) for s in impl_states]
+    spec_roots = [table.index(t) for t in spec_states]
+    stim_rows = []
+    for port in sorted(stimuli, key=str):
+        stim_rows.append(
+            (str(port).encode("utf-8"), [table.index(v) for v in stimuli[port]])
+        )
+    out = bytearray()
+    write_uvarint(out, CERTIFICATE_FORMAT)
+    write_uvarint(out, len(table))
+    out += table.blob()
+    write_uvarint(out, len(impl_roots))
+    for root in impl_roots:
+        write_uvarint(out, root)
+    write_uvarint(out, len(spec_roots))
+    for root in spec_roots:
+        write_uvarint(out, root)
+    write_uvarint(out, len(rows))
+    for i, j in rows:
+        write_uvarint(out, i)
+        write_uvarint(out, j)
+    write_uvarint(out, len(stim_rows))
+    for name, value_roots in stim_rows:
+        write_uvarint(out, len(name))
+        out += name
+        write_uvarint(out, len(value_roots))
+        for root in value_roots:
+            write_uvarint(out, root)
+    write_uvarint(out, int(impl_count))
+    write_uvarint(out, int(spec_count))
+    return bytes(out)
+
+
 @dataclass(frozen=True)
+class ReplayWitnesses:
+    """Advisory fast-replay hints attached to a certificate.
+
+    Everything is expressed in the certificate's *canonical index space*
+    (state tables sorted by binary encoding, relation rows sorted):
+
+    * ``extra_spec`` — spec states used only as τ-path waypoints (the mid
+      states of input/output diagrams are not necessarily related to
+      anything); indices ``len(spec_table)..`` refer into this tuple;
+    * ``paths`` — deduplicated τ-paths, each a tuple of extended spec
+      indices with consecutive entries one internal step apart;
+    * ``rows`` — one tuple per canonical relation row, holding one
+      ``(kind, path_index, response_index)`` triple per *canonical move*
+      of the implementation state (moves deduplicated and sorted by
+      ``(kind, port, value bytes, successor index)``, so mint and replay
+      agree on the order regardless of process hash seeds).
+
+    For input moves the path runs mid → response; for outputs it runs
+    source → emitting mid with the response held in ``response_index``;
+    for internals it runs source → response.  Witnesses never enter the
+    content hash: corruption is detected by replay and only costs the
+    exhaustive fallback, never soundness.
+    """
+
+    extra_spec: tuple[State, ...]
+    paths: tuple[tuple[int, ...], ...]
+    rows: tuple[tuple[tuple[int, int, int], ...], ...]
+
+
+@dataclass
+class SimulationCertificate:
+    """A checked simulation relation between an implementation and a spec.
+
+    The certificate is self-contained evidence of ``impl ⊑ spec`` on one
+    bounded instance: the winning relation, the stimulus domain it was
+    decided under, and bookkeeping counts.  It serialises losslessly
+    (``to_dict``/``from_dict`` for the JSON interop codec,
+    :func:`repro.refinement.codec.to_bytes`/``from_bytes`` for the compact
+    binary container) and carries a stable SHA-256 content hash, so it can
+    be persisted in the content-addressed result cache or dumped to a file
+    and independently re-validated later with :func:`recheck_certificate`.
+    """
+
+    relation: frozenset[tuple[State, State]]
+    impl_states: int
+    spec_states: int
+    iterations: int
+    stimuli: dict[Port, tuple[Value, ...]] = field(default_factory=dict)
+    #: Advisory replay witnesses (see :class:`ReplayWitnesses`); excluded
+    #: from equality and from the content hash.
+    witnesses: ReplayWitnesses | None = field(
+        default=None, repr=False, compare=False, kw_only=True
+    )
+    # Memoised canonical forms: the relation repeats the same few hundred
+    # distinct states across tens of thousands of pairs, so the canonical
+    # encoding interns each state once into a table and stores the relation
+    # as index pairs — and every consumer (to_dict, the binary codec, the
+    # cache write, provenance hashes in worker results) shares one pass.
+    _canon: tuple | None = field(default=None, repr=False, compare=False, kw_only=True)
+    _encoded: tuple | None = field(
+        default=None, repr=False, compare=False, kw_only=True
+    )
+    _hash: str | None = field(default=None, repr=False, compare=False, kw_only=True)
+
+    def related(self, impl_state: State, spec_state: State) -> bool:
+        return (impl_state, spec_state) in self.relation
+
+    # -- serialisation -------------------------------------------------------
+
+    def canonical_parts(self) -> tuple[tuple, tuple, tuple]:
+        """``(impl_states, spec_states, rows)`` in canonical order.
+
+        States are sorted by their standalone binary encodings — a total
+        order independent of hash seeds and construction history — and the
+        relation becomes sorted ``(impl_index, spec_index)`` pairs.  Both
+        codecs, the content hash and witness replay all share this one
+        index space.
+        """
+        if self._canon is None:
+            memo: dict = {}
+            impl = sorted({s for s, _ in self.relation}, key=lambda s: state_bytes(s, memo))
+            spec = sorted({t for _, t in self.relation}, key=lambda t: state_bytes(t, memo))
+            impl_index = {s: i for i, s in enumerate(impl)}
+            spec_index = {t: j for j, t in enumerate(spec)}
+            rows = sorted((impl_index[s], spec_index[t]) for s, t in self.relation)
+            self._canon = (tuple(impl), tuple(spec), tuple(rows))
+        return self._canon
+
+    def _encoded_parts(self) -> tuple[list, list, list]:
+        """``(impl_table, spec_table, relation_rows)`` — the JSON encoding
+        of :meth:`canonical_parts` (each distinct state encoded once)."""
+        if self._encoded is None:
+            impl_states, spec_states, rows = self.canonical_parts()
+            self._encoded = (
+                [encode_state(s) for s in impl_states],
+                [encode_state(t) for t in spec_states],
+                [list(row) for row in rows],
+            )
+        return self._encoded
+
+    def core_bytes(self, table: NodeTable | None = None) -> bytes:
+        """The canonical binary core (see :func:`_core_bytes`).
+
+        Passing an empty *table* lets the binary codec keep interning past
+        the core (witness states reuse core substructure).
+        """
+        impl_states, spec_states, rows = self.canonical_parts()
+        return _core_bytes(
+            impl_states,
+            spec_states,
+            rows,
+            self.stimuli,
+            self.impl_states,
+            self.spec_states,
+            table if table is not None else NodeTable(),
+        )
+
+    def content_hash(self) -> str:
+        """A stable SHA-256 over the certificate's semantic content.
+
+        The hash is the digest of the canonical binary core — state
+        tables and relation rows in canonical order, stimuli, state counts
+        and the format version — so equal certificates hash equally
+        regardless of construction order *and* of codec, and any tampering
+        with the hashed content of a serialised certificate is detectable
+        before the diagrams are even re-checked.  Replay witnesses are
+        advisory and excluded.
+        """
+        if self._hash is None:
+            self._hash = hashlib.sha256(self.core_bytes()).hexdigest()
+        return self._hash
+
+    def to_dict(self) -> dict:
+        impl_table, spec_table, rows = self._encoded_parts()
+        payload = {
+            "kind": "SimulationCertificate",
+            "format": CERTIFICATE_FORMAT,
+            "impl_table": impl_table,
+            "spec_table": spec_table,
+            "relation": rows,
+            "stimuli": _encode_stimuli(self.stimuli),
+            "impl_states": int(self.impl_states),
+            "spec_states": int(self.spec_states),
+            "iterations": int(self.iterations),
+            "hash": self.content_hash(),
+        }
+        if self.witnesses is not None:
+            payload["witnesses"] = {
+                "extra_spec": [encode_state(t) for t in self.witnesses.extra_spec],
+                "paths": [list(path) for path in self.witnesses.paths],
+                "rows": [
+                    [list(move) for move in row] for row in self.witnesses.rows
+                ],
+            }
+        return payload
+
+    def summary(self) -> str:
+        return (
+            f"certificate: {len(self.relation)} related pairs "
+            f"({self.impl_states} impl / {self.spec_states} spec states), "
+            f"hash {self.content_hash()[:12]}"
+        )
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SimulationCertificate":
+        """Rebuild a certificate; raises :class:`CertificateError` when the
+        payload is malformed, from a different format version, or fails its
+        embedded content hash (tamper/corruption detection).
+
+        The hash is recomputed from the decoded content by rebuilding the
+        canonical binary core in payload order — so any reordering or
+        tampering of the hashed fields is a hash mismatch, while damage to
+        the advisory witness block silently drops the witnesses (replay
+        would reject them anyway; the exhaustive recheck takes over)."""
+        if not isinstance(data, dict):
+            raise CertificateError(f"certificate payload is {type(data).__name__}, not a dict")
+        if data.get("format") != CERTIFICATE_FORMAT:
+            raise CertificateError(
+                f"certificate format {data.get('format')!r} != {CERTIFICATE_FORMAT}"
+            )
+        try:
+            impl_table = list(data["impl_table"])
+            spec_table = list(data["spec_table"])
+            rows = [(int(i), int(j)) for i, j in data["relation"]]
+            stimuli_rows = sorted(data["stimuli"], key=lambda row: row[0])
+            impl_count = int(data["impl_states"])
+            spec_count = int(data["spec_states"])
+            impl_states = [decode_state(row) for row in impl_table]
+            spec_states = [decode_state(row) for row in spec_table]
+            stimuli = _decode_stimuli(stimuli_rows)
+        except CertificateError:
+            raise
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise CertificateError(f"malformed certificate payload: {exc}") from exc
+        core = _core_bytes(
+            impl_states, spec_states, rows, stimuli, impl_count, spec_count, NodeTable()
+        )
+        actual = hashlib.sha256(core).hexdigest()
+        stored = data.get("hash")
+        if stored != actual:
+            raise CertificateError(
+                f"certificate hash mismatch: stored {str(stored)[:12]}…, "
+                f"content {actual[:12]}… (tampered or corrupted)"
+            )
+        try:
+            if any(
+                i < 0 or j < 0 or i >= len(impl_states) or j >= len(spec_states)
+                for i, j in rows
+            ):
+                raise ValueError("relation row indexes outside the state tables")
+            relation = frozenset(
+                (impl_states[i], spec_states[j]) for i, j in rows
+            )
+        except (TypeError, ValueError, IndexError) as exc:
+            raise CertificateError(f"malformed certificate payload: {exc}") from exc
+        witnesses = _witnesses_from_json(
+            data.get("witnesses"), len(rows), len(spec_states)
+        )
+        return cls(
+            relation=relation,
+            impl_states=impl_count,
+            spec_states=spec_count,
+            iterations=int(data.get("iterations", 0)),
+            stimuli=stimuli,
+            witnesses=witnesses,
+            _canon=(tuple(impl_states), tuple(spec_states), tuple(rows)),
+            _encoded=(impl_table, spec_table, [list(row) for row in rows]),
+            _hash=actual,
+        )
+
+
+def _witnesses_from_json(block, row_count: int, primary: int) -> ReplayWitnesses | None:
+    """Parse the advisory witness block; any anomaly yields ``None``.
+
+    Witnesses are unhashed hints — a malformed block must never make a
+    certificate unusable, so parsing is strictly tolerant and the replay
+    pass re-validates every index it actually uses."""
+    if not isinstance(block, dict):
+        return None
+    try:
+        extra_spec = tuple(decode_state(row) for row in block["extra_spec"])
+        paths = tuple(
+            tuple(int(k) for k in path) for path in block["paths"]
+        )
+        rows = tuple(
+            tuple((int(k), int(p), int(r)) for k, p, r in row)
+            for row in block["rows"]
+        )
+    except (CertificateError, KeyError, TypeError, ValueError):
+        return None
+    if len(rows) != row_count:
+        return None
+    return ReplayWitnesses(extra_spec=extra_spec, paths=paths, rows=rows)
+
+
+@dataclass
 class Violation:
     """Why the simulation game is lost from some position."""
 
@@ -185,158 +483,17 @@ class Violation:
 
 
 @dataclass
-class SimulationCertificate:
-    """A checked simulation relation between an implementation and a spec.
-
-    The certificate is self-contained evidence of ``impl ⊑ spec`` on one
-    bounded instance: the winning relation, the stimulus domain it was
-    decided under, and bookkeeping counts.  It serialises losslessly
-    (``to_dict``/``from_dict``) and carries a stable SHA-256 content hash,
-    so it can be persisted in the content-addressed result cache or dumped
-    to a file and independently re-validated later with
-    :func:`recheck_certificate`.
-    """
-
-    relation: frozenset[tuple[State, State]]
-    impl_states: int
-    spec_states: int
-    iterations: int
-    stimuli: dict[Port, tuple[Value, ...]] = field(default_factory=dict)
-    # Memoised canonical encoding and content hash: the relation repeats the
-    # same few hundred distinct states across tens of thousands of pairs, so
-    # the encoding interns each state once into a table and stores the
-    # relation as index pairs — and every consumer (to_dict, the cache
-    # write, provenance hashes in worker results) shares one encoding pass.
-    _encoded: tuple | None = field(
-        default=None, repr=False, compare=False, kw_only=True
-    )
-    _hash: str | None = field(default=None, repr=False, compare=False, kw_only=True)
-
-    def related(self, impl_state: State, spec_state: State) -> bool:
-        return (impl_state, spec_state) in self.relation
-
-    # -- serialisation -------------------------------------------------------
-
-    def _encoded_parts(self) -> tuple[list, list, list]:
-        """``(impl_table, spec_table, relation_rows)`` — the interned encoding.
-
-        Each distinct state is encoded once into a canonically ordered
-        table; the relation is the list of ``[impl_index, spec_index]``
-        pairs, sorted.  Dramatically smaller (and faster to parse back)
-        than encoding both full states per pair.
-        """
-        if self._encoded is None:
-            impl_table, impl_index = _intern({s for s, _ in self.relation})
-            spec_table, spec_index = _intern({t for _, t in self.relation})
-            rows = sorted([impl_index[s], spec_index[t]] for s, t in self.relation)
-            self._encoded = (impl_table, spec_table, rows)
-        return self._encoded
-
-    def content_hash(self) -> str:
-        """A stable SHA-256 over the certificate's semantic content.
-
-        Covers the state tables and relation rows (canonically ordered),
-        the stimuli, the state counts and the format version — everything
-        ``from_dict`` restores — so equal certificates hash equally
-        regardless of construction order, and any tampering with a
-        serialised certificate is detectable before the diagrams are even
-        re-checked.
-        """
-        if self._hash is None:
-            impl_table, spec_table, rows = self._encoded_parts()
-            self._hash = _hash_encoded(
-                impl_table,
-                spec_table,
-                rows,
-                _encode_stimuli(self.stimuli),
-                self.impl_states,
-                self.spec_states,
-            )
-        return self._hash
-
-    def to_dict(self) -> dict:
-        impl_table, spec_table, rows = self._encoded_parts()
-        return {
-            "kind": "SimulationCertificate",
-            "format": CERTIFICATE_FORMAT,
-            "impl_table": impl_table,
-            "spec_table": spec_table,
-            "relation": rows,
-            "stimuli": _encode_stimuli(self.stimuli),
-            "impl_states": int(self.impl_states),
-            "spec_states": int(self.spec_states),
-            "iterations": int(self.iterations),
-            "hash": self.content_hash(),
-        }
-
-    def summary(self) -> str:
-        return (
-            f"certificate: {len(self.relation)} related pairs "
-            f"({self.impl_states} impl / {self.spec_states} spec states), "
-            f"hash {self.content_hash()[:12]}"
-        )
-
-    @classmethod
-    def from_dict(cls, data: object) -> "SimulationCertificate":
-        """Rebuild a certificate; raises :class:`CertificateError` when the
-        payload is malformed, from a different format version, or fails its
-        embedded content hash (tamper/corruption detection)."""
-        if not isinstance(data, dict):
-            raise CertificateError(f"certificate payload is {type(data).__name__}, not a dict")
-        if data.get("format") != CERTIFICATE_FORMAT:
-            raise CertificateError(
-                f"certificate format {data.get('format')!r} != {CERTIFICATE_FORMAT}"
-            )
-        try:
-            impl_table = list(data["impl_table"])
-            spec_table = list(data["spec_table"])
-            rows = [[int(i), int(j)] for i, j in data["relation"]]
-            stimuli_rows = sorted(data["stimuli"], key=lambda row: row[0])
-            actual = _hash_encoded(
-                impl_table,
-                spec_table,
-                rows,
-                stimuli_rows,
-                data["impl_states"],
-                data["spec_states"],
-            )
-        except (KeyError, TypeError, ValueError, IndexError) as exc:
-            raise CertificateError(f"malformed certificate payload: {exc}") from exc
-        stored = data.get("hash")
-        if stored != actual:
-            raise CertificateError(
-                f"certificate hash mismatch: stored {str(stored)[:12]}…, "
-                f"content {actual[:12]}… (tampered or corrupted)"
-            )
-        try:
-            impl_states_by_index = [decode_state(row) for row in impl_table]
-            spec_states_by_index = [decode_state(row) for row in spec_table]
-            if any(i < 0 or j < 0 for i, j in rows):
-                raise ValueError("negative state-table index")
-            relation = frozenset(
-                (impl_states_by_index[i], spec_states_by_index[j]) for i, j in rows
-            )
-            certificate = cls(
-                relation=relation,
-                impl_states=int(data["impl_states"]),
-                spec_states=int(data["spec_states"]),
-                iterations=int(data["iterations"]),
-                stimuli=_decode_stimuli(stimuli_rows),
-                _encoded=(impl_table, spec_table, rows),
-                _hash=actual,
-            )
-        except (KeyError, TypeError, ValueError, IndexError) as exc:
-            raise CertificateError(f"malformed certificate payload: {exc}") from exc
-        return certificate
-
-
-@dataclass
 class SimulationResult:
-    """Outcome of a simulation search (or a certificate recheck)."""
+    """Outcome of a simulation search (or a certificate recheck).
+
+    *method* records how a recheck validated (or refuted) its certificate:
+    ``"replay"`` for the witness fast path, ``"exhaustive"`` for the full
+    three-diagram pass, ``None`` for a fresh search."""
 
     holds: bool
     certificate: SimulationCertificate | None = None
     violation: Violation | None = None
+    method: str | None = None
 
     def raise_on_failure(self) -> SimulationCertificate:
         if not self.holds or self.certificate is None:
@@ -351,6 +508,9 @@ class _Move:
     kind: str
     detail: str
     responses: tuple[int, ...]
+    port: Port | None = None
+    value: Value | None = None
+    succ_sid: int = -1
 
 
 class _GameCache:
@@ -372,7 +532,8 @@ class _GameCache:
     __slots__ = (
         "impl", "spec", "stimuli", "impl_states", "spec_states",
         "_impl_ids", "_spec_ids", "_impl_moves", "_internal_succ", "_closures",
-        "_spec_inputs", "_spec_emits", "_spec_outputs",
+        "_spec_inputs", "_spec_in_mids", "_spec_emits", "_spec_outputs",
+        "_tau_parents",
     )
 
     def __init__(self, impl: Module, spec: Module, stimuli: Mapping[Port, tuple]):
@@ -387,8 +548,10 @@ class _GameCache:
         self._internal_succ: dict[int, tuple[int, ...]] = {}
         self._closures: dict[int, tuple[int, ...]] = {}
         self._spec_inputs: dict[tuple, tuple[int, ...]] = {}
+        self._spec_in_mids: dict[tuple, tuple[int, ...]] = {}
         self._spec_emits: dict[tuple, tuple] = {}
         self._spec_outputs: dict[tuple, tuple[int, ...]] = {}
+        self._tau_parents: dict[int, dict[int, int]] = {}
 
     def impl_id(self, state: State) -> int:
         idx = self._impl_ids.get(state)
@@ -440,6 +603,32 @@ class _GameCache:
             self._closures[tid] = cached
         return cached
 
+    def tau_parents(self, tid: int) -> dict[int, int]:
+        """A τ-reachability spanning tree rooted at *tid* (child → parent)."""
+        cached = self._tau_parents.get(tid)
+        if cached is None:
+            cached = {tid: -1}
+            frontier = [tid]
+            while frontier:
+                current = frontier.pop()
+                for nxt in self.internal_succ(current):
+                    if nxt not in cached:
+                        cached[nxt] = current
+                        frontier.append(nxt)
+            self._tau_parents[tid] = cached
+        return cached
+
+    def tau_path(self, source: int, target: int) -> list[int] | None:
+        """One concrete τ-path ``source → … → target``, or None."""
+        parents = self.tau_parents(source)
+        if target not in parents:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        path.reverse()
+        return path
+
     def impl_moves(self, sid: int) -> tuple:
         """``(inputs, outputs, internals)`` successor sets of an impl state,
         with successors given as impl ids."""
@@ -463,19 +652,31 @@ class _GameCache:
             self._impl_moves[sid] = cached
         return cached
 
+    def spec_input_mids(self, tid: int, port: Port, value: Value) -> tuple[int, ...]:
+        """Spec ids reachable by accepting (port, value), before any τ-step."""
+        key = (tid, port, value)
+        cached = self._spec_in_mids.get(key)
+        if cached is None:
+            spec_id = self.spec_id
+            cached = tuple(
+                spec_id(t_mid)
+                for t_mid in self.spec.inputs[port].fire(self.spec_states[tid], value)
+            )
+            self._spec_in_mids[key] = cached
+        return cached
+
     def spec_input_responses(self, tid: int, port: Port, value: Value) -> tuple[int, ...]:
         """Spec ids reachable by accepting (port, value) then τ-steps."""
         key = (tid, port, value)
         cached = self._spec_inputs.get(key)
         if cached is None:
-            spec_id = self.spec_id
             # dict.fromkeys: the closures of different mid states overlap,
             # and duplicate responses only inflate the game arena.
             cached = tuple(
                 dict.fromkeys(
                     t_next
-                    for t_mid in self.spec.inputs[port].fire(self.spec_states[tid], value)
-                    for t_next in self.closure(spec_id(t_mid))
+                    for t_mid in self.spec_input_mids(tid, port, value)
+                    for t_next in self.closure(t_mid)
                 )
             )
             self._spec_inputs[key] = cached
@@ -515,13 +716,19 @@ def _interface_violation(impl: Module, spec: Module) -> Violation | None:
 
 
 def _normalise_stimuli(impl: Module, stimuli: Stimuli) -> dict[Port, tuple]:
+    """Tuple-ise stimulus values and order the ports canonically.
+
+    Ports are sorted by name so that move enumeration — and hence witness
+    extraction — is deterministic across processes regardless of the hash
+    seed governing the caller's dict/frozenset iteration order.
+    """
     normalised = {port: tuple(values) for port, values in stimuli.items()}
     missing = impl.input_ports() - set(normalised)
     if missing:
         raise RefinementError(
             f"no stimuli provided for input ports {sorted(map(str, missing))}"
         )
-    return normalised
+    return {port: normalised[port] for port in sorted(normalised, key=str)}
 
 
 def find_weak_simulation(
@@ -529,6 +736,8 @@ def find_weak_simulation(
     spec: Module,
     stimuli: Stimuli,
     limit: int = 500_000,
+    *,
+    mint_witnesses: bool = True,
 ) -> SimulationResult:
     """Decide ``impl ⊑ spec`` on the bounded instance given by *stimuli*.
 
@@ -541,6 +750,10 @@ def find_weak_simulation(
     game by backward worklist propagation: each position counts, per move,
     how many of its response pairs are still winning; when a position falls,
     only the moves that actually referenced it are revisited.
+
+    On success the certificate carries replay witnesses (the concrete spec
+    response each diagram used) unless *mint_witnesses* is False; see
+    :class:`ReplayWitnesses`.
     """
     interface = _interface_violation(impl, spec)
     if interface is not None:
@@ -577,34 +790,70 @@ def find_weak_simulation(
         if moves[idx] is not None:
             continue
         sid, tid = pairs[idx]
-        position_moves: list[_Move] = []
-        inputs, outputs, internals = succ.impl_moves(sid)
-
-        for port, value, s_next in inputs:
-            responses = tuple(
-                intern(s_next, t_next)
-                for t_next in succ.spec_input_responses(tid, port, value)
-            )
-            position_moves.append(_Move("input", f"input {port}={value!r}", responses))
-
-        for port, value, s_next in outputs:
-            responses = tuple(
-                intern(s_next, t_next)
-                for t_next in succ.spec_output_responses(tid, port, value)
-            )
-            position_moves.append(
-                _Move("output", f"output {port} emits {value!r}", responses)
-            )
-
-        for s_next in internals:
-            responses = tuple(intern(s_next, t_next) for t_next in succ.closure(tid))
-            position_moves.append(_Move("internal", "internal step", responses))
-
+        position_moves = expand_position(succ, sid, tid, intern)
         moves[idx] = position_moves
         for move in position_moves:
             for succ_idx in move.responses:
                 if moves[succ_idx] is None:
                     frontier.append(succ_idx)
+
+    return resolve_game(succ, pairs, moves, index_of, mint_witnesses=mint_witnesses)
+
+
+def expand_position(succ: _GameCache, sid: int, tid: int, intern) -> list[_Move]:
+    """Compute one game position's moves (spec responses interned via
+    *intern*).  Shared by the serial search and the sharded search's
+    local-expansion path."""
+    position_moves: list[_Move] = []
+    inputs, outputs, internals = succ.impl_moves(sid)
+
+    for port, value, s_next in inputs:
+        responses = tuple(
+            intern(s_next, t_next)
+            for t_next in succ.spec_input_responses(tid, port, value)
+        )
+        position_moves.append(
+            _Move(
+                "input", f"input {port}={value!r}", responses,
+                port=port, value=value, succ_sid=s_next,
+            )
+        )
+
+    for port, value, s_next in outputs:
+        responses = tuple(
+            intern(s_next, t_next)
+            for t_next in succ.spec_output_responses(tid, port, value)
+        )
+        position_moves.append(
+            _Move(
+                "output", f"output {port} emits {value!r}", responses,
+                port=port, value=value, succ_sid=s_next,
+            )
+        )
+
+    for s_next in internals:
+        responses = tuple(intern(s_next, t_next) for t_next in succ.closure(tid))
+        position_moves.append(
+            _Move("internal", "internal step", responses, succ_sid=s_next)
+        )
+    return position_moves
+
+
+def resolve_game(
+    succ: _GameCache,
+    pairs: list[tuple[int, int]],
+    moves: list,
+    index_of: dict[int, int],
+    *,
+    mint_witnesses: bool = True,
+) -> SimulationResult:
+    """Solve an explored simulation game and mint the certificate.
+
+    Shared by the serial search (which explores the arena in-process) and
+    the sharded search (which merges worker-expanded frontiers into the
+    same position/move tables before resolving).
+    """
+    impl, spec = succ.impl, succ.spec
 
     # Backward worklist: a position falls when some move runs out of winning
     # responses; only the dependants of a fallen position are revisited.
@@ -668,9 +917,133 @@ def find_weak_simulation(
         impl_states=len({sid for sid, _ in pairs}),
         spec_states=len({tid for _, tid in pairs}),
         iterations=iterations,
-        stimuli=dict(stimuli),
+        stimuli=dict(succ.stimuli),
     )
+    if mint_witnesses:
+        certificate.witnesses = _extract_witnesses(
+            succ, pairs, moves, good, index_of, certificate
+        )
     return SimulationResult(True, certificate=certificate)
+
+
+def _extract_witnesses(
+    succ: _GameCache,
+    pairs: list[tuple[int, int]],
+    moves: list,
+    good: list[bool],
+    index_of: dict[int, int],
+    certificate: SimulationCertificate,
+) -> ReplayWitnesses | None:
+    """Record, per relation entry and canonical move, the response the game
+    actually used — the data :func:`recheck_certificate` replays in O(1)
+    per move.  Returns None when anything is off (the certificate then
+    simply rechecks through the exhaustive pass)."""
+    impl_states, spec_states, rows = certificate.canonical_parts()
+    impl_sid_of = [succ.impl_id(s) for s in impl_states]
+    spec_tid_of = [succ.spec_id(t) for t in spec_states]
+    spec_canon_of_tid = {tid: j for j, tid in enumerate(spec_tid_of)}
+    impl_canon_of_sid = {sid: i for i, sid in enumerate(impl_sid_of)}
+    primary = len(spec_states)
+
+    extra_states: list[State] = []
+    extra_of_tid: dict[int, int] = {}
+
+    def extended_index(tid: int) -> int:
+        j = spec_canon_of_tid.get(tid)
+        if j is not None:
+            return j
+        j = extra_of_tid.get(tid)
+        if j is None:
+            j = primary + len(extra_states)
+            extra_of_tid[tid] = j
+            extra_states.append(succ.spec_states[tid])
+        return j
+
+    paths: list[tuple[int, ...]] = []
+    path_index: dict[tuple[int, ...], int] = {}
+
+    def intern_path(tids: list[int]) -> int:
+        path = tuple(extended_index(t) for t in tids)
+        idx = path_index.get(path)
+        if idx is None:
+            idx = len(paths)
+            path_index[path] = idx
+            paths.append(path)
+        return idx
+
+    bytes_memo: dict = {}
+    emit_mids: dict[tuple, dict] = {}
+    witness_rows: list[tuple[tuple[int, int, int], ...]] = []
+
+    for i, j in rows:
+        sid, tid = impl_sid_of[i], spec_tid_of[j]
+        idx = index_of.get((sid << 32) | tid)
+        if idx is None:
+            return None
+        canonical: dict[tuple, _Move] = {}
+        for move in moves[idx] or ():
+            succ_i = impl_canon_of_sid.get(move.succ_sid)
+            if succ_i is None:
+                return None
+            if move.kind == "input":
+                key = (_KIND_INPUT, str(move.port), state_bytes(move.value, bytes_memo), succ_i)
+            elif move.kind == "output":
+                key = (_KIND_OUTPUT, str(move.port), state_bytes(move.value, bytes_memo), succ_i)
+            else:
+                key = (_KIND_INTERNAL, "", b"", succ_i)
+            canonical.setdefault(key, move)
+        row_witnesses: list[tuple[int, int, int]] = []
+        for key in sorted(canonical):
+            move = canonical[key]
+            resp_tid = None
+            for response in move.responses:
+                if good[response]:
+                    resp_tid = pairs[response][1]
+                    break
+            if resp_tid is None:
+                return None
+            if move.kind == "input":
+                witness = None
+                for mid in succ.spec_input_mids(tid, move.port, move.value):
+                    tids = succ.tau_path(mid, resp_tid)
+                    if tids is not None:
+                        witness = (_KIND_INPUT, intern_path(tids), 0)
+                        break
+                if witness is None:
+                    return None
+            elif move.kind == "output":
+                emap_key = (tid, move.port)
+                emap = emit_mids.get(emap_key)
+                if emap is None:
+                    emap = {}
+                    fire = succ.spec.outputs[move.port].fire
+                    for mid in succ.closure(tid):
+                        for spec_value, t_next in fire(succ.spec_states[mid]):
+                            emap.setdefault((spec_value, succ.spec_id(t_next)), mid)
+                    emit_mids[emap_key] = emap
+                mid = emap.get((move.value, resp_tid))
+                if mid is None:
+                    return None
+                tids = succ.tau_path(tid, mid)
+                if tids is None:
+                    return None
+                resp_canon = spec_canon_of_tid.get(resp_tid)
+                if resp_canon is None:
+                    return None
+                witness = (_KIND_OUTPUT, intern_path(tids), resp_canon)
+            else:
+                tids = succ.tau_path(tid, resp_tid)
+                if tids is None:
+                    return None
+                witness = (_KIND_INTERNAL, intern_path(tids), 0)
+            row_witnesses.append(witness)
+        witness_rows.append(tuple(row_witnesses))
+
+    return ReplayWitnesses(
+        extra_spec=tuple(extra_states),
+        paths=tuple(paths),
+        rows=tuple(witness_rows),
+    )
 
 
 def recheck_certificate(
@@ -679,24 +1052,28 @@ def recheck_certificate(
     certificate: SimulationCertificate,
     stimuli: Stimuli | None = None,
 ) -> SimulationResult:
-    """Re-validate a stored certificate in one pass over its relation.
+    """Re-validate a stored certificate without solving the game.
 
     Checks that the certificate's relation is a genuine weak simulation
-    between *impl* and *spec* containing every initial pair — i.e. it
-    replays all three simulation diagrams for every related pair, but never
-    searches: each diagram check short-circuits at the first spec response
-    that lands back inside the relation.  Cost is O(relation · branching)
-    instead of solving the game over every product-reachable pair, which is
-    what makes persisted certificates a fast path.
+    between *impl* and *spec* containing every initial pair.  When the
+    certificate carries replay witnesses, each diagram obligation is
+    discharged by verifying the recorded response with flat id-table
+    lookups (the witness fast path); a certificate without witnesses — or
+    one whose witnesses fail to verify — goes through the exhaustive pass,
+    which replays all three simulation diagrams per pair and
+    short-circuits at the first spec response inside the relation.  Either
+    way the cost is O(relation · branching) or better, never a game
+    search, which is what makes persisted certificates a fast path.
 
     When *stimuli* is given it must equal the certificate's recorded
     stimulus domain — a certificate only constitutes evidence for the
     bounded instance it was computed on.
 
     Returns a successful :class:`SimulationResult` carrying *certificate*
-    itself, or a failing one whose violation pinpoints the first diagram
-    that no longer holds (a tampered relation, or modules that drifted
-    since the certificate was minted).
+    itself (with ``method`` naming the strategy that validated it), or a
+    failing one whose violation pinpoints the first diagram that no longer
+    holds (a tampered relation, or modules that drifted since the
+    certificate was minted).
     """
     interface = _interface_violation(impl, spec)
     if interface is not None:
@@ -733,11 +1110,185 @@ def recheck_certificate(
                 ),
             )
 
-    # Intern the relation's states into dense ids once: the diagram checks
-    # below then test membership on packed int pairs instead of re-hashing
-    # deep state tuples per candidate response (the recheck's former hot
-    # loop), and the successor caches key on small ints the same way the
-    # game search does.
+    if certificate.witnesses is not None and _witness_replay(
+        impl, spec, certificate, cert_stimuli
+    ):
+        return SimulationResult(True, certificate=certificate, method="replay")
+    return _exhaustive_recheck(impl, spec, certificate, cert_stimuli)
+
+
+def _witness_replay(
+    impl: Module,
+    spec: Module,
+    certificate: SimulationCertificate,
+    cert_stimuli: Mapping[Port, tuple],
+) -> bool:
+    """Validate every relation entry through its recorded witnesses.
+
+    Works entirely in the certificate's canonical index space: both state
+    tables are interned once, implementation moves are enumerated by
+    firing each *unique* implementation state once (the trust boundary —
+    impl moves are always re-derived, never read from the certificate),
+    deduplicated and sorted into the canonical move order, then checked
+    one witness each: path edges verified against memoised one-step spec
+    successors, responses against the packed relation set.  Returns False
+    on *any* discrepancy — the exhaustive recheck then decides.
+    """
+    witnesses = certificate.witnesses
+    assert witnesses is not None
+    impl_states, spec_states, rows = certificate.canonical_parts()
+    if len(witnesses.rows) != len(rows):
+        return False
+    primary = len(spec_states)
+    spec_all = list(spec_states) + list(witnesses.extra_spec)
+    total = len(spec_all)
+    paths = witnesses.paths
+    n_paths = len(paths)
+    for path in paths:
+        if not path:
+            return False
+        for k in path:
+            if not (0 <= k < total):
+                return False
+
+    related = {(i << 32) | j for i, j in rows}
+    impl_index = {s: i for i, s in enumerate(impl_states)}
+    # Primary indices must win when a (malformed) witness table duplicates
+    # a table state, so intern back-to-front.
+    spec_all_index: dict = {}
+    for k in range(total - 1, -1, -1):
+        spec_all_index[spec_all[k]] = k
+
+    bytes_memo: dict = {}
+    impl_moves_memo: dict[int, list] = {}
+    in_mids_memo: dict = {}
+    out_fire_memo: dict = {}
+    tau_succ_memo: dict = {}
+    path_checked = bytearray(n_paths)
+
+    def tau_succ(k: int) -> frozenset:
+        cached = tau_succ_memo.get(k)
+        if cached is None:
+            cached = frozenset(
+                spec_all_index.get(t, -1) for t in spec.internal_steps(spec_all[k])
+            )
+            tau_succ_memo[k] = cached
+        return cached
+
+    def path_ok(pidx: int) -> bool:
+        if path_checked[pidx]:
+            return True
+        path = paths[pidx]
+        for a, b in zip(path, path[1:]):
+            if b not in tau_succ(a):
+                return False
+        path_checked[pidx] = 1
+        return True
+
+    def moves_of(i: int) -> list:
+        cached = impl_moves_memo.get(i)
+        if cached is None:
+            state = impl_states[i]
+            acc: dict = {}
+            for port, values in cert_stimuli.items():
+                name = str(port)
+                fire = impl.inputs[port].fire
+                for value in values:
+                    vb = state_bytes(value, bytes_memo)
+                    for s_next in fire(state, value):
+                        acc.setdefault(
+                            (_KIND_INPUT, name, vb, impl_index.get(s_next, -1)),
+                            (port, value),
+                        )
+            for port, transition in impl.outputs.items():
+                name = str(port)
+                for value, s_next in transition.fire(state):
+                    acc.setdefault(
+                        (
+                            _KIND_OUTPUT, name,
+                            state_bytes(value, bytes_memo),
+                            impl_index.get(s_next, -1),
+                        ),
+                        (port, value),
+                    )
+            for s_next in impl.internal_steps(state):
+                acc.setdefault(
+                    (_KIND_INTERNAL, "", b"", impl_index.get(s_next, -1)), (None, None)
+                )
+            cached = sorted(acc.items())
+            impl_moves_memo[i] = cached
+        return cached
+
+    for row, (i, j) in enumerate(rows):
+        canonical_moves = moves_of(i)
+        witness_row = witnesses.rows[row]
+        if len(witness_row) != len(canonical_moves):
+            return False
+        for (key, port_value), (w_kind, p_idx, w_resp) in zip(
+            canonical_moves, witness_row
+        ):
+            kind, _name, _vb, succ_i = key
+            if succ_i < 0 or w_kind != kind or not (0 <= p_idx < n_paths):
+                return False
+            path = paths[p_idx]
+            if kind == _KIND_INPUT:
+                mid, resp = path[0], path[-1]
+                if resp >= primary:
+                    return False
+                port, value = port_value
+                mids_key = (j, port, value)
+                mids = in_mids_memo.get(mids_key)
+                if mids is None:
+                    mids = frozenset(
+                        spec_all_index.get(t, -1)
+                        for t in spec.inputs[port].fire(spec_states[j], value)
+                    )
+                    in_mids_memo[mids_key] = mids
+                if mid not in mids:
+                    return False
+            elif kind == _KIND_OUTPUT:
+                if path[0] != j:
+                    return False
+                mid, resp = path[-1], w_resp
+                if not (0 <= resp < primary):
+                    return False
+                port, value = port_value
+                fire_key = (mid, port)
+                emitted = out_fire_memo.get(fire_key)
+                if emitted is None:
+                    emitted = frozenset(
+                        (spec_value, spec_all_index.get(t, -1))
+                        for spec_value, t in spec.outputs[port].fire(spec_all[mid])
+                    )
+                    out_fire_memo[fire_key] = emitted
+                if (value, resp) not in emitted:
+                    return False
+            else:
+                if path[0] != j:
+                    return False
+                resp = path[-1]
+                if resp >= primary:
+                    return False
+            if not path_ok(p_idx):
+                return False
+            if ((succ_i << 32) | resp) not in related:
+                return False
+    return True
+
+
+def _exhaustive_recheck(
+    impl: Module,
+    spec: Module,
+    certificate: SimulationCertificate,
+    cert_stimuli: Mapping[Port, tuple],
+) -> SimulationResult:
+    """The witness-free recheck: replay all three diagrams for every pair.
+
+    Interns the relation's states into dense ids once — the diagram checks
+    then test membership on packed int pairs instead of re-hashing deep
+    state tuples per candidate response, and the successor caches key on
+    small ints the same way the game search does."""
+    relation = certificate.relation
     succ = _GameCache(impl, spec, cert_stimuli)
     id_pairs = [(succ.impl_id(s), succ.spec_id(t)) for s, t in relation]
     related = {(sid << 32) | tid for sid, tid in id_pairs}
@@ -755,6 +1306,7 @@ def recheck_certificate(
                         "input", succ.impl_states[sid], succ.spec_states[tid],
                         f"input {port}={value!r} has no response inside the relation",
                     ),
+                    method="exhaustive",
                 )
         for port, value, s_next in outputs:
             base = s_next << 32
@@ -768,6 +1320,7 @@ def recheck_certificate(
                         "output", succ.impl_states[sid], succ.spec_states[tid],
                         f"output {port} emits {value!r} with no response inside the relation",
                     ),
+                    method="exhaustive",
                 )
         for s_next in internals:
             base = s_next << 32
@@ -778,8 +1331,9 @@ def recheck_certificate(
                         "internal", succ.impl_states[sid], succ.spec_states[tid],
                         "internal step has no response inside the relation",
                     ),
+                    method="exhaustive",
                 )
-    return SimulationResult(True, certificate=certificate)
+    return SimulationResult(True, certificate=certificate, method="exhaustive")
 
 
 def _diagnose(

@@ -114,6 +114,27 @@ class ServiceClient:
     def certificate(self, content_hash: str) -> dict:
         return self._request("GET", f"/v1/certificates/{content_hash}")
 
+    def certificate_bytes(self, content_hash: str) -> bytes:
+        """The certificate's compact binary container (content negotiation)."""
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET",
+                f"/v1/certificates/{content_hash}",
+                headers={"Accept": "application/x-repro-certificate"},
+            )
+            response = connection.getresponse()
+            blob = response.read()
+            if response.status >= 400:
+                data = json.loads(blob.decode() or "null")
+                error = data.get("error", data) if isinstance(data, dict) else data
+                raise ServiceError(
+                    f"GET /v1/certificates/{content_hash} -> {response.status}: {error}"
+                )
+            return blob
+        finally:
+            connection.close()
+
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
 

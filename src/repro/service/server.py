@@ -40,6 +40,9 @@ Endpoints (all JSON; ``{hash}``/``{id}`` are path segments):
                                              terminal, 500 for failed jobs)
 ``DELETE /v1/jobs/{id}``                     cancel (also ``POST .../cancel``)
 ``GET /v1/certificates/{hash}``              recheck-validated certificate
+                                             (JSON; ``Accept:
+                                             application/x-repro-certificate``
+                                             selects the binary container)
 ``GET /v1/metrics``                          queue/store/session accounting
 ``POST /v1/admin/shutdown``                  graceful shutdown
 ===========================================  =====================================
@@ -215,8 +218,8 @@ class ServiceServer:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, query, body = request
-            await self._route(writer, method, path, query, body)
+            method, path, query, body, headers = request
+            await self._route(writer, method, path, query, body, headers)
         except ConnectionError:
             pass
         except Exception as exc:  # noqa: BLE001 - connection isolation boundary
@@ -245,18 +248,18 @@ class ServiceServer:
             if pair:
                 key, _, value = pair.partition("=")
                 query[key] = value
-        length = 0
+        headers: dict[str, str] = {}
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
         if length > _MAX_BODY:
             raise ServiceError(f"request body too large ({length} bytes)")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), path, query, body
+        return method.upper(), path, query, body, headers
 
     async def _respond(
         self, writer: asyncio.StreamWriter, status: int, payload, *, headers=()
@@ -274,7 +277,10 @@ class ServiceServer:
 
     # -- routing ------------------------------------------------------------
 
-    async def _route(self, writer, method: str, path: str, query: dict, body: bytes):
+    async def _route(
+        self, writer, method: str, path: str, query: dict, body: bytes,
+        headers: dict | None = None,
+    ):
         segments = [segment for segment in path.split("/") if segment]
         if len(segments) < 2 or segments[0] != "v1":
             return await self._respond(writer, 404, {"error": f"no such path {path!r}"})
@@ -287,7 +293,7 @@ class ServiceServer:
         if head == "jobs" and rest:
             return await self._job_route(writer, method, rest, query)
         if head == "certificates" and len(rest) == 1 and method == "GET":
-            return await self._certificate(writer, rest[0])
+            return await self._certificate(writer, rest[0], headers or {})
         if head == "metrics" and not rest and method == "GET":
             return await self._respond(writer, 200, self._metrics())
         if head == "admin" and rest == ["shutdown"] and method == "POST":
@@ -374,7 +380,31 @@ class ServiceServer:
                 return
             await self.queue.wait_change(job, status["version"])
 
-    async def _certificate(self, writer, content_hash: str):
+    async def _certificate(self, writer, content_hash: str, headers: dict):
+        """Serve one certificate, negotiating the wire encoding.
+
+        JSON is the default; a client accepting
+        ``application/x-repro-certificate`` (or ``application/octet-stream``)
+        gets the compact binary container instead.  Both encodings are
+        transcoded from whatever is stored, after re-validation.
+        """
+        accept = headers.get("accept", "")
+        if "application/x-repro-certificate" in accept or "application/octet-stream" in accept:
+            blob = self.store.certificate_bytes(content_hash)
+            if blob is None:
+                return await self._respond(
+                    writer, 404,
+                    {"error": f"no valid certificate with hash {content_hash!r}"},
+                )
+            head = [
+                "HTTP/1.1 200 OK",
+                "Content-Type: application/x-repro-certificate",
+                f"Content-Length: {len(blob)}",
+                "Connection: close",
+            ]
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + blob)
+            await writer.drain()
+            return None
         payload = self.store.certificate(content_hash)
         if payload is None:
             return await self._respond(

@@ -12,12 +12,18 @@ exactly like the executor cache.
 The store also indexes **simulation certificates** by content hash.
 Certificates land in the shared cache directory as a side effect of
 ``check_obligations`` jobs (the certified fast path persists each
-:class:`~repro.refinement.simulation.SimulationCertificate`); the index is
-built by an incremental scan of the cache directory, and
-``GET /v1/certificates/{hash}`` serves an entry only after
-**recheck-validating** it — :meth:`SimulationCertificate.from_dict`
-recomputes the embedded content hash, so a tampered or truncated entry is
-reported missing rather than served.
+:class:`~repro.refinement.simulation.SimulationCertificate`, as a compact
+binary ``.bin`` entry since format 2; older ``.json`` entries remain
+readable); the index is built by an incremental scan of the cache
+directory over both encodings, and ``GET /v1/certificates/{hash}`` serves
+an entry only after **recheck-validating** it —
+:func:`repro.refinement.codec.from_bytes` /
+:meth:`SimulationCertificate.from_dict` recompute the embedded content
+hash, so a tampered or truncated entry is reported missing rather than
+served.  Either representation can be served in either wire encoding:
+:meth:`ResultStore.certificate` returns the JSON payload,
+:meth:`ResultStore.certificate_bytes` the binary container, and each
+transcodes on the fly when the stored encoding differs.
 """
 
 from __future__ import annotations
@@ -74,14 +80,17 @@ class ResultStore:
 
     # -- certificates -------------------------------------------------------
 
-    def certificate(self, content_hash: str) -> dict | None:
-        """The validated certificate payload for *content_hash*, or None.
+    def _load_certificate(self, content_hash: str):
+        """The re-validated :class:`SimulationCertificate`, or None.
 
-        Served entries are re-validated: the payload must rebuild into a
-        :class:`SimulationCertificate` whose recomputed content hash equals
-        both its embedded hash and the requested one.
+        Served entries are re-validated regardless of stored encoding: the
+        entry must rebuild into a certificate whose recomputed content hash
+        equals both its embedded hash and the requested one.  Binary
+        entries are tried first (the certified fast path stores them since
+        format 2), then legacy JSON entries.
         """
         from ..errors import CertificateError
+        from ..refinement.codec import from_bytes
         from ..refinement.simulation import SimulationCertificate
 
         key = self._cert_index.get(content_hash)
@@ -90,6 +99,15 @@ class ResultStore:
             key = self._cert_index.get(content_hash)
         if key is None:
             return None
+        blob = self.cache.get_bytes(key)
+        if blob is not None:
+            try:
+                certificate = from_bytes(blob)
+            except CertificateError:
+                return None
+            if certificate.content_hash() != content_hash:
+                return None
+            return certificate
         payload = self.cache.get(key)
         if not isinstance(payload, dict):
             return None
@@ -99,7 +117,23 @@ class ResultStore:
             return None
         if certificate.content_hash() != content_hash:
             return None
-        return payload
+        return certificate
+
+    def certificate(self, content_hash: str) -> dict | None:
+        """The validated certificate for *content_hash* as a JSON payload."""
+        certificate = self._load_certificate(content_hash)
+        if certificate is None:
+            return None
+        return certificate.to_dict()
+
+    def certificate_bytes(self, content_hash: str) -> bytes | None:
+        """The validated certificate for *content_hash* as a binary container."""
+        from ..refinement.codec import to_bytes
+
+        certificate = self._load_certificate(content_hash)
+        if certificate is None:
+            return None
+        return to_bytes(certificate)
 
     def refresh_certificates(self) -> int:
         """Incrementally scan the cache directory for certificate entries.
@@ -108,9 +142,24 @@ class ResultStore:
         with thousands of entries pays for each file once.  Returns the
         number of certificates indexed in total.
         """
+        from ..errors import CertificateError
+        from ..refinement.codec import content_hash_of
+
         root = getattr(self.cache, "root", None)
         if root is None:  # NullCache: nothing on disk
             return 0
+        for path in Path(root).glob("*/*.bin"):
+            name = f"{path.parent.name}/{path.name}"
+            if name in self._scanned:
+                continue
+            self._scanned.add(name)
+            try:
+                # Validates the container envelope (magic, version,
+                # payload integrity) before trusting the embedded digest.
+                content_hash = content_hash_of(path.read_bytes())
+            except (OSError, CertificateError):
+                continue
+            self._cert_index[content_hash] = path.stem
         for path in Path(root).glob("*/*.json"):
             name = f"{path.parent.name}/{path.name}"
             if name in self._scanned:
@@ -126,7 +175,7 @@ class ResultStore:
                 and payload.get("kind") == "SimulationCertificate"
                 and isinstance(payload.get("hash"), str)
             ):
-                self._cert_index[payload["hash"]] = entry.get("key", path.stem)
+                self._cert_index.setdefault(payload["hash"], entry.get("key", path.stem))
         return len(self._cert_index)
 
     # -- accounting ---------------------------------------------------------

@@ -4,18 +4,27 @@ This fuzzes the certificate layer's core contract (docs/verification.md):
 for a random bounded instance, `find_weak_simulation` either produces a
 certificate that survives a serialise → hash → deserialise → recheck round
 trip with a stable content hash, or a violation — and a certificate minted
-for one instance is refused as evidence for another.
+for one instance is refused as evidence for another.  The same contract
+must hold for the binary container: both encodings round-trip to the same
+content hash and the same recheck verdict, any bit flip or truncation of
+the container is rejected outright, and the incremental recheck agrees
+with a full search on randomly rewritten graphs.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.components import buffer, default_environment, pure
 from repro.core import ExprHigh
 from repro.core.semantics import denote
+from repro.errors import CertificateError
 from repro.refinement import (
     SimulationCertificate,
+    certificate_from_bytes,
+    certificate_to_bytes,
     find_weak_simulation,
+    incremental_recheck,
     recheck_certificate,
     uniform_stimuli,
 )
@@ -93,6 +102,97 @@ class TestRecheckMatchesSearch:
         # The certificate records its stimulus domain, so rechecking with
         # stimuli=None replays the same bounded instance.
         assert recheck_certificate(impl, spec, result.certificate).holds
+
+
+class TestBinaryEncodingMatchesJson:
+    @given(bounded_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_binary_and_json_round_trips_agree(self, instance):
+        impl, spec, stimuli = instance
+        result = find_weak_simulation(impl, spec, stimuli)
+        if not result.holds:
+            return
+        certificate = result.certificate
+        from_json = SimulationCertificate.from_dict(certificate.to_dict())
+        from_binary = certificate_from_bytes(certificate_to_bytes(certificate))
+        assert from_binary.content_hash() == from_json.content_hash()
+        assert from_binary.content_hash() == certificate.content_hash()
+        assert from_binary.relation == from_json.relation
+        # both restored forms recheck to the same verdict
+        via_json = recheck_certificate(impl, spec, from_json, stimuli)
+        via_binary = recheck_certificate(impl, spec, from_binary, stimuli)
+        assert via_json.holds and via_binary.holds
+        assert (
+            via_binary.certificate.content_hash()
+            == via_json.certificate.content_hash()
+        )
+
+    @given(bounded_instances(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_any_bit_flip_is_rejected(self, instance, data):
+        impl, spec, stimuli = instance
+        result = find_weak_simulation(impl, spec, stimuli)
+        if not result.holds:
+            return
+        blob = bytearray(certificate_to_bytes(result.certificate))
+        # The integrity hash covers the whole payload and the envelope
+        # covers the header, so a flip anywhere — magic, version, digest,
+        # or any interned table — must be rejected, never mis-decoded.
+        position = data.draw(st.integers(0, len(blob) - 1))
+        bit = data.draw(st.integers(0, 7))
+        blob[position] ^= 1 << bit
+        with pytest.raises(CertificateError):
+            certificate_from_bytes(bytes(blob))
+
+    @given(bounded_instances(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_any_truncation_is_rejected(self, instance, data):
+        impl, spec, stimuli = instance
+        result = find_weak_simulation(impl, spec, stimuli)
+        if not result.holds:
+            return
+        blob = certificate_to_bytes(result.certificate)
+        keep = data.draw(st.integers(0, len(blob) - 1))
+        with pytest.raises(CertificateError):
+            certificate_from_bytes(blob[:keep])
+
+
+class TestIncrementalAgreesWithFullSearch:
+    @given(
+        st.integers(1, 2),
+        st.sampled_from(["id", "incr", "comp(id,id)"]),
+        st.sampled_from(["id", "incr", "comp(id,id)"]),
+        st.integers(1, 2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_verdict_equals_full_search(
+        self, capacity, fn_old, fn_new, slots
+    ):
+        env = default_environment(capacity=capacity)
+        lhs = chain_graph(slots, fn_old)
+        rhs_old = chain_graph(slots, fn_old)
+        rhs_new = chain_graph(slots, fn_new)
+        spec = denote(lhs.lower(), env)
+        impl_old = denote(rhs_old.lower(), env)
+        stimuli = uniform_stimuli(impl_old, (0, 1))
+        baseline = find_weak_simulation(impl_old, spec, stimuli)
+        assert baseline.holds  # a graph refines itself
+
+        impl_new = denote(rhs_new.lower(), env)
+        outcome = incremental_recheck(
+            rhs_old, rhs_new, env, impl_new, spec, baseline.certificate, stimuli
+        )
+        full = find_weak_simulation(impl_new, spec, stimuli)
+        if not outcome.eligible:
+            return  # conservative bail-out: the full path decides instead
+        assert outcome.result.holds == full.holds
+        if outcome.result.holds:
+            # the incremental pass touched at most the stored relation
+            assert outcome.entries_validated <= len(baseline.certificate.relation)
+            assert (
+                outcome.result.certificate.relation
+                == baseline.certificate.relation
+            )
 
 
 class TestCertificateIsInstanceSpecific:

@@ -272,18 +272,32 @@ class TestCacheFallback:
         lhs, rhs = wide_graph(2), chain_graph(2)
         check_rewrite_obligation(lhs, rhs, env, cache=cache)
         key = obligation_key(lhs, rhs, env)
-        payload = cache.get(key)
-        payload["relation"] = payload["relation"][1:]  # hash now mismatches
-        cache.put(key, payload)
+        blob = cache.get_bytes(key)
+        assert blob is not None  # fresh certificates persist in binary form
+        # Zero out the tail: the container's integrity hash must reject it.
+        cache.put_bytes(key, blob[:-24] + bytes(24))
         before = self.counters()
         report = check_rewrite_obligation(lhs, rhs, env, cache=cache)
         after = self.counters()
-        assert report.mode == "search"  # fell back, did not trust the entry
+        assert report.mode == "search-fallback"  # fell back, did not trust the entry
         assert after.get("refinement.cert_recheck_failures", 0) > before.get(
             "refinement.cert_recheck_failures", 0
         )
         # ...and the fallback repaired the cache with a fresh certificate.
         assert check_rewrite_obligation(lhs, rhs, env, cache=cache).mode == "recheck"
+
+    def test_json_entry_tampering_falls_back_to_search(self, env, tmp_path):
+        """The interop path: a tampered JSON entry is equally rejected."""
+        cache = ResultCache(tmp_path)
+        lhs, rhs = wide_graph(2), chain_graph(2)
+        good = check_rewrite_obligation(lhs, rhs, env, cache=cache)
+        key = obligation_key(lhs, rhs, env)
+        cache.bin_path_for(key).unlink()  # leave only the JSON entry
+        payload = good.certificate.to_dict()
+        payload["relation"] = payload["relation"][1:]  # hash now mismatches
+        cache.put(key, payload)
+        report = check_rewrite_obligation(lhs, rhs, env, cache=cache)
+        assert report.mode == "search-fallback"
 
     def test_hash_consistent_corruption_never_yields_wrong_holds(self, env, tmp_path):
         """The strongest tamper case: a certificate for a NON-refinement,

@@ -1,0 +1,141 @@
+"""Incremental recheck: diff-scoped re-validation of stored certificates.
+
+After a rewrite touches part of a graph, the incremental path re-validates
+only the relation entries whose states involve touched nodes, transporting
+the untouched leaves of every stored state.  The contract (ISSUE 9):
+corruption or ineligibility may cost time — a fall back to full recheck,
+then full search — but never soundness.  These tests pin the strict-subset
+claim (the incremental pass validates fewer entries than the full
+relation), agreement with a full search on every library obligation, and
+the fallback ladder for semantics-breaking edits.
+"""
+
+import pytest
+
+from repro.components import buffer, default_environment, pure
+from repro.core import ExprHigh
+from repro.core.semantics import denote
+from repro.errors import RefinementError
+from repro.exec.cache import ResultCache
+from repro.refinement import (
+    diff_graphs,
+    find_weak_simulation,
+    incremental_recheck,
+    uniform_stimuli,
+)
+from repro.refinement.checker import (
+    check_rewrite_obligation,
+    recheck_obligation_incremental,
+)
+from repro.rewriting.rules import VERIFY_FACTORY_SPECS, build_rewrite
+
+
+def _chain(fn):
+    graph = ExprHigh()
+    graph.add_node("b0", buffer(slots=1))
+    graph.add_node("p", pure(fn))
+    graph.add_node("b1", buffer(slots=1))
+    graph.connect("b0", "out0", "p", "in0")
+    graph.connect("p", "out0", "b1", "in0")
+    graph.mark_input(0, "b0", "in0")
+    graph.mark_output(0, "b1", "out0")
+    return graph
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    env = default_environment(capacity=2)
+    lhs = _chain("id")
+    rhs_old = _chain("id")
+    spec = denote(lhs.lower(), env)
+    impl = denote(rhs_old.lower(), env)
+    stimuli = uniform_stimuli(impl, (0, 1))
+    result = find_weak_simulation(impl, spec, stimuli)
+    assert result.holds
+    return env, lhs, rhs_old, spec, stimuli, result.certificate
+
+
+def test_diff_localises_the_touched_node(baseline):
+    _, _, rhs_old, _, _, _ = baseline
+    diff = diff_graphs(rhs_old, _chain("comp(id,id)"))
+    assert diff.touched == frozenset({"p"})
+    assert not diff.added and not diff.removed and not diff.io_changed
+
+
+def test_incremental_validates_a_strict_subset(baseline):
+    env, _, rhs_old, spec, stimuli, certificate = baseline
+    rhs_new = _chain("comp(id,id)")  # semantics-preserving edit to one node
+    impl_new = denote(rhs_new.lower(), env)
+    outcome = incremental_recheck(
+        rhs_old, rhs_new, env, impl_new, spec, certificate, stimuli
+    )
+    assert outcome.eligible and outcome.result.holds
+    assert outcome.result.method == "incremental"
+    # the whole point: strictly fewer entries re-validated than stored
+    assert 0 < outcome.entries_validated < len(certificate.relation)
+    assert outcome.result.certificate.relation == certificate.relation
+
+
+def test_breaking_edit_is_caught_despite_the_shortcut(baseline):
+    env, _, rhs_old, spec, stimuli, certificate = baseline
+    rhs_bad = _chain("incr")  # changes the I/O function: chain no longer ⊑ id-chain
+    impl_bad = denote(rhs_bad.lower(), env)
+    outcome = incremental_recheck(
+        rhs_old, rhs_bad, env, impl_bad, spec, certificate, stimuli
+    )
+    # eligible or not, the incremental pass must never report holds
+    assert not (outcome.eligible and outcome.result is not None and outcome.result.holds)
+    full = find_weak_simulation(impl_bad, spec, stimuli)
+    assert not full.holds
+
+
+def test_checker_entry_point_reports_incremental_mode(baseline, tmp_path):
+    env, lhs, rhs_old, _, _, _ = baseline
+    cache = ResultCache(tmp_path)
+    good = check_rewrite_obligation(lhs, rhs_old, env, cache=cache, spec_capacity=None)
+    report = recheck_obligation_incremental(
+        lhs, rhs_old, _chain("comp(id,id)"), env, good.certificate,
+        cache=cache, spec_capacity=None,
+    )
+    assert report.mode == "recheck-incremental"
+    assert "[recheck-incremental]" in report.summary()
+
+
+def test_checker_entry_point_falls_back_to_search_on_breaking_edit(baseline, tmp_path):
+    env, lhs, rhs_old, _, _, _ = baseline
+    cache = ResultCache(tmp_path)
+    good = check_rewrite_obligation(lhs, rhs_old, env, cache=cache, spec_capacity=None)
+    with pytest.raises(RefinementError):
+        recheck_obligation_incremental(
+            lhs, rhs_old, _chain("incr"), env, good.certificate,
+            cache=cache, spec_capacity=None,
+        )
+
+
+def test_incremental_agrees_with_full_search_on_library_obligations():
+    """ISSUE 9 acceptance: agreement on every bundled (holding) obligation.
+
+    An identity edit (old == new graph) makes every obligation eligible;
+    the incremental verdict must match what the certificate already
+    established, with zero entries re-validated (nothing was touched).
+    """
+    checked = 0
+    for module, factory, kwargs in VERIFY_FACTORY_SPECS:
+        rewrite = build_rewrite(module, factory, kwargs)
+        if rewrite.obligation is None:
+            continue
+        for lhs, rhs, env, stimuli in rewrite.obligation():
+            impl = denote(rhs.lower(), env)
+            spec = denote(lhs.lower(), env.with_capacity(4))
+            wanted = stimuli or uniform_stimuli(impl, (0, 1))
+            full = find_weak_simulation(impl, spec, wanted)
+            if not full.holds:
+                continue  # documented refuted rewrites have no certificate
+            outcome = incremental_recheck(
+                rhs, rhs, env, impl, spec, full.certificate, wanted
+            )
+            assert outcome.eligible, f"{factory}: identity edit must be eligible"
+            assert outcome.result.holds == full.holds, factory
+            assert outcome.entries_validated == 0, factory
+            checked += 1
+    assert checked >= 10  # the library carries plenty of holding obligations

@@ -1,0 +1,104 @@
+"""Sharded frontier expansion is a pure parallelisation of the search.
+
+The sharded solver partitions each BFS level of the weak-simulation game
+across the executor pool, but the game itself — position interning order,
+move sets, backward propagation, relation extraction — is resolved by the
+parent, so the resulting certificate must be byte-identical (same content
+hash) to the serial solver's.  These tests pin that determinism contract
+and the degradation paths (jobs=1, no ref) back to local expansion.
+"""
+
+import pytest
+
+from repro.core.semantics import denote
+from repro.exec.executor import Executor
+from repro.refinement import (
+    find_weak_simulation,
+    find_weak_simulation_sharded,
+    obligation_ref,
+    uniform_stimuli,
+)
+from repro.rewriting.rules import build_rewrite
+
+_SPEC = ("repro.rewriting.rules.combine", "mux_combine", {})
+
+
+def _instance():
+    module, factory, kwargs = _SPEC
+    rewrite = build_rewrite(module, factory, kwargs)
+    lhs, rhs, env, stimuli = next(iter(rewrite.obligation()))
+    impl = denote(rhs.lower(), env)
+    spec = denote(lhs.lower(), env.with_capacity(4))
+    if stimuli is None:
+        stimuli = uniform_stimuli(impl, (0, 1))
+    return impl, spec, stimuli
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    impl, spec, stimuli = _instance()
+    return find_weak_simulation(impl, spec, stimuli)
+
+
+def test_sharded_certificate_is_hash_identical_to_serial(serial_result):
+    impl, spec, stimuli = _instance()
+    module, factory, kwargs = _SPEC
+    ref = obligation_ref(module, factory, kwargs, 0)
+    with Executor(jobs=4) as executor:
+        sharded = find_weak_simulation_sharded(
+            impl, spec, stimuli, executor=executor, ref=ref, min_frontier=8
+        )
+    assert sharded.holds and serial_result.holds
+    assert (
+        sharded.certificate.content_hash()
+        == serial_result.certificate.content_hash()
+    )
+    assert sharded.certificate.relation == serial_result.certificate.relation
+    assert sharded.certificate.witnesses is not None
+
+
+def test_single_job_pool_degrades_to_local_expansion(serial_result):
+    impl, spec, stimuli = _instance()
+    module, factory, kwargs = _SPEC
+    ref = obligation_ref(module, factory, kwargs, 0)
+    with Executor(jobs=1) as executor:
+        result = find_weak_simulation_sharded(
+            impl, spec, stimuli, executor=executor, ref=ref
+        )
+    assert result.holds
+    assert (
+        result.certificate.content_hash()
+        == serial_result.certificate.content_hash()
+    )
+
+
+def test_refutation_counterexample_matches_serial():
+    module, factory = "repro.rewriting.rules.combine", "branch_combine"
+    rewrite = build_rewrite(module, factory, {})
+    lhs, rhs, env, stimuli = next(iter(rewrite.obligation()))
+    impl = denote(rhs.lower(), env)
+    spec = denote(lhs.lower(), env.with_capacity(4))
+    if stimuli is None:
+        stimuli = uniform_stimuli(impl, (0, 1))
+    serial = find_weak_simulation(impl, spec, stimuli)
+    assert not serial.holds
+    ref = obligation_ref(module, factory, {}, 0)
+    with Executor(jobs=4) as executor:
+        sharded = find_weak_simulation_sharded(
+            impl, spec, stimuli, executor=executor, ref=ref, min_frontier=8
+        )
+    assert not sharded.holds
+    assert sharded.violation.detail == serial.violation.detail
+
+
+def test_missing_ref_degrades_to_local_expansion(serial_result):
+    impl, spec, stimuli = _instance()
+    with Executor(jobs=2) as executor:
+        result = find_weak_simulation_sharded(
+            impl, spec, stimuli, executor=executor, ref=None
+        )
+    assert result.holds
+    assert (
+        result.certificate.content_hash()
+        == serial_result.certificate.content_hash()
+    )

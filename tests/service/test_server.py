@@ -153,6 +153,29 @@ def test_certificates_endpoint_after_check_obligations(make_server):
         client.certificate("0" * 64)
 
 
+def test_stored_binary_certificate_survives_restart(make_server, tmp_path):
+    from repro.refinement.codec import from_bytes, looks_binary
+
+    cache_dir = tmp_path / "shared-cache"
+    _, client = make_server(cache_dir=cache_dir)
+    result = client.run("check_obligations", {"rules": ["mux_combine"]})
+    [outcome] = result["outcomes"]
+    content_hash = outcome["certificate_hashes"][0]
+    assert list(cache_dir.glob("*/*.bin"))  # persisted as the compact encoding
+    client.shutdown()
+
+    # a fresh server over the same cache directory re-indexes and serves it
+    _, reborn = make_server(cache_dir=cache_dir)
+    payload = reborn.certificate(content_hash)
+    assert payload["kind"] == "SimulationCertificate"
+    assert payload["hash"] == content_hash
+
+    blob = reborn.certificate_bytes(content_hash)
+    assert looks_binary(blob)
+    certificate = from_bytes(blob)
+    assert certificate.content_hash() == content_hash
+
+
 def test_per_job_metrics_are_scoped(make_server):
     _, client = make_server()
     job = client.submit("verify", {"rules": ["mux_combine"]})

@@ -134,11 +134,45 @@ def test_certificate_tamper_rejected(tmp_path):
     report = check_rewrite_obligation(lhs, rhs, env, stimuli, cache=cache)
     content_hash = report.certificate.content_hash()
 
+    # flip payload bytes inside the stored binary container
+    [path] = [p for p in tmp_path.glob("*/*.bin")]
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+    store = ResultStore(cache_dir=tmp_path)
+    assert store.certificate(content_hash) is None  # recheck-validation fails
+
+
+def test_legacy_json_certificate_served_and_tamper_rejected(tmp_path):
+    from repro.refinement.checker import check_rewrite_obligation
+    from repro.rewriting.rules import build_rewrite
+
+    cache = ResultCache(tmp_path)
+    rewrite = build_rewrite("repro.rewriting.rules.combine", "mux_combine", {})
+    lhs, rhs, env, stimuli = next(iter(rewrite.obligation()))
+    report = check_rewrite_obligation(lhs, rhs, env, stimuli, cache=cache)
+    content_hash = report.certificate.content_hash()
+
+    # re-store as a legacy JSON entry (pre-format-2 stores wrote these)
+    [bin_path] = [p for p in tmp_path.glob("*/*.bin")]
+    key = bin_path.stem
+    bin_path.unlink()
+    cache.put(key, report.certificate.to_dict())
+
+    store = ResultStore(cache_dir=tmp_path)
+    payload = store.certificate(content_hash)
+    assert payload is not None and payload["hash"] == content_hash
+    # and its binary transcoding round-trips to the same hash
+    from repro.refinement.codec import content_hash_of
+
+    assert content_hash_of(store.certificate_bytes(content_hash)) == content_hash
+
     # flip a relation entry inside the stored entry, keeping valid JSON
-    [path] = [p for p in tmp_path.glob("*/*.json")]
+    [path] = [p for p in tmp_path.glob("*/*.json") if key in p.name]
     entry = json.loads(path.read_text())
     entry["payload"]["relation"][0] = [999999, 999999]
     path.write_text(json.dumps(entry))
 
-    store = ResultStore(cache_dir=tmp_path)
-    assert store.certificate(content_hash) is None  # recheck-validation fails
+    fresh = ResultStore(cache_dir=tmp_path)
+    assert fresh.certificate(content_hash) is None  # recheck-validation fails
