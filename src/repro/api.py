@@ -363,6 +363,139 @@ SimulationCertificate` in the content-addressed result cache (compact
         with obs.span("check-refinements", pairs=len(units)):
             return self.executor.run(units)
 
+    def sat_check(
+        self,
+        specs: Sequence[tuple[str, str, dict]] | None = None,
+        *,
+        bound: int | None = None,
+    ) -> list[dict]:
+        """Cross-check rewrite obligations: SAT oracle vs simulation game.
+
+        Every obligation instance is decided twice — by the
+        weak-simulation game solver and by the independent CNF encoding
+        plus DPLL solver (:mod:`repro.refinement.sat`) — and the verdicts
+        compared.  Returns one dict per spec, in spec order: ``rewrite``,
+        ``agreed``, ``holds`` (the game verdict), per-instance SAT
+        statistics and ``detail`` (the disagreement message, when the two
+        oracles definitively contradict).  *bound* caps the SAT encoder's
+        pair exploration; verdicts truncated by the bound are indefinite
+        and never count as disagreement.
+        """
+        self._require_open("sat_check")
+        from .exec.hashing import sat_cross_check_key
+        from .refinement.sat import DEFAULT_BOUND
+
+        specs = list(specs if specs is not None else VERIFY_FACTORY_SPECS)
+        bound = DEFAULT_BOUND if bound is None else int(bound)
+        units = []
+        for module, factory, kwargs in specs:
+            rewrite = build_rewrite(module, factory, kwargs)
+            key = None
+            if rewrite.obligation is not None:
+                key = sat_cross_check_key(
+                    rewrite.name, list(rewrite.obligation()), bound
+                )
+            units.append(
+                WorkUnit(
+                    uid=f"sat-check:{rewrite.name}",
+                    fn="repro.exec.workers:cross_check_rewrite",
+                    payload={
+                        "module": module,
+                        "factory": factory,
+                        "kwargs": kwargs,
+                        "bound": bound,
+                    },
+                    cache_key=key,
+                )
+            )
+        with obs.span("sat-check", obligations=len(units), bound=bound):
+            return self.executor.run(units)
+
+    # -- netlist interop -----------------------------------------------------
+
+    def load_graph(self, path: str | Path, fmt: str | None = None) -> ExprHigh:
+        """Import a dataflow graph from a netlist file.
+
+        The format — ``"json"`` (the ``graphiti-netlist`` schema),
+        ``"verilog"`` (the structural subset) or ``"dot"`` — is inferred
+        from the file extension unless *fmt* is given.  See
+        :mod:`repro.interop` and ``docs/interop.md``.
+        """
+        self._require_open("load_graph")
+        from .interop import infer_format, load_graph
+
+        fmt = fmt or infer_format(path)
+        with obs.span("interop:load", path=str(path), format=fmt):
+            graph = load_graph(path, fmt=fmt)
+        obs.count("interop.imports")
+        return graph
+
+    def export_graph(
+        self,
+        graph: ExprHigh,
+        path: str | Path,
+        fmt: str | None = None,
+        name: str = "graph",
+    ) -> str:
+        """Export a dataflow graph to a netlist file; returns the format used.
+
+        Serialisation is canonical: equal graphs produce byte-identical
+        files, and both the JSON netlist and the structural-Verilog writer
+        round-trip through :meth:`load_graph` with ``import(export(g)) ==
+        g``.
+        """
+        self._require_open("export_graph")
+        from .interop import save_graph
+
+        with obs.span("interop:export", path=str(path)):
+            fmt = save_graph(graph, path, fmt=fmt, name=name)
+        obs.count("interop.exports")
+        return fmt
+
+    def fuzz(
+        self,
+        *,
+        cases: int = 25,
+        seed: int = 0,
+        backend: str = "compiled",
+    ) -> dict:
+        """Run a seeded differential fuzz corpus over the whole flow.
+
+        Generates *cases* random loop-nest programs
+        (:mod:`repro.interop.corpus`), and runs each through the full
+        differential check: byte-identical netlist round-trips, the
+        DF-IO / DF-OoO / GRAPHITI flows against the sequential reference,
+        and the pipeline's effectful-loop refusal contract.  Cases fan out
+        over the executor pool and cache individually (a case is a pure
+        function of ``(seed, backend)`` and the tool version), so a warm
+        rerun replays the corpus from the result cache.
+
+        Returns the corpus manifest — a canonical dict whose serialisation
+        is byte-identical for equal ``(seed, cases, backend)``; see
+        :func:`repro.interop.corpus.corpus_manifest`.
+        """
+        self._require_open("fuzz")
+        from .exec.hashing import fuzz_case_key
+        from .interop.corpus import case_seeds, corpus_manifest
+
+        if cases < 1:
+            raise ValueError(f"fuzz() needs at least one case, got {cases}")
+        seeds = case_seeds(seed, cases)
+        units = [
+            WorkUnit(
+                uid=f"fuzz:{case_seed}",
+                fn="repro.exec.workers:run_fuzz_case",
+                payload={"seed": case_seed, "backend": backend},
+                cache_key=fuzz_case_key(case_seed, backend),
+            )
+            for case_seed in seeds
+        ]
+        with obs.span("fuzz", cases=cases, seed=seed, backend=backend) as sp:
+            entries = self.executor.run(units)
+            manifest = corpus_manifest(entries, seed=seed, backend=backend)
+            sp.set(ok=manifest["ok"], divergences=manifest["ooo_divergences"])
+        return manifest
+
     # -- evaluation ----------------------------------------------------------
 
     def simulate(

@@ -16,6 +16,10 @@ reproduction::
     python -m repro.cli bench matvec      # one benchmark, all four flows
     python -m repro.cli sim matvec --flow DF-OoO --backend compiled
     python -m repro.cli report            # the full Tables 2-3 + Figure 8 run
+    python -m repro.cli export matvec -o matvec.v    # netlist export (.json/.v/.dot)
+    python -m repro.cli import matvec.v -o matvec.json   # parse + transcode
+    python -m repro.cli fuzz --cases 25 --seed 0     # differential fuzz corpus
+    python -m repro.cli sat-check         # SAT oracle vs simulation game
 
 ``transform`` reads a dot graph, runs the five-phase out-of-order pipeline
 on the marked loop, and writes the rewritten dot graph (or reports the
@@ -440,6 +444,143 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .errors import NetlistError
+    from .hls.frontend import compile_program
+    from .hls.ooo import transform_out_of_order
+    from .rewriting.pipeline import GraphitiPipeline
+
+    try:
+        from .benchmarks import load_benchmark
+
+        program = load_benchmark(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    session = _session(args)
+    ck = compile_program(program, session.env).kernels[0]
+    if args.flow == "DF-IO":
+        graph = ck.graph
+    elif args.flow == "DF-OoO":
+        graph = transform_out_of_order(ck.graph, ck.mark)
+    elif args.flow == "GRAPHITI":
+        outcome = GraphitiPipeline(session.env).transform_kernel(ck.graph, ck.mark)
+        if not outcome.transformed:
+            print(f"refused: {outcome.refusal}; exporting in-order", file=sys.stderr)
+        graph = outcome.graph
+    else:
+        print(
+            f"error: --flow must be one of DF-IO, DF-OoO, GRAPHITI (got {args.flow})",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with _observe(args):
+            fmt = session.export_graph(
+                graph, args.output, fmt=args.format, name=program.name
+            )
+    except NetlistError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{program.name} [{args.flow}] -> {args.output} "
+        f"({fmt}, {len(graph.nodes)} nodes, {len(graph.connections)} connections)"
+    )
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from .errors import NetlistError
+
+    session = _session(args)
+    try:
+        with _observe(args):
+            graph = session.load_graph(args.input, fmt=args.format)
+            graph.validate()
+            if args.output:
+                fmt = session.export_graph(
+                    graph, args.output, fmt=args.to, name=Path(args.input).stem
+                )
+    except NetlistError as exc:
+        print(f"error: {args.input}: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{args.input}: {len(graph.nodes)} nodes, "
+        f"{len(graph.connections)} connections, "
+        f"{len(graph.inputs)} inputs, {len(graph.outputs)} outputs"
+    )
+    if args.output:
+        print(f"transcoded to {args.output} ({fmt})")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    session = _session(args)
+    with _observe(args):
+        manifest = session.fuzz(
+            cases=args.cases, seed=args.seed, backend=args.backend
+        )
+    for entry in manifest["cases"]:
+        flags = []
+        if entry["effectful"]:
+            flags.append("effectful")
+        if entry["ooo_divergence"]:
+            flags.append("ooo-divergence")
+        status = "ok" if entry["ok"] else "FAILED: " + "; ".join(entry["failures"])
+        print(
+            f"seed {entry['seed']:>10d}  {entry['nodes']:>3d} nodes  "
+            f"{status}{('  [' + ', '.join(flags) + ']') if flags else ''}"
+        )
+    print(
+        f"{manifest['count']} cases, "
+        f"{manifest['ooo_divergences']} DF-OoO divergences, "
+        f"{manifest['effectful_cases']} effectful, "
+        f"manifest {manifest['content_hash'][:12]}",
+        file=sys.stderr,
+    )
+    if args.manifest:
+        Path(args.manifest).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"manifest written to {args.manifest}", file=sys.stderr)
+    print(session.metrics().summary(), file=sys.stderr)
+    return 0 if manifest["ok"] else 1
+
+
+def _cmd_sat_check(args: argparse.Namespace) -> int:
+    from .errors import GraphitiError
+
+    try:
+        specs = _refine_specs(args)
+    except GraphitiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = _session(args)
+    with _observe(args):
+        outcomes = session.sat_check(specs, bound=args.bound)
+    disagreements = 0
+    for outcome in outcomes:
+        if outcome["agreed"]:
+            pairs = sum(entry["pairs"] for entry in outcome["instances"])
+            verdict = "holds" if outcome["holds"] else "refuted"
+            status = f"agreed ({verdict}, {pairs} pairs)"
+        else:
+            status = f"DISAGREEMENT ({outcome['detail']})"
+            disagreements += 1
+        print(f"{outcome['rewrite']:20s} {status}  [{outcome['seconds']:.2f}s]")
+    print(session.metrics().summary(), file=sys.stderr)
+    if disagreements:
+        print(f"{disagreements} oracle disagreements", file=sys.stderr)
+        return 1
+    print("SAT oracle and weak-simulation game agree on every obligation")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
 
@@ -558,6 +699,77 @@ def main(argv: list[str] | None = None) -> int:
     _add_exec_flags(report)
     report.set_defaults(fn=_cmd_report)
 
+    export = sub.add_parser(
+        "export", help="export a benchmark kernel's graph as a netlist file"
+    )
+    export.add_argument("name", help="bicg | gemm | gsum-many | gsum-single | matvec | mvt")
+    export.add_argument("-o", "--output", required=True, help="output netlist file")
+    export.add_argument(
+        "--format", default=None, choices=("json", "verilog", "dot"),
+        help="netlist format (default: inferred from the output extension)",
+    )
+    export.add_argument(
+        "--flow", default="DF-IO", metavar="FLOW",
+        help="export the circuit of this flow: DF-IO | DF-OoO | GRAPHITI (default: DF-IO)",
+    )
+    _add_exec_flags(export)
+    export.set_defaults(fn=_cmd_export)
+
+    import_ = sub.add_parser(
+        "import", help="parse and validate a netlist file (optionally transcode)"
+    )
+    import_.add_argument("input", help="input netlist file (.json / .v / .dot)")
+    import_.add_argument(
+        "--format", default=None, choices=("json", "verilog", "dot"),
+        help="input format (default: inferred from the extension)",
+    )
+    import_.add_argument(
+        "-o", "--output", default=None, help="transcode to this file"
+    )
+    import_.add_argument(
+        "--to", default=None, choices=("json", "verilog", "dot"),
+        help="output format (default: inferred from the -o extension)",
+    )
+    _add_exec_flags(import_)
+    import_.set_defaults(fn=_cmd_import)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="run a seeded differential fuzz corpus over the whole flow"
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=25, metavar="N",
+        help="number of generated programs (default: 25)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="corpus seed; equal (seed, cases) replays identically (default: 0)",
+    )
+    fuzz.add_argument(
+        "--backend", default="compiled", metavar="NAME",
+        help="simulation backend: compiled | interp (default: compiled)",
+    )
+    fuzz.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="write the canonical corpus manifest JSON to FILE",
+    )
+    _add_exec_flags(fuzz)
+    fuzz.set_defaults(fn=_cmd_fuzz)
+
+    sat_check = sub.add_parser(
+        "sat-check",
+        help="cross-check rewrite obligations: SAT oracle vs simulation game",
+    )
+    sat_check.add_argument(
+        "--rule", action="append", metavar="FACTORY",
+        help="restrict to these rewrite factories (repeatable; default: all)",
+    )
+    sat_check.add_argument(
+        "--bound", type=int, default=None, metavar="N",
+        help="SAT encoder pair-exploration bound (default: 200000)",
+    )
+    _add_exec_flags(sat_check)
+    sat_check.set_defaults(fn=_cmd_sat_check)
+
     serve = sub.add_parser(
         "serve", help="run the verification service (async HTTP job server)"
     )
@@ -634,6 +846,14 @@ def main(argv: list[str] | None = None) -> int:
     stimuli = getattr(args, "stimuli", None)
     if stimuli is not None and not Path(stimuli).expanduser().is_file():
         print(f"error: --stimuli file {stimuli} does not exist", file=sys.stderr)
+        return 2
+    cases = getattr(args, "cases", None)
+    if cases is not None and cases < 1:
+        print(f"error: --cases must be >= 1 (got {cases})", file=sys.stderr)
+        return 2
+    bound = getattr(args, "bound", None)
+    if bound is not None and bound < 1:
+        print(f"error: --bound must be >= 1 (got {bound})", file=sys.stderr)
         return 2
     strategy = getattr(args, "strategy", None)
     if strategy is not None:

@@ -80,6 +80,30 @@ class RefinementError(GraphitiError):
         super().__init__(message)
 
 
+class NetlistError(GraphitiError):
+    """A netlist document or structural-Verilog module could not be parsed
+    or did not describe a well-formed dataflow graph."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class OracleDisagreement(GraphitiError):
+    """The SAT oracle and the weak-simulation checker returned *definitive*
+    but contradictory verdicts on the same obligation.  Carries both
+    witnesses: the game-side evidence (a certificate dict or a violation
+    dict) and the SAT-side evidence (the satisfying assignment or the
+    refutation core summary)."""
+
+    def __init__(self, message: str, game_witness: object = None, sat_witness: object = None):
+        self.game_witness = game_witness
+        self.sat_witness = sat_witness
+        super().__init__(message)
+
+
 class SimulationError(GraphitiError):
     """The cycle-level simulator reached an invalid configuration."""
 

@@ -160,6 +160,29 @@ def certificate_key(
     )
 
 
+def fuzz_case_key(seed: int, backend: str = "compiled") -> str:
+    """Cache key for one differential fuzz case.
+
+    A case is a pure function of its seed (the generator and the whole
+    flow under test are deterministic), so the key only needs the seed,
+    the simulation backend and the tool version — any change to the
+    generator, the transforms or the simulators ships as a new version
+    and invalidates the corpus.
+    """
+    return fingerprint("fuzz-case", TOOL_VERSION, str(int(seed)), backend)
+
+
+def sat_cross_check_key(name: str, instances: Sequence[tuple], bound: int) -> str:
+    """Cache key for a rewrite's SAT-vs-game cross-check verdict."""
+    parts: list[str] = ["sat-cross-check", TOOL_VERSION, name, str(int(bound))]
+    for lhs, rhs, env, stimuli in instances:
+        parts.append(graph_fingerprint(lhs))
+        parts.append(graph_fingerprint(rhs))
+        parts.append(env.signature())
+        parts.append(stimuli_fingerprint(stimuli))
+    return fingerprint(*parts)
+
+
 def weak_sim_key(
     impl: ExprHigh,
     spec: ExprHigh,

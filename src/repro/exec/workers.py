@@ -13,7 +13,12 @@ three unit kinds mirror the serial entry points they wrap:
   persistent-certificate fast path: stored certificates are re-validated
   (O(relation)) instead of re-searching, with per-instance provenance;
 * :func:`check_graph_pair` — one weak-simulation check between two
-  ExprHigh graphs (:func:`repro.refinement.checker.check_rewrite_obligation`).
+  ExprHigh graphs (:func:`repro.refinement.checker.check_rewrite_obligation`);
+* :func:`run_fuzz_case` — one differential fuzz case
+  (:func:`repro.interop.corpus.run_fuzz_case`);
+* :func:`cross_check_rewrite` — one rewrite's obligations decided by both
+  the SAT oracle and the simulation game
+  (:func:`repro.refinement.sat.cross_check_obligation`).
 
 Environments are rebuilt inside the worker (they hold closures and are not
 picklable); graphs and IR programs pickle directly.
@@ -215,6 +220,80 @@ def expand_simulation_frontier(*, ref: dict, pairs: list) -> list:
             rows.append((2, None, None, cache.impl_states[s_next], closure))
         out.append(rows)
     return out
+
+
+def run_fuzz_case(*, seed: int, backend: str = "compiled") -> dict:
+    """Run one differential fuzz case; returns the corpus-manifest entry.
+
+    A thin instrumented wrapper over
+    :func:`repro.interop.corpus.run_fuzz_case` — the case itself is a pure
+    function of ``(seed, backend)``, which is what makes its entry safe to
+    serve from the content-addressed cache.
+    """
+    from ..interop.corpus import run_fuzz_case as run_case
+
+    with obs.span("fuzz:case", seed=seed, backend=backend) as sp:
+        entry = run_case(int(seed), backend=backend)
+        sp.set(ok=entry["ok"], effectful=entry["effectful"])
+    obs.count("interop.fuzz_cases")
+    if not entry["ok"]:
+        obs.count("interop.fuzz_failures")
+    return entry
+
+
+def cross_check_rewrite(
+    *,
+    module: str,
+    factory: str,
+    kwargs: dict | None = None,
+    bound: int | None = None,
+) -> dict:
+    """Cross-check one rewrite's obligation: SAT oracle vs simulation game.
+
+    Every obligation instance runs through
+    :func:`repro.refinement.sat.cross_check_obligation`; a definitive
+    disagreement between the two decision procedures is reported (not
+    raised — the dict crosses the pool boundary) with both verdicts.
+    """
+    from ..errors import OracleDisagreement
+    from ..refinement.sat import DEFAULT_BOUND, cross_check_obligation
+
+    rewrite = getattr(importlib.import_module(module), factory)(**(kwargs or {}))
+    bound = DEFAULT_BOUND if bound is None else int(bound)
+    start = perf_counter()
+    instances = []
+    agreed, detail = True, ""
+    with obs.span(f"sat-check:{rewrite.name}") as sp:
+        if rewrite.obligation is None:
+            agreed, detail = False, f"rewrite {rewrite.name!r} has no obligation instances"
+        else:
+            for index, (lhs, rhs, env, stimuli) in enumerate(rewrite.obligation()):
+                try:
+                    report = cross_check_obligation(
+                        lhs, rhs, env, stimuli=stimuli, bound=bound
+                    )
+                except OracleDisagreement as exc:
+                    agreed, detail = False, str(exc)
+                    break
+                instances.append(
+                    {
+                        "holds": bool(report.game_holds),
+                        "sat_holds": bool(report.sat.holds),
+                        "complete": bool(report.sat.complete),
+                        "pairs": int(report.sat.pairs_explored),
+                        "variables": int(report.sat.variables),
+                        "clauses": int(report.sat.clauses),
+                    }
+                )
+        sp.set(agreed=agreed, instances=len(instances))
+    return {
+        "rewrite": rewrite.name,
+        "agreed": agreed,
+        "holds": all(entry["holds"] for entry in instances) if instances else False,
+        "instances": instances,
+        "detail": detail,
+        "seconds": perf_counter() - start,
+    }
 
 
 def check_graph_pair(

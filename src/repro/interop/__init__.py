@@ -1,0 +1,124 @@
+"""Netlist interop: external exchange formats for dataflow graphs.
+
+Two structural formats round-trip losslessly through the indexed graph
+core (:class:`repro.core.ExprHigh`):
+
+* :mod:`~repro.interop.netlist` — a JSON netlist schema
+  (``graphiti-netlist`` version 1) with canonical, byte-deterministic
+  serialisation;
+* :mod:`~repro.interop.verilog` — a small structural-Verilog subset
+  (module / wire / instance, with ``(* in = "...", out = "..." *)``
+  attributes carrying the ordered port lists).
+
+:mod:`~repro.interop.corpus` generates seeded random loop-nest programs on
+the HLS mini-IR and fuzzes the whole transform→verify→simulate flow,
+turning the paper's bicg-bug story into a general differential tester.
+
+:func:`load_graph` / :func:`save_graph` dispatch on file extension
+(``.json`` / ``.v`` / ``.dot``) and back ``Session.load_graph`` /
+``Session.export_graph``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import NetlistError
+from .corpus import (
+    CorpusCase,
+    case_seeds,
+    corpus_manifest,
+    generate_case,
+    generate_program,
+    run_fuzz_case,
+)
+from .netlist import dumps_netlist, graph_to_netlist, loads_netlist, netlist_to_graph
+from .verilog import dump_verilog, parse_verilog
+
+FORMATS = ("json", "verilog", "dot")
+
+_EXTENSIONS = {".json": "json", ".v": "verilog", ".sv": "verilog", ".dot": "dot"}
+
+
+def infer_format(path: str | os.PathLike) -> str:
+    """Map a file extension to a netlist format name.
+
+    Raises :class:`~repro.errors.NetlistError` for unknown extensions.
+    """
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    fmt = _EXTENSIONS.get(ext)
+    if fmt is None:
+        raise NetlistError(
+            f"cannot infer netlist format from {path!r}; expected one of "
+            f"{sorted(_EXTENSIONS)} (or pass format= explicitly)"
+        )
+    return fmt
+
+
+def graph_to_text(graph, fmt: str, name: str = "graph") -> str:
+    """Serialise *graph* in *fmt* (one of :data:`FORMATS`)."""
+    if fmt == "json":
+        return dumps_netlist(graph, name=name)
+    if fmt == "verilog":
+        return dump_verilog(graph, name=name)
+    if fmt == "dot":
+        from ..dot import print_dot
+
+        return print_dot(graph)
+    raise NetlistError(f"unknown netlist format {fmt!r}; expected one of {list(FORMATS)}")
+
+
+def text_to_graph(text: str, fmt: str):
+    """Parse *text* in *fmt* (one of :data:`FORMATS`) into an ExprHigh."""
+    if fmt == "json":
+        return loads_netlist(text)
+    if fmt == "verilog":
+        _, graph = parse_verilog(text)
+        return graph
+    if fmt == "dot":
+        from ..dot import parse_dot
+
+        return parse_dot(text)
+    raise NetlistError(f"unknown netlist format {fmt!r}; expected one of {list(FORMATS)}")
+
+
+def save_graph(graph, path: str | os.PathLike, fmt: str | None = None, name: str = "graph") -> str:
+    """Write *graph* to *path*, inferring the format from the extension.
+
+    Returns the format used.
+    """
+    fmt = fmt or infer_format(path)
+    text = graph_to_text(graph, fmt, name=name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return fmt
+
+
+def load_graph(path: str | os.PathLike, fmt: str | None = None):
+    """Read a dataflow graph from *path*, inferring format from extension."""
+    fmt = fmt or infer_format(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return text_to_graph(text, fmt)
+
+
+__all__ = [
+    "FORMATS",
+    "CorpusCase",
+    "case_seeds",
+    "corpus_manifest",
+    "dump_verilog",
+    "dumps_netlist",
+    "generate_case",
+    "generate_program",
+    "graph_to_netlist",
+    "graph_to_text",
+    "infer_format",
+    "load_graph",
+    "loads_netlist",
+    "netlist_to_graph",
+    "parse_verilog",
+    "run_fuzz_case",
+    "save_graph",
+    "text_to_graph",
+]

@@ -1,0 +1,131 @@
+"""The JSON netlist schema (``graphiti-netlist`` version 1).
+
+A netlist document is a plain JSON object:
+
+.. code-block:: json
+
+    {
+      "format": "graphiti-netlist",
+      "version": 1,
+      "name": "matvec",
+      "nodes": {
+        "acc": {"component": "Operator{op=add}",
+                "in": ["in0", "in1"], "out": ["out"]}
+      },
+      "connections": [["src.port", "dst.port"]],
+      "inputs": {"0": "node.port"},
+      "outputs": {"0": "node.port"}
+    }
+
+Component type and parameters are carried as the canonical encoded
+component string (:func:`repro.core.encoding.encode_component`), so the
+schema inherits the graph core's parameter conventions (wire types,
+booleans, numerals) without inventing a second encoding.  Connections are
+emitted in the canonical edge order (:meth:`ExprHigh.sorted_connections`)
+and the document is serialised with sorted keys, so serialisation is a
+pure function of the graph: equal graphs produce byte-identical text and
+``loads_netlist(dumps_netlist(g)) == g``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.encoding import decode_component, encode_component
+from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
+from ..errors import GraphitiError, NetlistError
+
+FORMAT_NAME = "graphiti-netlist"
+SCHEMA_VERSION = 1
+
+
+def _endpoint_str(endpoint: Endpoint) -> str:
+    return f"{endpoint.node}.{endpoint.port}"
+
+
+def _parse_endpoint(text: str) -> Endpoint:
+    node, sep, port = text.rpartition(".")
+    if not sep or not node or not port:
+        raise NetlistError(f"malformed endpoint {text!r}; expected 'node.port'")
+    return Endpoint(node, port)
+
+
+def graph_to_netlist(graph: ExprHigh, name: str = "graph") -> dict:
+    """Encode *graph* as a ``graphiti-netlist`` version-1 document."""
+    nodes = {}
+    for node_name in sorted(graph.nodes):
+        spec = graph.nodes[node_name]
+        nodes[node_name] = {
+            "component": encode_component(spec.typ, spec.param_dict()),
+            "in": list(spec.in_ports),
+            "out": list(spec.out_ports),
+        }
+    connections = [
+        [_endpoint_str(src), _endpoint_str(dst)] for dst, src in graph.sorted_connections()
+    ]
+    return {
+        "format": FORMAT_NAME,
+        "version": SCHEMA_VERSION,
+        "name": name,
+        "nodes": nodes,
+        "connections": connections,
+        "inputs": {str(i): _endpoint_str(e) for i, e in sorted(graph.inputs.items())},
+        "outputs": {str(i): _endpoint_str(e) for i, e in sorted(graph.outputs.items())},
+    }
+
+
+def netlist_to_graph(doc: dict) -> ExprHigh:
+    """Decode a netlist document back into an ExprHigh graph."""
+    if not isinstance(doc, dict):
+        raise NetlistError(f"netlist document must be a JSON object, got {type(doc).__name__}")
+    if doc.get("format") != FORMAT_NAME:
+        raise NetlistError(f"not a {FORMAT_NAME} document (format={doc.get('format')!r})")
+    if doc.get("version") != SCHEMA_VERSION:
+        raise NetlistError(
+            f"unsupported netlist version {doc.get('version')!r}; expected {SCHEMA_VERSION}"
+        )
+    graph = ExprHigh()
+    nodes = doc.get("nodes")
+    if not isinstance(nodes, dict):
+        raise NetlistError("netlist 'nodes' must be an object")
+    try:
+        for node_name, entry in nodes.items():
+            typ, params = decode_component(str(entry["component"]))
+            spec = NodeSpec.make(typ, entry.get("in", ()), entry.get("out", ()), params)
+            graph.add_node(node_name, spec)
+        for pair in doc.get("connections", ()):
+            src, dst = (_parse_endpoint(str(end)) for end in pair)
+            graph.connect(src.node, src.port, dst.node, dst.port)
+        for index, text in doc.get("inputs", {}).items():
+            endpoint = _parse_endpoint(str(text))
+            graph.mark_input(int(index), endpoint.node, endpoint.port)
+        for index, text in doc.get("outputs", {}).items():
+            endpoint = _parse_endpoint(str(text))
+            graph.mark_output(int(index), endpoint.node, endpoint.port)
+    except NetlistError:
+        raise
+    except (KeyError, ValueError, TypeError) as exc:
+        raise NetlistError(f"malformed netlist document: {exc}") from exc
+    except GraphitiError as exc:
+        raise NetlistError(f"netlist does not describe a valid graph: {exc}") from exc
+    return graph
+
+
+def dumps_netlist(graph: ExprHigh, name: str = "graph") -> str:
+    """Serialise *graph* to canonical (byte-deterministic) netlist JSON."""
+    return json.dumps(graph_to_netlist(graph, name=name), indent=2, sort_keys=True) + "\n"
+
+
+def loads_netlist(text: str) -> ExprHigh:
+    """Parse netlist JSON text into an ExprHigh graph."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise NetlistError(f"invalid JSON: {exc}", line=exc.lineno) from exc
+    return netlist_to_graph(doc)
+
+
+def netlist_name(text_or_doc: str | dict) -> str:
+    """The module name recorded in a netlist document."""
+    doc = json.loads(text_or_doc) if isinstance(text_or_doc, str) else text_or_doc
+    return str(doc.get("name", "graph"))

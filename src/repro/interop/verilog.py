@@ -1,0 +1,377 @@
+"""A small structural-Verilog subset for dataflow-graph interchange.
+
+The grammar (everything the writer emits, everything the reader accepts)::
+
+    module    ::= "module" ID "(" portdecl ("," portdecl)* ")" ";"
+                  item* "endmodule"
+    portdecl  ::= ("input" | "output") ID          # ID is  inN / outN
+    item      ::= wiredecl | attrs? instance
+    wiredecl  ::= "wire" ID ("," ID)* ";"
+    attrs     ::= "(*" attr ("," attr)* "*)"
+    attr      ::= ID "=" STRING
+    instance  ::= ID params? ID "(" conn ("," conn)* ")" ";"
+    params    ::= "#" "(" pconn ("," pconn)* ")"
+    pconn     ::= "." ID "(" STRING ")"
+    conn      ::= "." ID "(" ID ")"
+    STRING    ::= '"' [^"\\\\]* '"'
+    ID        ::= [A-Za-z_][A-Za-z0-9_$]*
+
+``//`` line comments are skipped.  Structural conventions:
+
+* module ports are named ``in<index>`` / ``out<index>`` and carry the
+  graph's external I/O indices;
+* every internal connection is one ``wire`` with exactly one driver
+  (an instance output port) and one sink (an instance input port);
+* each instance is preceded by an attribute block
+  ``(* in = "a b", out = "c" *)`` giving the component's *ordered* port
+  lists — port order is semantic in the graph core (it fixes the
+  ExprLow lowering), and Verilog named port connections alone cannot
+  carry it;
+* instance parameters hold the canonically encoded values of
+  :mod:`repro.core.encoding`, quoted: ``#(.op("add"), .type("i32"))``.
+
+The writer is deterministic (sorted instances, canonical wire numbering
+from :meth:`ExprHigh.sorted_connections`), so equal graphs produce
+byte-identical text and ``parse_verilog(dump_verilog(g))[1] == g``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.encoding import decode_component
+from ..core.exprhigh import Endpoint, ExprHigh, NodeSpec
+from ..errors import GraphitiError, NetlistError
+
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*\Z")
+
+_TOKEN = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>//[^\n]*)
+    | (?P<attr_open>\(\*)
+    | (?P<attr_close>\*\))
+    | (?P<string>"[^"\\\n]*")
+    | (?P<id>[A-Za-z_][A-Za-z0-9_$]*)
+    | (?P<punct>[(),;.#=])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({"module", "endmodule", "input", "output", "wire"})
+
+
+def _check_ident(name: str, what: str) -> str:
+    if not _IDENT.match(name) or name in _KEYWORDS:
+        raise NetlistError(f"{what} {name!r} is not a legal Verilog identifier")
+    return name
+
+
+# -- writer -----------------------------------------------------------------
+
+
+def dump_verilog(graph: ExprHigh, name: str = "graph") -> str:
+    """Serialise a closed *graph* as one structural-Verilog module."""
+    graph.validate()
+    _check_ident(name, "module name")
+
+    wires: dict[Endpoint, str] = {}  # dst endpoint -> wire name
+    for number, (dst, _src) in enumerate(graph.sorted_connections()):
+        wires[dst] = f"w{number}"
+    input_nets = {endpoint: f"in{index}" for index, endpoint in graph.inputs.items()}
+    output_nets = {endpoint: f"out{index}" for index, endpoint in graph.outputs.items()}
+
+    def net_for(node: str, port: str, direction: str) -> str:
+        endpoint = Endpoint(node, port)
+        if direction == "in":
+            if endpoint in graph.connections:
+                return wires[endpoint]
+            return input_nets[endpoint]
+        sink = graph.sink_of(node, port)
+        if sink is not None:
+            return wires[sink]
+        return output_nets[endpoint]
+
+    lines = ["// graphiti structural netlist"]
+    ports = [f"  input {input_nets[e]}" for _, e in sorted(graph.inputs.items())]
+    ports += [f"  output {output_nets[e]}" for _, e in sorted(graph.outputs.items())]
+    if ports:
+        lines.append(f"module {name} (")
+        lines.append(",\n".join(ports))
+        lines.append(");")
+    else:
+        lines.append(f"module {name} ();")
+    for number in range(len(wires)):
+        lines.append(f"  wire w{number};")
+    for node_name in sorted(graph.nodes):
+        spec = graph.nodes[node_name]
+        _check_ident(node_name, "instance name")
+        _check_ident(spec.typ, "component type")
+        for port in spec.in_ports + spec.out_ports:
+            _check_ident(port, f"port of {node_name!r}")
+        lines.append("")
+        lines.append(
+            f'  (* in = "{" ".join(spec.in_ports)}", out = "{" ".join(spec.out_ports)}" *)'
+        )
+        params = ""
+        if spec.params:
+            encoded = []
+            for key, value in spec.params:
+                text = _encode_param(key, value)
+                encoded.append(f'.{key}("{text}")')
+            params = f" #({', '.join(encoded)})"
+        conns = [f".{p}({net_for(node_name, p, 'in')})" for p in spec.in_ports]
+        conns += [f".{p}({net_for(node_name, p, 'out')})" for p in spec.out_ports]
+        lines.append(f"  {spec.typ}{params} {node_name} ({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _encode_param(key: str, value: object) -> str:
+    # Reuse the component-string value conventions so the reader can decode
+    # through decode_component; the Verilog quoting adds its own constraint.
+    from ..core.encoding import encode_component
+
+    encoded = encode_component("X", {key: value})  # X{key=text}
+    text = encoded[len(key) + 3 : -1]
+    if '"' in text or "\\" in text or "\n" in text:
+        raise NetlistError(f"parameter {key}={value!r} cannot be quoted in Verilog")
+    return text
+
+
+# -- reader -----------------------------------------------------------------
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise NetlistError(f"unexpected character {text[pos]!r}", line=line)
+        kind = match.lastgroup
+        chunk = match.group()
+        if kind == "ws" or kind == "comment":
+            line += chunk.count("\n")
+        elif kind == "string":
+            tokens.append(_Token("string", chunk[1:-1], line))
+        elif kind == "punct":
+            tokens.append(_Token(chunk, chunk, line))
+        else:
+            tokens.append(_Token(kind, chunk, line))
+        pos = match.end()
+    return tokens
+
+
+class _Stream:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise NetlistError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, what: str | None = None) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise NetlistError(
+                f"expected {what or kind!r}, got {token.text!r}", line=token.line
+            )
+        return token
+
+    def expect_keyword(self, word: str) -> _Token:
+        token = self.expect("id", word)
+        if token.text != word:
+            raise NetlistError(f"expected {word!r}, got {token.text!r}", line=token.line)
+        return token
+
+    def accept(self, kind: str) -> _Token | None:
+        token = self.peek()
+        if token is not None and token.kind == kind:
+            self.pos += 1
+            return token
+        return None
+
+
+def parse_verilog(text: str) -> tuple[str, ExprHigh]:
+    """Parse one structural-Verilog module; returns ``(name, graph)``."""
+    stream = _Stream(_tokenize(text))
+    stream.expect_keyword("module")
+    name = stream.expect("id", "module name").text
+
+    io_index: dict[str, tuple[str, int]] = {}  # net name -> (direction, index)
+    stream.expect("(")
+    while stream.peek() is not None and stream.peek().kind == "id":
+        token = stream.expect("id", "port declaration")
+        if token.text not in ("input", "output"):
+            raise NetlistError(
+                f"expected 'input' or 'output', got {token.text!r}", line=token.line
+            )
+        port = stream.expect("id", "port name")
+        prefix = "in" if token.text == "input" else "out"
+        if not port.text.startswith(prefix) or not port.text[len(prefix) :].isdigit():
+            raise NetlistError(
+                f"module port {port.text!r} must be named {prefix}<index>", line=port.line
+            )
+        io_index[port.text] = (token.text, int(port.text[len(prefix) :]))
+        if stream.accept(",") is None:
+            break
+    stream.expect(")")
+    stream.expect(";")
+
+    graph = ExprHigh()
+    wires: set[str] = set()
+    drivers: dict[str, Endpoint] = {}
+    sinks: dict[str, Endpoint] = {}
+    pending_attrs: dict[str, str] = {}
+
+    while True:
+        token = stream.next()
+        if token.kind == "id" and token.text == "endmodule":
+            break
+        if token.kind == "id" and token.text == "wire":
+            while True:
+                wire = stream.expect("id", "wire name")
+                wires.add(wire.text)
+                if stream.accept(",") is None:
+                    break
+            stream.expect(";")
+            continue
+        if token.kind == "attr_open":
+            pending_attrs = {}
+            while True:
+                key = stream.expect("id", "attribute name")
+                stream.expect("=")
+                value = stream.expect("string", "attribute value")
+                pending_attrs[key.text] = value.text
+                if stream.accept(",") is None:
+                    break
+            stream.expect("attr_close")
+            continue
+        if token.kind == "id":
+            _parse_instance(
+                stream, graph, token, pending_attrs, io_index, wires, drivers, sinks
+            )
+            pending_attrs = {}
+            continue
+        raise NetlistError(f"unexpected token {token.text!r}", line=token.line)
+
+    for wire in sorted(drivers.keys() | sinks.keys()):
+        src = drivers.get(wire)
+        dst = sinks.get(wire)
+        if src is None or dst is None:
+            end = "driver" if src is None else "sink"
+            raise NetlistError(f"wire {wire!r} has no {end}")
+        try:
+            graph.connect(src.node, src.port, dst.node, dst.port)
+        except GraphitiError as exc:
+            raise NetlistError(f"wire {wire!r}: {exc}") from exc
+    return name, graph
+
+
+def _parse_instance(stream, graph, type_token, attrs, io_index, wires, drivers, sinks):
+    typ = type_token.text
+    params: dict[str, str] = {}
+    if stream.accept("#") is not None:
+        stream.expect("(")
+        while True:
+            stream.expect(".")
+            key = stream.expect("id", "parameter name")
+            stream.expect("(")
+            value = stream.expect("string", "parameter value")
+            stream.expect(")")
+            params[key.text] = value.text
+            if stream.accept(",") is None:
+                break
+        stream.expect(")")
+    inst = stream.expect("id", "instance name")
+    in_ports = tuple(attrs.get("in", "").split())
+    out_ports = tuple(attrs.get("out", "").split())
+    if not attrs:
+        raise NetlistError(
+            f"instance {inst.text!r} is missing its (* in = ..., out = ... *) attribute",
+            line=inst.line,
+        )
+    if params:
+        body = ";".join(f"{key}={params[key]}" for key in sorted(params))
+        _, decoded = decode_component(f"{typ}{{{body}}}")
+    else:
+        decoded = {}
+    try:
+        graph.add_node(inst.text, NodeSpec.make(typ, in_ports, out_ports, decoded))
+    except GraphitiError as exc:
+        raise NetlistError(str(exc), line=inst.line) from exc
+
+    stream.expect("(")
+    if stream.peek() is not None and stream.peek().kind == ".":
+        while True:
+            stream.expect(".")
+            port = stream.expect("id", "port name")
+            stream.expect("(")
+            net = stream.expect("id", "net name")
+            stream.expect(")")
+            _record_conn(
+                graph, inst, port, net, in_ports, out_ports, io_index, wires, drivers, sinks
+            )
+            if stream.accept(",") is None:
+                break
+    stream.expect(")")
+    stream.expect(";")
+
+
+def _record_conn(graph, inst, port, net, in_ports, out_ports, io_index, wires, drivers, sinks):
+    endpoint = Endpoint(inst.text, port.text)
+    if port.text in in_ports:
+        direction = "in"
+    elif port.text in out_ports:
+        direction = "out"
+    else:
+        raise NetlistError(
+            f"instance {inst.text!r} connects unknown port {port.text!r}", line=port.line
+        )
+    if net.text in io_index:
+        io_direction, index = io_index[net.text]
+        try:
+            if io_direction == "input":
+                if direction != "in":
+                    raise NetlistError(
+                        f"module input {net.text!r} drives output port {endpoint}",
+                        line=net.line,
+                    )
+                graph.mark_input(index, endpoint.node, endpoint.port)
+            else:
+                if direction != "out":
+                    raise NetlistError(
+                        f"module output {net.text!r} fed by input port {endpoint}",
+                        line=net.line,
+                    )
+                graph.mark_output(index, endpoint.node, endpoint.port)
+        except GraphitiError as exc:
+            raise NetlistError(str(exc), line=net.line) from exc
+        return
+    if net.text not in wires:
+        raise NetlistError(f"undeclared net {net.text!r}", line=net.line)
+    table = sinks if direction == "in" else drivers
+    if net.text in table:
+        raise NetlistError(
+            f"wire {net.text!r} has two {'sinks' if direction == 'in' else 'drivers'}",
+            line=net.line,
+        )
+    table[net.text] = endpoint

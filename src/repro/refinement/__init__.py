@@ -20,6 +20,17 @@ from .incremental import (
     incremental_recheck,
     transport_certificate,
 )
+from .sat import (
+    CnfFormula,
+    CrossCheckReport,
+    SatResult,
+    SatVerdict,
+    check_obligation_sat,
+    check_refinement_sat,
+    cross_check_obligation,
+    encode_refinement,
+    solve as solve_cnf,
+)
 from .sharded import find_weak_simulation_sharded, obligation_ref
 from .simulation import (
     CERTIFICATE_FORMAT,
@@ -52,6 +63,15 @@ __all__ = [
     "diff_graphs",
     "incremental_recheck",
     "transport_certificate",
+    "CnfFormula",
+    "CrossCheckReport",
+    "SatResult",
+    "SatVerdict",
+    "check_obligation_sat",
+    "check_refinement_sat",
+    "cross_check_obligation",
+    "encode_refinement",
+    "solve_cnf",
     "find_weak_simulation_sharded",
     "obligation_ref",
     "CERTIFICATE_FORMAT",

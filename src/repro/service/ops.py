@@ -19,7 +19,10 @@ reuses the ``repro sim`` flow selection (DF-IO / DF-OoO / GRAPHITI),
 ``bench`` runs one benchmark through all four flows, and ``verify`` /
 ``check_obligations`` discharge the rewrite obligations (the latter through
 the persistent-certificate fast path, which is what populates the
-``/v1/certificates/{hash}`` store).
+``/v1/certificates/{hash}`` store).  ``sat_check`` cross-checks obligations
+against the independent SAT oracle (``repro sat-check``), and ``fuzz`` runs
+a seeded differential corpus (``repro fuzz``) returning its canonical
+manifest.
 """
 
 from __future__ import annotations
@@ -29,7 +32,15 @@ from typing import Any, Mapping
 from ..errors import GraphitiError, ServiceError
 
 #: Every job kind the service accepts, in documentation order.
-JOB_KINDS = ("transform", "verify", "check_obligations", "simulate", "bench")
+JOB_KINDS = (
+    "transform",
+    "verify",
+    "check_obligations",
+    "sat_check",
+    "simulate",
+    "bench",
+    "fuzz",
+)
 
 _SIM_FLOWS = ("DF-IO", "DF-OoO", "GRAPHITI")
 _BACKENDS = ("compiled", "interp")
@@ -127,6 +138,32 @@ def canonical_params(kind: str, params: Mapping | None) -> dict:
         _known_benchmark(name, kind)
         return {"name": name}
 
+    if kind == "fuzz":
+        _reject_unknown(params, ("cases", "seed", "backend"), kind)
+        try:
+            cases = int(params.get("cases", 25))
+            seed = int(params.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"fuzz job parameters must be integers: {exc}") from exc
+        if cases < 1:
+            raise ServiceError(f"fuzz job requires cases >= 1 (got {cases})")
+        backend = _check_choice(
+            str(params.get("backend", "compiled")), _BACKENDS, "backend", kind
+        )
+        return {"backend": backend, "cases": cases, "seed": seed}
+
+    if kind == "sat_check":
+        _reject_unknown(params, ("rules", "bound"), kind)
+        bound = params.get("bound")
+        if bound is not None:
+            try:
+                bound = int(bound)
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(f"sat_check job 'bound' must be an integer: {exc}") from exc
+            if bound < 1:
+                raise ServiceError(f"sat_check job requires bound >= 1 (got {bound})")
+        return {"bound": bound, "rules": _check_rules(params, kind)}
+
     # verify / check_obligations
     _reject_unknown(params, ("rules",), kind)
     return {"rules": _check_rules(params, kind)}
@@ -204,6 +241,16 @@ def run_op(session, kind: str, params: Mapping) -> dict:
     if kind == "check_obligations":
         outcomes = session.check_obligations(_specs_for(params.get("rules")))
         return {"kind": "ObligationOutcomes", "outcomes": outcomes}
+    if kind == "sat_check":
+        outcomes = session.sat_check(
+            _specs_for(params.get("rules")), bound=params.get("bound")
+        )
+        return {"kind": "SatCheckOutcomes", "outcomes": outcomes}
+    if kind == "fuzz":
+        manifest = session.fuzz(
+            cases=params["cases"], seed=params["seed"], backend=params["backend"]
+        )
+        return {"kind": "FuzzManifest", "manifest": manifest}
     raise ServiceError(f"unknown job kind {kind!r}")
 
 

@@ -974,8 +974,12 @@ class CompiledCircuit:
         dirty = self._dirty
         expected = self._expected_results
         node_range = range(len(steps))
+        # Real latency pipelines only: Driver/Collector/Store steps return
+        # the _ALWAYS_ACTIVE sentinel, which must not block quiescence.
+        latency_pipelines = [p for p in pipelines if p is not _ALWAYS_ACTIVE]
         idle = 0
         cycle = 0
+        completed = None
         while cycle < max_cycles:
             ctx.cycle = cycle
             fired = 0
@@ -1002,15 +1006,25 @@ class CompiledCircuit:
                     active[channel.consumer] = 1
                 dirty.clear()
             cycle += 1
+            if completed is not None:
+                # Drain phase (matches the interpreter): all results are in,
+                # but in-body stores may still sit in operator pipelines.
+                # Step for side effects until quiescent (nothing fired, no
+                # pipeline still aging a token); reported measurements stay
+                # frozen at the completion cycle.
+                if fired == 0 and not any(latency_pipelines):
+                    return stats
+                continue
             if self._tokens > stats.peak_in_flight:
                 stats.peak_in_flight = self._tokens
             if stats.results_collected >= expected:
+                completed = cycle
                 stats.cycles = cycle
                 stats.channel_peaks = {
                     (channel.src, channel.dst): channel.peak
                     for channel in self._channels
                 }
-                return stats
+                continue
             if fired == 0:
                 idle += 1
                 if idle > deadlock_window:

@@ -301,6 +301,7 @@ class CycleSimulator:
         expected_results = len(self.outer_points)
         idle = 0
         cycle = 0
+        completed = None
         order = self._evaluation_order()
         while cycle < self.max_cycles:
             self.cycle = cycle
@@ -310,17 +311,30 @@ class CycleSimulator:
             for channel in self.in_channels.values():
                 channel.commit()
             cycle += 1
+            if completed is not None:
+                # Drain phase: every result is collected, but effectful
+                # tokens (in-body stores) may still sit in operator
+                # pipelines.  Keep stepping for their side effects until the
+                # circuit quiesces (nothing fired and no pipeline is still
+                # aging a token); the reported measurements stay frozen at
+                # the completion cycle.
+                if fired == 0 and not any(
+                    state["pipeline"] for state in self.node_state.values()
+                ):
+                    return self.stats
+                continue
             self.stats.peak_in_flight = max(
                 self.stats.peak_in_flight,
                 sum(c.occupancy() for c in self.in_channels.values()),
             )
             if self.stats.results_collected >= expected_results:
+                completed = cycle
                 self.stats.cycles = cycle
                 self.stats.channel_peaks = {
                     (channel.src, channel.dst): channel.peak
                     for channel in self.in_channels.values()
                 }
-                return self.stats
+                continue
             if fired == 0:
                 idle += 1
                 if idle > self.deadlock_window:

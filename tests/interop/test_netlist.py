@@ -1,0 +1,235 @@
+"""Netlist interop: byte-identical round-trips through both formats.
+
+The acceptance bar from the interop design (docs/interop.md): every
+built-in kernel graph round-trips through the JSON netlist schema *and*
+the structural-Verilog subset with ``import(export(g)) == g`` and
+byte-identical re-serialisation, and the same property holds on random
+graphs (hypothesis), not just the six benchmarks.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks import BENCHMARKS, load_benchmark
+from repro.components import default_environment
+from repro.core.exprhigh import ExprHigh, NodeSpec
+from repro.core.types import parse_type
+from repro.errors import NetlistError
+from repro.hls.frontend import compile_program
+from repro.interop import (
+    FORMATS,
+    dump_verilog,
+    dumps_netlist,
+    graph_to_text,
+    infer_format,
+    load_graph,
+    loads_netlist,
+    parse_verilog,
+    save_graph,
+    text_to_graph,
+)
+
+
+def kernel_graphs():
+    env = default_environment()
+    for name in BENCHMARKS:
+        program = load_benchmark(name)
+        for ck in compile_program(program, env).kernels:
+            yield ck.kernel.name, ck.graph
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return list(kernel_graphs())
+
+
+def test_all_kernels_round_trip_json_byte_identically(kernels):
+    assert len(kernels) >= 6
+    for name, graph in kernels:
+        text = dumps_netlist(graph, name=name)
+        recovered = loads_netlist(text)
+        assert recovered == graph, name
+        assert dumps_netlist(recovered, name=name) == text, name
+
+
+def test_all_kernels_round_trip_verilog_byte_identically(kernels):
+    for name, graph in kernels:
+        text = dump_verilog(graph, name=name)
+        parsed_name, recovered = parse_verilog(text)
+        assert parsed_name == name
+        assert recovered == graph, name
+        assert dump_verilog(recovered, name=parsed_name) == text, name
+
+
+def test_netlist_records_module_name(kernels):
+    from repro.interop import netlist_to_graph
+    from repro.interop.netlist import graph_to_netlist, netlist_name
+
+    name, graph = kernels[0]
+    doc = graph_to_netlist(graph, name=name)
+    assert netlist_name(doc) == name
+    assert netlist_to_graph(doc) == graph
+
+
+# -- random graphs (hypothesis) ----------------------------------------------
+
+TYPES = ("Alpha", "Beta", "Gamma")
+PARAM_VALUES = (1, 0, True, False, "add", "i32", 2.5)
+
+
+@st.composite
+def graphs(draw, closed=False):
+    count = draw(st.integers(1, 6))
+    g = ExprHigh()
+    for i in range(count):
+        params = {}
+        if draw(st.booleans()):
+            params["op"] = draw(st.sampled_from(PARAM_VALUES))
+        if draw(st.booleans()):
+            # 'type' is a TYPE_KEYS key: decoding parses it, so the strategy
+            # must store parsed Type values for round-trip equality.
+            params["type"] = parse_type(draw(st.sampled_from(("i32", "f64"))))
+        g.add_node(
+            f"n{i}",
+            NodeSpec.make(
+                draw(st.sampled_from(TYPES)),
+                [f"in{j}" for j in range(draw(st.integers(0, 3)))],
+                [f"out{j}" for j in range(draw(st.integers(0, 3)))],
+                params,
+            ),
+        )
+    outs = [(n, p) for n, s in g.nodes.items() for p in s.out_ports]
+    ins = [(n, p) for n, s in g.nodes.items() for p in s.in_ports]
+    edges = draw(st.integers(0, min(len(outs), len(ins))))
+    for (sn, sp), (dn, dp) in zip(
+        draw(st.permutations(outs))[:edges], draw(st.permutations(ins))[:edges]
+    ):
+        g.connect(sn, sp, dn, dp)
+    if closed:
+        # Mark every dangling port external so the graph validates — the
+        # Verilog writer refuses open graphs by design.
+        for index, endpoint in enumerate(sorted(g.unconnected_inputs(), key=str)):
+            g.mark_input(index, endpoint.node, endpoint.port)
+        for index, endpoint in enumerate(sorted(g.unconnected_outputs(), key=str)):
+            g.mark_output(index, endpoint.node, endpoint.port)
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_random_graphs_round_trip_json(g):
+    text = dumps_netlist(g)
+    recovered = loads_netlist(text)
+    assert recovered == g
+    assert dumps_netlist(recovered) == text
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(closed=True))
+def test_random_closed_graphs_round_trip_verilog(g):
+    text = dump_verilog(g, name="random")
+    _, recovered = parse_verilog(text)
+    assert recovered == g
+    assert dump_verilog(recovered, name="random") == text
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(closed=True))
+def test_structural_formats_agree_on_graph_identity(g):
+    for fmt in ("json", "verilog"):
+        assert fmt in FORMATS
+        assert text_to_graph(graph_to_text(g, fmt), fmt) == g
+
+
+# -- file dispatch ------------------------------------------------------------
+
+
+def test_save_load_dispatch_on_extension(tmp_path, kernels):
+    name, graph = kernels[0]
+    for ext, fmt in ((".json", "json"), (".v", "verilog"), (".dot", "dot")):
+        path = tmp_path / f"g{ext}"
+        assert save_graph(graph, path, name=name) == fmt
+        assert infer_format(path) == fmt
+        assert load_graph(path) == graph
+
+
+def test_unknown_extension_rejected(tmp_path):
+    with pytest.raises(NetlistError, match="cannot infer"):
+        infer_format(tmp_path / "g.xyz")
+
+
+# -- malformed inputs ---------------------------------------------------------
+
+
+def test_invalid_json_reports_line():
+    with pytest.raises(NetlistError, match="line 1"):
+        loads_netlist("{not json")
+
+
+def test_wrong_format_marker_rejected():
+    with pytest.raises(NetlistError, match="not a graphiti-netlist"):
+        loads_netlist(json.dumps({"format": "other", "version": 1}))
+
+
+def test_wrong_version_rejected():
+    with pytest.raises(NetlistError, match="unsupported netlist version"):
+        loads_netlist(json.dumps({"format": "graphiti-netlist", "version": 99}))
+
+
+def test_dangling_connection_rejected():
+    doc = {
+        "format": "graphiti-netlist",
+        "version": 1,
+        "name": "bad",
+        "nodes": {"a": {"component": "Alpha{}", "in": [], "out": ["out"]}},
+        "connections": [["a.out", "missing.in"]],
+        "inputs": {},
+        "outputs": {},
+    }
+    with pytest.raises(NetlistError):
+        loads_netlist(json.dumps(doc))
+
+
+def test_verilog_junk_reports_line():
+    with pytest.raises(NetlistError, match="line"):
+        parse_verilog("module m (;\nendmodule\n")
+
+
+def test_verilog_missing_endmodule_rejected():
+    with pytest.raises(NetlistError):
+        parse_verilog('module m ();\nwire w0;\n')
+
+
+def test_verilog_double_driver_rejected():
+    text = (
+        "module m ();\n"
+        "  wire w0;\n"
+        '  (* in = "", out = "o" *)\n'
+        "  A a (.o(w0));\n"
+        '  (* in = "", out = "o" *)\n'
+        "  A b (.o(w0));\n"
+        "endmodule\n"
+    )
+    with pytest.raises(NetlistError, match="two drivers"):
+        parse_verilog(text)
+
+
+def test_verilog_undriven_wire_rejected():
+    text = (
+        "module m ();\n"
+        "  wire w0;\n"
+        '  (* in = "i", out = "" *)\n'
+        "  A a (.i(w0));\n"
+        "endmodule\n"
+    )
+    with pytest.raises(NetlistError, match="no driver"):
+        parse_verilog(text)
+
+
+def test_verilog_missing_attribute_rejected():
+    text = "module m ();\n  A a ();\nendmodule\n"
+    with pytest.raises(NetlistError, match="attribute"):
+        parse_verilog(text)

@@ -1,0 +1,189 @@
+"""The SAT oracle: DPLL solver correctness and oracle/game agreement.
+
+Two layers: the watched-literal DPLL solver is checked against brute
+force on small random formulas, and the refinement encoding is checked
+against the weak-simulation game on every library-rule obligation —
+including the two rules whose obligations genuinely fail.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.refinement.sat import (
+    DEFAULT_BOUND,
+    CnfFormula,
+    check_obligation_sat,
+    check_refinement_sat,
+    cross_check_obligation,
+    encode_refinement,
+    solve,
+)
+from repro.rewriting.rules import VERIFY_FACTORY_SPECS, build_rewrite
+
+
+def formula_of(num_vars, clauses):
+    f = CnfFormula()
+    for _ in range(num_vars):
+        f.new_var()
+    for clause in clauses:
+        f.add_clause(clause)
+    return f
+
+
+def satisfies(model, clauses):
+    return all(
+        any(model[abs(lit)] == (lit > 0) for lit in clause) for clause in clauses
+    )
+
+
+# -- the DPLL solver ----------------------------------------------------------
+
+
+def test_empty_formula_is_sat():
+    result = solve(formula_of(0, []))
+    assert result.satisfiable and result.model == [False]
+
+
+def test_empty_clause_is_unsat():
+    assert not solve(formula_of(2, [[1], []])).satisfiable
+
+
+def test_unit_contradiction_is_unsat():
+    assert not solve(formula_of(1, [[1], [-1]])).satisfiable
+
+
+def test_model_satisfies_every_clause():
+    clauses = [[1, 2], [-1, 2], [-2, 3], [1, -3]]
+    result = solve(formula_of(3, clauses))
+    assert result.satisfiable
+    assert satisfies(result.model, clauses)
+
+
+def test_unsat_needs_backtracking():
+    # every assignment to (a, c) conflicts; the solver must flip decisions
+    clauses = [[1, 2], [1, -2], [-1, 3], [-1, -3]]
+    result = solve(formula_of(3, clauses))
+    assert not result.satisfiable
+    assert result.conflicts >= 1
+
+
+def test_out_of_range_literal_rejected():
+    f = formula_of(2, [])
+    with pytest.raises(ValueError, match="outside variable range"):
+        f.add_clause([3])
+    with pytest.raises(ValueError, match="outside variable range"):
+        f.add_clause([0])
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        model = (False,) + bits
+        if satisfies(model, clauses):
+            return True
+    return False
+
+
+def test_solver_agrees_with_brute_force_on_random_formulas():
+    rng = random.Random(0)
+    for _ in range(150):
+        num_vars = rng.randint(1, 8)
+        clauses = [
+            [
+                rng.choice((1, -1)) * rng.randint(1, num_vars)
+                for _ in range(rng.randint(1, 3))
+            ]
+            for _ in range(rng.randint(1, 14))
+        ]
+        result = solve(formula_of(num_vars, clauses))
+        assert result.satisfiable == brute_force_sat(num_vars, clauses), clauses
+        if result.satisfiable:
+            assert satisfies(result.model, clauses), clauses
+
+
+# -- the refinement encoding --------------------------------------------------
+
+
+def obligations_of(factory):
+    [spec] = [s for s in VERIFY_FACTORY_SPECS if s[1] == factory]
+    rewrite = build_rewrite(*spec)
+    return list(rewrite.obligation())
+
+
+def test_positive_obligation_holds_definitively():
+    lhs, rhs, env, stimuli = obligations_of("mux_combine")[0]
+    verdict = check_obligation_sat(lhs, rhs, env, stimuli)
+    assert verdict.holds and verdict.complete and verdict.definitive
+    assert verdict.relation_size >= 1
+    assert verdict.pairs_explored > 0
+    assert "holds" in verdict.summary()
+
+
+def test_negative_obligation_fails_definitively():
+    lhs, rhs, env, stimuli = obligations_of("branch_combine")[0]
+    verdict = check_obligation_sat(lhs, rhs, env, stimuli)
+    assert not verdict.holds
+    assert verdict.definitive  # UNSAT is definitive even under a bound
+    assert verdict.relation_size is None
+    assert "fails" in verdict.summary()
+
+
+def test_truncated_bound_is_indefinite_and_never_disagrees():
+    lhs, rhs, env, stimuli = obligations_of("mux_combine")[0]
+    verdict = check_obligation_sat(lhs, rhs, env, stimuli, bound=10)
+    assert verdict.holds  # optimistically unconstrained beyond the bound
+    assert not verdict.complete
+    assert not verdict.definitive
+    assert "up to bound" in verdict.summary()
+    # an indefinite verdict is agreement-by-default: no raise
+    report = cross_check_obligation(lhs, rhs, env, stimuli, bound=10)
+    assert report.agreed
+
+
+def test_encoding_is_dual_horn():
+    from repro.core.semantics import denote
+    from repro.refinement.checker import uniform_stimuli
+
+    lhs, rhs, env, stimuli = obligations_of("mux_combine")[0]
+    impl = denote(rhs.lower(), env)
+    spec = denote(lhs.lower(), env.with_capacity(4))
+    formula, var_of, explored, truncated = encode_refinement(impl, spec, stimuli)
+    assert not truncated
+    assert explored == len(var_of) > 0
+    for clause in formula.clauses:
+        assert sum(1 for lit in clause if lit < 0) <= 1
+
+
+def test_sat_oracle_agrees_with_game_on_every_library_obligation():
+    failing_rules = set()
+    checked = 0
+    for spec in VERIFY_FACTORY_SPECS:
+        rewrite = build_rewrite(*spec)
+        if rewrite.obligation is None:
+            continue
+        for lhs, rhs, env, stimuli in rewrite.obligation():
+            report = cross_check_obligation(lhs, rhs, env, stimuli)
+            checked += 1
+            assert report.agreed
+            assert report.sat.definitive
+            assert report.sat.holds == report.game_holds
+            if not report.game_holds:
+                failing_rules.add(rewrite.name)
+    assert checked >= 10
+    # exactly the two rules the paper's checker refuses to certify
+    assert failing_rules == {"branch-combine", "join-split-elim"}
+
+
+def test_default_bound_covers_every_library_obligation():
+    # guard against a library rewrite outgrowing the definitive regime
+    largest = 0
+    for spec in VERIFY_FACTORY_SPECS:
+        rewrite = build_rewrite(*spec)
+        if rewrite.obligation is None:
+            continue
+        for lhs, rhs, env, stimuli in rewrite.obligation():
+            verdict = check_obligation_sat(lhs, rhs, env, stimuli)
+            assert verdict.definitive
+            largest = max(largest, verdict.pairs_explored)
+    assert largest * 2 < DEFAULT_BOUND

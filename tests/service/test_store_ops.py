@@ -14,7 +14,15 @@ from repro.service.store import ResultStore, job_key
 
 
 def test_kind_catalogue():
-    assert JOB_KINDS == ("transform", "verify", "check_obligations", "simulate", "bench")
+    assert JOB_KINDS == (
+        "transform",
+        "verify",
+        "check_obligations",
+        "sat_check",
+        "simulate",
+        "bench",
+        "fuzz",
+    )
 
 
 def test_unknown_kind_rejected():

@@ -1,0 +1,82 @@
+"""The doc-link checker: slugs, anchors, and the broken-link verdicts."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_doc_links.py"
+
+
+@pytest.fixture(scope="module")
+def tool():
+    spec = importlib.util.spec_from_file_location("check_doc_links", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_doc_links"] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop("check_doc_links", None)
+
+
+class TestSlugify:
+    def test_github_slugs(self, tool):
+        assert tool.slugify("Quick tour") == "quick-tour"
+        assert tool.slugify("The SAT oracle (`repro.refinement.sat`)") == (
+            "the-sat-oracle-reprorefinementsat"
+        )
+        assert tool.slugify("Recipe 1 — cold run, warm rerun") == (
+            "recipe-1--cold-run-warm-rerun"
+        )
+
+    def test_duplicate_headings_get_suffixes(self, tool, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("# Setup\n\n## Setup\n\ntext\n")
+        assert tool.anchors_of(doc) == {"setup", "setup-1"}
+
+    def test_headings_inside_fences_ignored(self, tool, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text("# Real\n\n```text\n# not a heading\n```\n")
+        assert tool.anchors_of(doc) == {"real"}
+
+
+class TestChecking:
+    def run(self, tool, tmp_path, capsys=None, paths=None):
+        return tool.main([str(p) for p in (paths or sorted(tmp_path.glob("*.md")))])
+
+    def test_valid_links_pass(self, tool, tmp_path):
+        (tmp_path / "a.md").write_text("# Alpha\n\nsee [b](b.md#beta) and [me](#alpha)\n")
+        (tmp_path / "b.md").write_text("# Beta\n")
+        assert self.run(tool, tmp_path) == 0
+
+    def test_missing_file_fails(self, tool, tmp_path, capsys):
+        (tmp_path / "a.md").write_text("[gone](missing.md)\n")
+        assert self.run(tool, tmp_path) == 1
+        assert "missing.md" in capsys.readouterr().err
+
+    def test_missing_anchor_fails(self, tool, tmp_path, capsys):
+        (tmp_path / "a.md").write_text("# Alpha\n\n[bad](a.md#nope)\n")
+        assert self.run(tool, tmp_path) == 1
+        assert "nope" in capsys.readouterr().err
+
+    def test_external_urls_and_code_spans_ignored(self, tool, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "[x](https://example.com/nope.md)\n"
+            "links look like `[text](file.md#anchor)` in markdown\n"
+            "```md\n[also ignored](gone.md)\n```\n"
+        )
+        assert self.run(tool, tmp_path) == 0
+
+    def test_images_ignored(self, tool, tmp_path):
+        (tmp_path / "a.md").write_text("![diagram](missing.png)\n")
+        assert self.run(tool, tmp_path) == 0
+
+    def test_nonexistent_input_exits_2(self, tool, tmp_path):
+        assert tool.main([str(tmp_path / "ghost.md")]) == 2
+
+
+def test_repository_docs_have_no_broken_links(tool):
+    # the actual contract CI enforces
+    assert tool.main([]) == 0

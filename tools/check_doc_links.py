@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-doc markdown links.
+
+The docs cross-reference each other heavily (``[api.md](api.md#methods)``,
+``[docs/interop.md](docs/interop.md)`` …), and a renamed heading or moved
+file silently strands readers.  CI runs this tool over every tracked
+markdown file and fails when a relative link points at a missing file or
+a heading anchor that no longer exists.
+
+Checked: inline links ``[text](target)`` whose target is a relative path
+(optionally ``#anchor``) or a bare ``#anchor`` into the same file.
+Ignored: absolute URLs (``http://``, ``https://``, ``mailto:`` — this
+tool runs offline), targets inside fenced code blocks, and reference
+definitions.
+
+Anchors follow the GitHub slugger: lowercase, punctuation stripped,
+spaces to hyphens, duplicate slugs suffixed ``-1``, ``-2`` ….
+
+Usage::
+
+    python tools/check_doc_links.py                 # README.md, *.md, docs/*.md
+    python tools/check_doc_links.py docs/api.md     # specific files
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_LINK = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(?P<title>.+?)\s*#*\s*$")
+_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(title: str) -> str:
+    """The GitHub heading slug: lowercase, drop punctuation, spaces→hyphens."""
+    # strip inline code/emphasis markers and links before slugging
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+    title = title.replace("`", "").replace("*", "").replace("_", " ").strip()
+    slug = []
+    for ch in title.lower():
+        if ch.isalnum():
+            slug.append(ch)
+        elif ch in (" ", "-"):
+            slug.append("-")
+        # other punctuation is dropped
+    return "".join(slug).replace(" ", "-")
+
+
+def strip_fences(text: str) -> str:
+    """Blank out fenced code blocks so their contents are never parsed."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            out.append("")
+        else:
+            out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every heading anchor a markdown file defines (with -N dedup)."""
+    seen: dict[str, int] = {}
+    anchors: set[str] = set()
+    for line in strip_fences(path.read_text(encoding="utf-8")).splitlines():
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group("title"))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def iter_links(text: str):
+    """Yield ``(line_number, target)`` for every checkable inline link."""
+    for lineno, line in enumerate(strip_fences(text).splitlines(), start=1):
+        line = re.sub(r"`[^`]*`", "", line)  # inline code spans are not links
+        for match in _LINK.finditer(line):
+            target = match.group("target")
+            if target.startswith(_SCHEMES):
+                continue
+            yield lineno, target
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    """All broken links in one markdown file, as ``file:line: message``."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, target in iter_links(text):
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            dest = (path.parent / file_part).resolve()
+            if not dest.exists():
+                problems.append(f"{path}:{lineno}: broken link: {target!r} "
+                                f"(no such file {file_part!r})")
+                continue
+        else:
+            dest = path.resolve()  # bare #anchor into the same file
+        if anchor:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into non-markdown files are not ours to judge
+            if dest not in anchor_cache:
+                anchor_cache[dest] = anchors_of(dest)
+            if anchor.lower() not in anchor_cache[dest]:
+                problems.append(f"{path}:{lineno}: broken anchor: {target!r} "
+                                f"(no heading slugs to {anchor!r} in {dest.name})")
+    return problems
+
+
+def default_paths() -> list[Path]:
+    paths = sorted(REPO_ROOT.glob("*.md")) + sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [p for p in paths if p.is_file()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="markdown files to check (default: *.md and docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or default_paths()
+    anchor_cache: dict[Path, set[str]] = {}
+    problems: list[str] = []
+    checked = 0
+    for path in paths:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        problems.extend(check_file(path, anchor_cache))
+        checked += 1
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{checked} files checked; {len(problems)} broken link(s)")
+        return 1
+    print(f"{checked} files checked; all intra-doc links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
